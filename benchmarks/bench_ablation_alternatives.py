@@ -1,0 +1,138 @@
+"""Ablation: the alternative designs the paper declines (§5, §2.2).
+
+* Reduction cache — great on co-occurring multi-hot groups, useless when
+  groups don't repeat (and structurally incompatible with attention
+  pooling).
+* Persistent kernel — kills query maintenance but taxes the MLP, losing
+  end-to-end.
+* CUDA-graph HugeCTR — cheaper launches, but maintenance still grows with
+  the table count ("the findings are similar").
+"""
+
+import numpy as np
+
+from repro import Executor, default_platform
+from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
+from repro.baselines.persistent_kernel import (
+    PersistentKernelConfig,
+    degraded_platform,
+    query_service_time,
+)
+from repro.baselines.reduction_cache import ReductionCache, co_occurrence_workload
+from repro.bench.reporting import emit, format_table, format_time
+from repro.model.mlp import MLP
+from repro.tables.store import EmbeddingStore
+from repro.tables.table_spec import make_table_specs
+from repro.workloads.trace import TraceBatch
+
+
+def test_ablation_reduction_cache(hw, run_once):
+    def experiment():
+        store = EmbeddingStore(make_table_specs([50_000], [32]), hw)
+        rows = []
+        for repeat_p in (0.9, 0.5, 0.0):
+            groups = co_occurrence_workload(
+                num_samples=2_000, group_pool_size=64, ids_per_group=6,
+                corpus_size=50_000, repeat_probability=repeat_p, seed=3,
+            )
+            cache = ReductionCache(store, capacity=256)
+            cache.pooled_batch(0, groups)
+            rows.append([
+                f"{repeat_p:.0%}", f"{cache.hit_rate:.1%}",
+                cache.lookups_saved,
+            ])
+        return rows
+
+    rows = run_once(experiment)
+    report = format_table(
+        ["group repeat prob", "memo hit rate", "lookups saved"],
+        rows,
+        title="Ablation: reduction cache vs co-occurrence (why §5 declines it)",
+    )
+    emit("ablation_reduction_cache", report)
+    assert float(rows[0][1].rstrip("%")) > 60
+    assert float(rows[2][1].rstrip("%")) < 5
+
+
+def test_ablation_persistent_kernel(hw, run_once):
+    def experiment():
+        config = PersistentKernelConfig(sm_fraction=0.25)
+        slow_hw = degraded_platform(hw, config)
+        mlp = MLP(832, [1024, 1024])
+
+        def mlp_time(platform, batch):
+            executor = Executor(platform)
+            for spec in mlp.kernels(batch):
+                executor.launch(spec)
+            return executor.drain()
+
+        batch = 4096
+        query_pk = query_service_time(hw, config, num_keys=30_000, dim=32)
+        mlp_plain = mlp_time(hw, batch)
+        mlp_pk = mlp_time(slow_hw, batch)
+        return query_pk, mlp_plain, mlp_pk
+
+    query_pk, mlp_plain, mlp_pk = run_once(experiment)
+    report = format_table(
+        ["quantity", "time"],
+        [
+            ["PK cache query (30K keys, zero launches)", format_time(query_pk)],
+            ["MLP batch 4096, full GPU", format_time(mlp_plain)],
+            ["MLP batch 4096, 25% SMs pinned by PK", format_time(mlp_pk)],
+            ["MLP slowdown", f"x{mlp_pk / mlp_plain:.2f}"],
+        ],
+        title="Ablation: persistent kernel (why §5 declines it)",
+    )
+    emit("ablation_persistent_kernel", report)
+    # The query side is cheap, but the dense part pays permanently.
+    assert mlp_pk > 1.15 * mlp_plain
+
+
+def test_ablation_cudagraph_baseline(hw, run_once):
+    def experiment():
+        rng = np.random.default_rng(5)
+        table = {}
+        for num_tables in (8, 24, 48):
+            specs = make_table_specs([2000] * num_tables, [16] * num_tables)
+            store = EmbeddingStore(specs, hw)
+            for graph in (False, True):
+                layer = PerTableCacheLayer(
+                    store,
+                    PerTableConfig(cache_ratio=0.2, use_cuda_graph=graph),
+                    hw,
+                )
+                batches = [
+                    TraceBatch(
+                        [rng.integers(0, 2000, 64).astype(np.uint64)
+                         for _ in range(num_tables)],
+                        batch_size=64,
+                    )
+                    for _ in range(6)
+                ]
+                executor = Executor(hw)
+                for b in batches[:3]:
+                    layer.query(b, executor)
+                executor.reset()
+                for b in batches[3:]:
+                    layer.query(b, executor)
+                executor.drain()
+                table[(num_tables, graph)] = (
+                    executor.stats.maintenance_time / 3
+                )
+        return table
+
+    table = run_once(experiment)
+    rows = [
+        [n, format_time(table[(n, False)]), format_time(table[(n, True)])]
+        for n in (8, 24, 48)
+    ]
+    report = format_table(
+        ["# tables", "maintenance (plain)", "maintenance (cudaGraph)"],
+        rows,
+        title="Ablation: CUDA-graph HugeCTR (§2.2: 'findings are similar')",
+    )
+    emit("ablation_cudagraph", report)
+    # Graphs help, but maintenance still scales with the table count.
+    for n in (8, 24, 48):
+        assert table[(n, True)] < table[(n, False)]
+    assert table[(48, True)] > 1.8 * table[(8, True)]

@@ -1,0 +1,77 @@
+"""Experiment #1 / Figure 9: overall throughput improvement.
+
+End-to-end and embedding-only inference throughput of HugeCTR vs Fleche
+(with and without unified index) across batch sizes on the three dataset
+replicas.  Paper headline: 2.0-5.4x embedding-layer speedup and up to
+2.4x end-to-end.
+"""
+
+import pytest
+
+from repro.bench.harness import make_context, run_scheme
+from repro.bench.reporting import emit, format_rate, format_table
+
+BATCH_SIZES = (32, 256, 2048, 8192)
+NUM_BATCHES = 12
+SCHEMES = ("hugectr", "fleche-noui", "fleche")
+DATASETS = ("avazu", "criteo-kaggle", "criteo-tb")
+SCALES = {"avazu": 1.0, "criteo-kaggle": 1.0, "criteo-tb": 0.5}
+
+
+def _sweep(dataset_name, hw, include_dense):
+    rows = []
+    speedups = {}
+    for batch_size in BATCH_SIZES:
+        context = make_context(
+            dataset_name,
+            batch_size=batch_size,
+            num_batches=NUM_BATCHES,
+            scale=SCALES[dataset_name],
+            hw=hw,
+        )
+        results = {
+            name: run_scheme(context, name, include_dense=include_dense)
+            for name in SCHEMES
+        }
+        base = results["hugectr"].throughput
+        rows.append([
+            batch_size,
+            format_rate(base),
+            format_rate(results["fleche-noui"].throughput),
+            format_rate(results["fleche"].throughput),
+            f"x{results['fleche'].throughput / base:.2f}",
+        ])
+        speedups[batch_size] = results["fleche"].throughput / base
+    return rows, speedups
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_exp01_embedding_only_throughput(dataset_name, hw, run_once):
+    rows, speedups = run_once(_sweep, dataset_name, hw, False)
+    report = format_table(
+        ["batch", "HugeCTR", "Fleche w/o UI", "Fleche w/ UI", "speedup"],
+        rows,
+        title=f"Figure 9 (embedding only, {dataset_name}): throughput",
+    )
+    emit(f"exp01_embedding_{dataset_name}", report)
+    # Paper band: 2.0-5.4x for the embedding layer; require a clear win.
+    # (At the largest batches the scaled-down replicas understate the win:
+    # one batch's working set approaches the whole scaled cache, a geometry
+    # the full-size datasets do not exhibit — see EXPERIMENTS.md.)
+    assert max(speedups.values()) > 2.0
+    assert min(speedups.values()) > 1.05
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_exp01_end_to_end_throughput(dataset_name, hw, run_once):
+    rows, speedups = run_once(_sweep, dataset_name, hw, True)
+    report = format_table(
+        ["batch", "HugeCTR", "Fleche w/o UI", "Fleche w/ UI", "speedup"],
+        rows,
+        title=f"Figure 9 (end-to-end, {dataset_name}): throughput",
+    )
+    emit(f"exp01_endtoend_{dataset_name}", report)
+    # Paper band: 1.1-2.4x end to end, shrinking with batch size because
+    # the MLP share grows.
+    assert max(speedups.values()) > 1.1
+    assert speedups[BATCH_SIZES[0]] > speedups[BATCH_SIZES[-1]] * 0.8

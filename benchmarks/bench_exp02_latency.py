@@ -1,0 +1,55 @@
+"""Experiment #2 / Figure 10: throughput vs median and P99 latency.
+
+The embedding layer's latency distribution under increasing offered load
+(batch size): Fleche reaches far higher throughput at the same latency.
+"""
+
+import pytest
+
+from repro.bench.harness import make_context, run_scheme
+from repro.bench.reporting import emit, format_rate, format_table, format_time
+
+BATCH_SIZES = (64, 512, 2048, 8192)
+DATASETS = ("avazu", "criteo-kaggle", "criteo-tb")
+SCALES = {"avazu": 1.0, "criteo-kaggle": 1.0, "criteo-tb": 0.5}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_exp02_throughput_vs_latency(dataset_name, hw, run_once):
+    def experiment():
+        rows = []
+        curves = {"hugectr": [], "fleche": []}
+        for batch_size in BATCH_SIZES:
+            context = make_context(
+                dataset_name, batch_size=batch_size, num_batches=14,
+                scale=SCALES[dataset_name], hw=hw,
+            )
+            for name in ("hugectr", "fleche"):
+                result = run_scheme(context, name)
+                rows.append([
+                    name, batch_size,
+                    format_rate(result.throughput),
+                    format_time(result.median_latency),
+                    format_time(result.p99_latency),
+                ])
+                curves[name].append(
+                    (result.throughput, result.median_latency,
+                     result.p99_latency)
+                )
+        return rows, curves
+
+    rows, curves = run_once(experiment)
+    report = format_table(
+        ["scheme", "batch", "throughput", "median", "P99"],
+        rows,
+        title=f"Figure 10 ({dataset_name}): throughput vs latency",
+    )
+    emit(f"exp02_latency_{dataset_name}", report)
+
+    # At every operating point Fleche delivers more throughput at lower
+    # median latency than HugeCTR.
+    for (h, f) in zip(curves["hugectr"], curves["fleche"]):
+        assert f[0] > h[0]
+        assert f[1] < h[1]
+    # P99 follows the same ordering at the largest batch.
+    assert curves["fleche"][-1][2] < curves["hugectr"][-1][2]

@@ -1,0 +1,71 @@
+"""Experiment #4 / Figure 12: the hit-rate improvement of flat cache.
+
+Optimal vs HugeCTR vs Fleche hit rates across cache sizes and datasets.
+Paper: Fleche reaches 85-96% and sits close to Optimal, improving on
+HugeCTR by 2-41 percentage points depending on dataset and cache size.
+"""
+
+import pytest
+
+from repro import Executor, frequency_optimal_hit_rate
+from repro.bench.harness import make_context, scheme_factory
+from repro.bench.reporting import emit, format_table
+from repro.core.cache_base import HitRateAccumulator
+from repro.workloads.datasets import PAPER_CACHE_RATIOS
+
+DATASETS = ("avazu", "criteo-kaggle", "criteo-tb")
+SCALES = {"avazu": 0.2, "criteo-kaggle": 0.2, "criteo-tb": 0.1}
+BATCHES, BATCH_SIZE, WARMUP = 60, 1024, 24
+
+
+def _hit_rate(context, scheme_name, hw):
+    layer = scheme_factory(scheme_name, context)()
+    executor = Executor(hw)
+    acc = HitRateAccumulator()
+    batches = list(context.trace)
+    for batch in batches[:WARMUP]:
+        layer.query(batch, executor)
+    for batch in batches[WARMUP:]:
+        acc.record(layer.query(batch, executor))
+    return acc.hit_rate
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_exp04_flat_cache_hit_rate(dataset_name, hw, run_once):
+    ratios = PAPER_CACHE_RATIOS[dataset_name]
+
+    def experiment():
+        rows = []
+        numbers = {}
+        for ratio in ratios:
+            context = make_context(
+                dataset_name, batch_size=BATCH_SIZE, num_batches=BATCHES,
+                cache_ratio=ratio, scale=SCALES[dataset_name], hw=hw,
+                warmup=WARMUP,
+            )
+            hugectr = _hit_rate(context, "hugectr", hw)
+            fleche = _hit_rate(context, "fleche-noui", hw)
+            _, measure = context.trace.split(WARMUP)
+            capacity = max(
+                1, int(context.dataset.total_sparse_ids * ratio)
+            )
+            optimal = frequency_optimal_hit_rate(measure, capacity)
+            numbers[ratio] = (optimal, hugectr, fleche)
+            rows.append([
+                f"{ratio:.2%}", f"{optimal:.1%}", f"{hugectr:.1%}",
+                f"{fleche:.1%}", f"{fleche - hugectr:+.1%}",
+            ])
+        return rows, numbers
+
+    rows, numbers = run_once(experiment)
+    report = format_table(
+        ["cache size", "Optimal", "HugeCTR", "Fleche", "improvement"],
+        rows,
+        title=f"Figure 12 ({dataset_name}): flat-cache hit rates",
+    )
+    emit(f"exp04_hitrate_{dataset_name}", report)
+
+    for optimal, hugectr, fleche in numbers.values():
+        assert optimal >= fleche > hugectr
+        # Fleche closes most of the gap to Optimal.
+        assert (optimal - fleche) < 0.5 * (optimal - hugectr)

@@ -1,0 +1,73 @@
+"""Experiment #6 / Figure 14: self-identified kernel fusion.
+
+Cache-query latency under a fixed total of 10K queried keys as the table
+count grows.  Paper: HugeCTR's latency rises with the table count while
+Fleche stays almost flat; below ~15 tables the extra decoupled kernel
+makes Fleche slightly slower, beyond that it wins outright.
+"""
+
+from repro import Executor, FlecheConfig
+from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
+from repro.bench.reporting import emit, format_table, format_time
+from repro.core.workflow import FlecheEmbeddingLayer
+from repro.tables.store import EmbeddingStore
+from repro.workloads.synthetic import synthetic_dataset, uniform_tables_spec
+
+TOTAL_IDS = 10_000
+TABLE_COUNTS = (1, 5, 15, 30, 45, 60)
+
+
+def _query_latency(scheme, num_tables, hw):
+    spec = uniform_tables_spec(
+        num_tables=num_tables,
+        corpus_size=max(1000, 250_000 // num_tables),
+        dim=32,
+    )
+    per_table = max(1, TOTAL_IDS // num_tables)
+    trace = synthetic_dataset(spec, num_batches=8, batch_size=per_table)
+    store = EmbeddingStore(spec.table_specs(), hw)
+    if scheme == "fleche":
+        layer = FlecheEmbeddingLayer(
+            store, FlecheConfig(cache_ratio=0.1, use_unified_index=False), hw
+        )
+    else:
+        layer = PerTableCacheLayer(store, PerTableConfig(cache_ratio=0.1), hw)
+    executor = Executor(hw)
+    for batch in list(trace)[:4]:
+        layer.query(batch, executor)
+    executor.reset()
+    for batch in list(trace)[4:]:
+        layer.query(batch, executor)
+    executor.drain()
+    stats = executor.stats
+    # Figure 14 plots the cache-query side: maintenance + in-cache kernels.
+    return (stats.maintenance_time + stats.cache_query_time) / 4
+
+
+def test_exp06_fusion_latency_vs_table_count(hw, run_once):
+    def experiment():
+        return {
+            n: (_query_latency("hugectr", n, hw), _query_latency("fleche", n, hw))
+            for n in TABLE_COUNTS
+        }
+
+    results = run_once(experiment)
+    rows = [
+        [n, format_time(h), format_time(f), f"x{h / f:.2f}"]
+        for n, (h, f) in results.items()
+    ]
+    report = format_table(
+        ["# of embedding tbls", "HugeCTR", "Fleche", "HugeCTR/Fleche"],
+        rows,
+        title="Figure 14: cache-query latency vs table count (10K keys)",
+    )
+    emit("exp06_kernel_fusion", report)
+
+    hugectr = {n: h for n, (h, f) in results.items()}
+    fleche = {n: f for n, (h, f) in results.items()}
+    # HugeCTR's latency rises steeply with table count; Fleche stays flat.
+    assert hugectr[60] > 3 * hugectr[1]
+    assert fleche[60] < 2 * fleche[1]
+    # Fleche wins beyond the paper's ~15-table crossover region.
+    assert fleche[30] < hugectr[30]
+    assert fleche[60] < hugectr[60]

@@ -1,0 +1,97 @@
+"""Experiment #7 / Figure 15: benefits of the cache-query workflow opts.
+
+Cumulative variants on the Avazu replica at 5% cache:
+Baseline (flat cache + fusion) -> +Decoupling -> +Unified Index.
+Paper: decoupling helps most at small batches (15-20%), the unified
+index at large batches (33-41%), where the DRAM query dominates.
+"""
+
+from repro import Executor, FlecheConfig
+from repro.bench.harness import make_context
+from repro.bench.reporting import emit, format_table, format_time
+from repro.core.workflow import FlecheEmbeddingLayer
+from repro.workloads.synthetic import synthetic_dataset
+
+BATCH_SIZES = (32, 128, 1024, 4096, 8192)
+
+VARIANTS = (
+    ("baseline", dict(decouple_copy=False, use_unified_index=False)),
+    ("+decoupling", dict(decouple_copy=True, use_unified_index=False)),
+    ("+unified index", dict(decouple_copy=True, use_unified_index=True,
+                            unified_index_fraction=2.0)),
+)
+
+
+def _latency(context, prewarm, hw, **overrides):
+    config = FlecheConfig(cache_ratio=context.cache_ratio, **overrides)
+    layer = FlecheEmbeddingLayer(context.store, config, hw)
+    if layer.tuner is not None:
+        # Pin the unified index at its full capacity: Figure 15 reports the
+        # steady state of the technique, not the tuner's search.
+        target = int(
+            layer.cache.capacity_slots * config.unified_index_fraction
+        )
+        layer.tuner = None
+        layer.cache.set_unified_capacity(target)
+    executor = Executor(hw)
+    # Drive the cache to eviction steady state with large warm batches
+    # (the regime all of Figure 15 operates in), then warm at the target
+    # batch size before measuring.
+    for batch in prewarm:
+        layer.query(batch, executor)
+    batches = list(context.trace)
+    for batch in batches[:context.warmup]:
+        layer.query(batch, executor)
+    executor.reset()
+    for batch in batches[context.warmup:]:
+        layer.query(batch, executor)
+    return executor.drain() / (len(batches) - context.warmup)
+
+
+def test_exp07_workflow_optimisations(hw, run_once):
+    def experiment():
+        table = {}
+        prewarm_context = make_context(
+            "avazu", batch_size=8192, num_batches=28, cache_ratio=0.05, hw=hw,
+        )
+        prewarm = list(prewarm_context.trace)
+        for batch_size in BATCH_SIZES:
+            context = make_context(
+                "avazu", batch_size=batch_size, num_batches=10,
+                cache_ratio=0.05, hw=hw, warmup=4,
+            )
+            table[batch_size] = {
+                name: _latency(context, prewarm, hw, **overrides)
+                for name, overrides in VARIANTS
+            }
+        return table
+
+    table = run_once(experiment)
+    rows = []
+    for batch_size, latencies in table.items():
+        base = latencies["baseline"]
+        rows.append([
+            batch_size,
+            format_time(base),
+            format_time(latencies["+decoupling"]),
+            format_time(latencies["+unified index"]),
+            f"{1 - latencies['+unified index'] / base:.1%}",
+        ])
+    report = format_table(
+        ["batch", "baseline", "+decoupling", "+unified index",
+         "total reduction"],
+        rows,
+        title="Figure 15 (avazu, 5% cache): workflow optimisations",
+    )
+    emit("exp07_workflow_opts", report)
+
+    # Decoupling reduces latency across the board.
+    for latencies in table.values():
+        assert latencies["+decoupling"] <= latencies["baseline"] * 1.02
+    # It is most valuable at the smallest batch (GPU query dominates).
+    small, large = BATCH_SIZES[0], BATCH_SIZES[-1]
+    gain_small = 1 - table[small]["+decoupling"] / table[small]["baseline"]
+    gain_large = 1 - table[large]["+decoupling"] / table[large]["baseline"]
+    assert gain_small > gain_large
+    # The unified index contributes at large batches (DRAM-bound regime).
+    assert table[large]["+unified index"] <= table[large]["+decoupling"] * 1.02

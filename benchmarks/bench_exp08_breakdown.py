@@ -1,0 +1,102 @@
+"""Experiment #8 / Figure 16: contributions of techniques to performance.
+
+Cumulative variants, HugeCTR -> +FC -> +Fusion -> +Opt, with the latency
+broken down into Cache Query / DRAM Query / Other, across batch sizes and
+datasets.  Each technique must contribute a monotone latency reduction.
+"""
+
+import pytest
+
+from repro import Executor, FlecheConfig
+from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
+from repro.bench.harness import make_context
+from repro.bench.reporting import emit, format_table, format_time
+from repro.core.workflow import FlecheEmbeddingLayer
+
+BATCH_SIZES = (128, 1024, 8192)
+DATASETS = ("avazu", "criteo-kaggle", "criteo-tb")
+SCALES = {"avazu": 1.0, "criteo-kaggle": 1.0, "criteo-tb": 0.5}
+
+VARIANTS = (
+    ("HugeCTR", None),
+    ("+FC", dict(use_fusion=False, decouple_copy=False,
+                 use_unified_index=False)),
+    ("+Fusion", dict(use_fusion=True, decouple_copy=False,
+                     use_unified_index=False)),
+    ("+Opt", dict(use_fusion=True, decouple_copy=True,
+                  use_unified_index=True)),
+)
+
+
+def _run_variant(context, hw, overrides):
+    if overrides is None:
+        layer = PerTableCacheLayer(
+            context.store, PerTableConfig(cache_ratio=context.cache_ratio), hw
+        )
+    else:
+        config = FlecheConfig(cache_ratio=context.cache_ratio, **overrides)
+        layer = FlecheEmbeddingLayer(context.store, config, hw)
+        if layer.tuner is not None:
+            target = int(
+                layer.cache.capacity_slots * config.unified_index_fraction
+            )
+            layer.tuner = None
+            layer.cache.set_unified_capacity(target)
+    executor = Executor(hw)
+    batches = list(context.trace)
+    for batch in batches[:context.warmup]:
+        layer.query(batch, executor)
+    executor.reset()
+    for batch in batches[context.warmup:]:
+        layer.query(batch, executor)
+    measured = len(batches) - context.warmup
+    total = executor.drain() / measured
+    stats = executor.stats
+    return {
+        "total": total,
+        "cache": (stats.cache_query_time + stats.maintenance_time) / measured,
+        "dram": stats.dram_query_time / measured,
+        "other": stats.seconds.get(
+            __import__("repro").Category.OTHER, 0.0
+        ) / measured,
+    }
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_exp08_technique_breakdown(dataset_name, hw, run_once):
+    def experiment():
+        table = {}
+        for batch_size in BATCH_SIZES:
+            context = make_context(
+                dataset_name, batch_size=batch_size, num_batches=12,
+                scale=SCALES[dataset_name], hw=hw,
+            )
+            table[batch_size] = {
+                name: _run_variant(context, hw, overrides)
+                for name, overrides in VARIANTS
+            }
+        return table
+
+    table = run_once(experiment)
+    rows = []
+    for batch_size, variants in table.items():
+        for name, parts in variants.items():
+            rows.append([
+                batch_size, name, format_time(parts["total"]),
+                format_time(parts["cache"]), format_time(parts["dram"]),
+                format_time(parts["other"]),
+            ])
+    report = format_table(
+        ["batch", "variant", "total", "cache query", "DRAM query", "other"],
+        rows,
+        title=f"Figure 16 ({dataset_name}): cumulative technique breakdown",
+    )
+    emit(f"exp08_breakdown_{dataset_name}", report)
+
+    for batch_size, variants in table.items():
+        # Fusion slashes the cache-query side relative to +FC.
+        assert variants["+Fusion"]["cache"] < variants["+FC"]["cache"]
+        # The full stack beats HugeCTR soundly.
+        assert variants["+Opt"]["total"] < variants["HugeCTR"]["total"]
+        # FC's hit-rate gain shows up as reduced DRAM time vs HugeCTR.
+        assert variants["+FC"]["dram"] <= variants["HugeCTR"]["dram"] * 1.1

@@ -1,0 +1,81 @@
+"""Experiment #11 / Figure 19: impact of embedding table number.
+
+Latency with a fixed total of 100K queried IDs spread over a varying
+number of tables.  Paper: Fleche is 1.8-2.2x faster except at a single
+table, where both systems already pay negligible maintenance.
+"""
+
+import pytest
+
+from repro import Executor, FlecheConfig
+from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
+from repro.bench.reporting import emit, format_table, format_time
+from repro.core.workflow import FlecheEmbeddingLayer
+from repro.tables.store import EmbeddingStore
+from repro.workloads.synthetic import synthetic_dataset, uniform_tables_spec
+
+TOTAL_IDS = 100_000
+TABLE_COUNTS = (1, 10, 25, 40, 60)
+
+
+def _latency(scheme, num_tables, cache_ratio, hw):
+    spec = uniform_tables_spec(
+        num_tables=num_tables, corpus_size=250_000, alpha=-1.2, dim=32,
+    )
+    per_table = max(1, TOTAL_IDS // num_tables)
+    trace = synthetic_dataset(spec, num_batches=16, batch_size=per_table)
+    store = EmbeddingStore(spec.table_specs(), hw)
+    if scheme == "fleche":
+        config = FlecheConfig(
+            cache_ratio=cache_ratio, unified_index_fraction=2.0
+        )
+        layer = FlecheEmbeddingLayer(store, config, hw)
+        # Steady-state unified index, as in the paper's sensitivity runs.
+        layer.tuner = None
+        layer.cache.set_unified_capacity(
+            int(layer.cache.capacity_slots * config.unified_index_fraction)
+        )
+    else:
+        layer = PerTableCacheLayer(
+            store, PerTableConfig(cache_ratio=cache_ratio), hw
+        )
+    executor = Executor(hw)
+    for batch in list(trace)[:10]:
+        layer.query(batch, executor)
+    executor.reset()
+    for batch in list(trace)[10:]:
+        layer.query(batch, executor)
+    return executor.drain() / 6
+
+
+@pytest.mark.parametrize("cache_ratio", (0.10, 0.05))
+def test_exp11_table_count(cache_ratio, hw, run_once):
+    def experiment():
+        return {
+            n: (
+                _latency("hugectr", n, cache_ratio, hw),
+                _latency("fleche", n, cache_ratio, hw),
+            )
+            for n in TABLE_COUNTS
+        }
+
+    table = run_once(experiment)
+    rows = [
+        [n, format_time(h), format_time(f), f"x{h / f:.2f}"]
+        for n, (h, f) in table.items()
+    ]
+    report = format_table(
+        ["# of embedding tbls", "HugeCTR", "Fleche", "speedup"],
+        rows,
+        title=f"Figure 19 (cache={cache_ratio:.0%}): impact of table count",
+    )
+    emit(f"exp11_table_count_{int(cache_ratio * 100)}", report)
+
+    # Beyond a handful of tables Fleche wins consistently.
+    for n, (h, f) in table.items():
+        if n >= 10:
+            assert f < h
+    # At a single table the two are comparable (paper: "similar
+    # performance because of low kernel maintenance overhead").
+    h1, f1 = table[1]
+    assert f1 < 1.6 * h1

@@ -1,0 +1,73 @@
+"""Experiment #12 / Figure 20: impact of MLP layers.
+
+End-to-end prediction latency (embedding + dense) with 2-5 hidden layers
+of 1024 units, batch 256.  Paper: the MLP time is identical across cache
+schemes, grows with depth, and therefore dilutes (but never erases)
+Fleche's end-to-end advantage.
+"""
+
+import pytest
+
+from repro import Category
+from repro.bench.harness import make_context, run_scheme
+from repro.bench.reporting import emit, format_table, format_time
+from repro.model.dcn import DeepCrossNetwork
+
+HIDDEN_LAYERS = (2, 3, 4, 5)
+BATCH_SIZE = 256
+DATASETS = ("avazu", "criteo-kaggle")
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_exp12_mlp_depth(dataset_name, hw, run_once):
+    def experiment():
+        table = {}
+        for depth in HIDDEN_LAYERS:
+            context = make_context(
+                dataset_name, batch_size=BATCH_SIZE, num_batches=12, hw=hw,
+            )
+            model = DeepCrossNetwork(
+                num_tables=context.dataset.num_tables,
+                embedding_dim=context.dataset.dim,
+                hidden_units=[1024] * depth,
+            )
+            hugectr = run_scheme(
+                context, "hugectr", include_dense=True, model=model
+            )
+            fleche = run_scheme(
+                context, "fleche", include_dense=True, model=model
+            )
+            table[depth] = {
+                "hugectr": hugectr.elapsed / len(hugectr.latencies),
+                "fleche": fleche.elapsed / len(fleche.latencies),
+                "mlp_hugectr": hugectr.breakdown.seconds[Category.MLP]
+                / len(hugectr.latencies),
+                "mlp_fleche": fleche.breakdown.seconds[Category.MLP]
+                / len(fleche.latencies),
+            }
+        return table
+
+    table = run_once(experiment)
+    rows = [
+        [depth,
+         format_time(v["hugectr"]), format_time(v["fleche"]),
+         format_time(v["mlp_fleche"]),
+         f"x{v['hugectr'] / v['fleche']:.2f}"]
+        for depth, v in table.items()
+    ]
+    report = format_table(
+        ["hidden layers", "HugeCTR e2e", "Fleche e2e", "MLP time", "speedup"],
+        rows,
+        title=f"Figure 20 ({dataset_name}): impact of MLP depth, batch 256",
+    )
+    emit(f"exp12_mlp_depth_{dataset_name}", report)
+
+    for depth, v in table.items():
+        # MLP time does not depend on the cache scheme...
+        assert v["mlp_hugectr"] == pytest.approx(v["mlp_fleche"], rel=1e-6)
+        # ...and Fleche keeps an end-to-end win at every depth.
+        assert v["fleche"] < v["hugectr"]
+    # Deeper MLPs -> more MLP time -> smaller end-to-end gain.
+    assert table[5]["mlp_fleche"] > table[2]["mlp_fleche"]
+    gain = {d: v["hugectr"] / v["fleche"] for d, v in table.items()}
+    assert gain[5] < gain[2] * 1.05

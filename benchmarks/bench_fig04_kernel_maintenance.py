@@ -1,0 +1,63 @@
+"""Figure 4 (motivation): kernel maintenance vs execution time.
+
+With 10K aggregate query IDs spread over a growing number of cache tables,
+HugeCTR's per-table kernels make maintenance time grow linearly with the
+table count until it dominates execution (paper: >2x at 60 tables).
+"""
+
+import numpy as np
+
+from repro import Executor
+from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
+from repro.bench.reporting import emit, format_table, format_time
+from repro.tables.store import EmbeddingStore
+from repro.workloads.synthetic import synthetic_dataset, uniform_tables_spec
+
+TOTAL_IDS = 10_000
+TABLE_COUNTS = (1, 10, 20, 30, 40, 50, 60)
+
+
+def _measure(num_tables, hw):
+    spec = uniform_tables_spec(
+        num_tables=num_tables,
+        corpus_size=max(1000, 250_000 // num_tables),
+        dim=32,
+    )
+    per_table = max(1, TOTAL_IDS // num_tables)
+    trace = synthetic_dataset(spec, num_batches=6, batch_size=per_table)
+    store = EmbeddingStore(spec.table_specs(), hw)
+    layer = PerTableCacheLayer(store, PerTableConfig(cache_ratio=0.05), hw)
+    executor = Executor(hw)
+    for batch in list(trace)[:3]:
+        layer.query(batch, executor)
+    executor.reset()
+    for batch in list(trace)[3:]:
+        layer.query(batch, executor)
+    stats = executor.stats
+    return stats.maintenance_time / 3, stats.execution_time / 3
+
+
+def test_fig04_maintenance_grows_with_table_count(hw, run_once):
+    def experiment():
+        return {n: _measure(n, hw) for n in TABLE_COUNTS}
+
+    results = run_once(experiment)
+    rows = [
+        [n, format_time(m), format_time(e), f"{m / e:.2f}x"]
+        for n, (m, e) in results.items()
+    ]
+    report = format_table(
+        ["# cache tables", "maintenance", "execution", "maint/exec"],
+        rows,
+        title="Figure 4: HugeCTR cache-query time split, 10K aggregate IDs",
+    )
+    emit("fig04_kernel_maintenance", report)
+
+    maint = {n: m for n, (m, e) in results.items()}
+    execs = {n: e for n, (m, e) in results.items()}
+    # Maintenance grows ~linearly with the table count...
+    assert maint[60] > 10 * maint[1]
+    # ...and dominates execution at 60 tables (paper: >2x).
+    assert maint[60] > 1.5 * execs[60]
+    # Execution stays comparatively flat (same total work).
+    assert execs[60] < 6 * execs[1]

@@ -1,0 +1,35 @@
+"""Table 1: the hardware platform.
+
+Prints the simulated testbed constants side by side with the paper's
+published numbers, and sanity-benchmarks the cost-model primitives.
+"""
+
+from repro.bench.reporting import emit, format_table
+from repro.gpusim.kernel import KernelSpec, kernel_execution_time
+from repro.gpusim.transfer import CopyEngine, CopyMethod
+
+
+def test_table1_hardware_platform(hw, run_once):
+    def build_report():
+        gib = 1024 ** 3
+        rows = [
+            ["Cores", hw.cpu.cores, hw.gpu.cuda_cores],
+            ["Memory Capability",
+             f"{hw.cpu.dram_capacity // gib} GB",
+             f"{hw.gpu.hbm_capacity // gib} GB"],
+            ["Memory Bandwidth",
+             f"{hw.cpu.dram_bandwidth / 1e9:.0f} GB/s",
+             f"{hw.gpu.hbm_bandwidth / 1e9:.0f} GB/s"],
+        ]
+        return format_table(
+            ["", "CPU (Xeon Gold 6252)", "GPU (NVIDIA T4)"], rows,
+            title="Table 1: hardware platform (simulated constants)",
+        )
+
+    report = run_once(build_report)
+    # Paper-quoted primitives hold in the model.
+    engine = CopyEngine(hw)
+    assert 6e-6 <= engine.cost(64, CopyMethod.CUDAMEMCPY).overhead <= 7e-6
+    assert engine.cost(64, CopyMethod.GDRCOPY).overhead <= 2e-7
+    assert kernel_execution_time(KernelSpec("k", threads=32), hw) > 0
+    emit("table1_hardware", report)

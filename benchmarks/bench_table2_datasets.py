@@ -1,0 +1,45 @@
+"""Table 2: datasets for evaluation.
+
+Prints the characteristics of the three dataset replicas next to the
+paper's published statistics (which describe the full-size originals).
+"""
+
+from repro.bench.reporting import emit, format_table
+from repro.workloads.datasets import (
+    avazu_replica,
+    criteo_kaggle_replica,
+    criteo_tb_replica,
+)
+
+PAPER_ROWS = {
+    "avazu": ("22", "40M", "49M", "5.8GB"),
+    "criteo-kaggle": ("26", "45M", "34M", "4.1GB"),
+    "criteo-tb": ("26", "4.4B", "0.9B", "461GB"),
+}
+
+
+def test_table2_dataset_characteristics(run_once):
+    def build_report():
+        rows = []
+        for replica in (avazu_replica(), criteo_kaggle_replica(),
+                        criteo_tb_replica()):
+            paper = PAPER_ROWS[replica.name]
+            rows.append([
+                replica.name,
+                f"{replica.num_tables} (paper {paper[0]})",
+                f"paper {paper[1]}",
+                f"{replica.total_sparse_ids / 1e6:.2f}M (paper {paper[2]})",
+                f"{replica.param_bytes / 1024**3:.2f}GB (paper {paper[3]})",
+            ])
+        return format_table(
+            ["Dataset", "# Emb Tbls", "# Samples", "# Sparse IDs (replica)",
+             "Param Size (replica)"],
+            rows,
+            title="Table 2: dataset replicas vs the paper's originals",
+        )
+
+    report = run_once(build_report)
+    assert avazu_replica().num_tables == 22
+    assert criteo_kaggle_replica().num_tables == 26
+    assert criteo_tb_replica().dim == 128
+    emit("table2_datasets", report)

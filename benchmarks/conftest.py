@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper.  Real wall
+time is measured by pytest-benchmark; the rows the paper reports come from
+the *simulated* platform timeline and are printed (and persisted under
+``benchmarks/results/``) by each benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import default_platform
+
+
+def pytest_configure(config):
+    # Ensure -s is not required to see reports: we also persist them.
+    pass
+
+
+@pytest.fixture(scope="session")
+def hw():
+    return default_platform()
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,90 @@
+"""Capacity planning: how big must the cache be for a target hit rate?
+
+Uses the analysis toolkit — exact Mattson miss-ratio curves and hotspot
+profiles — to size a Fleche cache for an Avazu-like workload *before*
+deploying it, then verifies the prediction against the real cache.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    EmbeddingStore,
+    Executor,
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+    avazu_replica,
+    default_platform,
+    synthetic_dataset,
+)
+from repro.analysis.hotspot import global_vs_static_split, hotspot_profile
+from repro.analysis.reuse import miss_ratio_curve
+from repro.bench.reporting import format_table
+
+TARGETS = (0.90, 0.95, 0.98)
+
+
+def main() -> None:
+    hw = default_platform()
+    dataset = avazu_replica(scale=0.05)
+    trace = synthetic_dataset(dataset, num_batches=40, batch_size=512)
+
+    print(f"Workload: {dataset.name} replica, "
+          f"{dataset.total_sparse_ids:,} distinct IDs, "
+          f"{trace.total_ids:,} accesses\n")
+
+    # 1. One pass over the trace yields the hit rate at EVERY cache size.
+    mrc = miss_ratio_curve(trace)
+    rows = []
+    for target in TARGETS:
+        capacity = mrc.capacity_for(target)
+        rows.append([
+            f"{target:.0%}",
+            f"{capacity:,}" if capacity else "unreachable",
+            f"{capacity / dataset.total_sparse_ids:.2%}"
+            if capacity else "-",
+        ])
+    print(format_table(
+        ["target hit rate", "entries needed (LRU)", "as % of parameters"],
+        rows, title="Mattson MRC: capacity for a target hit rate",
+    ))
+    print()
+
+    # 2. Why the cache must be *global*: hotspot sizes differ per table.
+    profile = hotspot_profile(trace, share=0.8)
+    smallest = min(profile.hotspot_sizes.values())
+    largest = max(profile.hotspot_sizes.values())
+    split = global_vs_static_split(
+        trace, total_budget=max(1, int(dataset.total_sparse_ids * 0.05))
+    )
+    print(f"Per-table hotspot sizes (80% of traffic) span {smallest:,} to "
+          f"{largest:,} keys ({profile.imbalance:.0f}x imbalance).")
+    print(f"At a 5% budget, a global hot set covers {split['global']:.1%} "
+          f"of traffic; the best static per-table split covers "
+          f"{split['static']:.1%} — Issue 1's structural gap of "
+          f"{split['gap']:.1%}.\n")
+
+    # 3. Verify the plan: deploy at the 95% target and measure.
+    capacity = mrc.capacity_for(0.95)
+    ratio = min(1.0, 1.3 * capacity / dataset.total_sparse_ids)
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    layer = FlecheEmbeddingLayer(
+        store, FlecheConfig(cache_ratio=ratio, use_unified_index=False), hw
+    )
+    executor = Executor(hw)
+    batches = list(trace)
+    hits = misses = 0
+    for batch in batches[:20]:
+        layer.query(batch, executor)
+    for batch in batches[20:]:
+        result = layer.query(batch, executor)
+        hits += result.hits
+        misses += result.misses
+    measured = hits / (hits + misses)
+    print(f"Deployed at {ratio:.2%} of parameters "
+          f"({layer.cache.capacity_slots:,} slots): "
+          f"measured hit rate {measured:.1%} vs 95% plan — "
+          f"{'on target' if measured >= 0.94 else 'below target'}.")
+
+
+if __name__ == "__main__":
+    main()

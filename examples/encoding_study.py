@@ -1,0 +1,75 @@
+"""Encoding study: how flat-key layouts shape collisions and model quality.
+
+Walks through the re-encoding problem of paper §3.1: many embedding tables
+of wildly different corpus sizes must share one flat key space.  Prints the
+bit layouts the fixed-length (Kraken) and size-aware (Fleche) codecs build,
+their measured collision rates, and the AUC each achieves on a trainable
+synthetic CTR task.
+
+Run:  python examples/encoding_study.py
+"""
+
+import numpy as np
+
+from repro import FixedLengthCodec, SizeAwareCodec, collision_stats
+from repro.bench.reporting import format_table
+from repro.model.trainer import CollisionAucStudy, SyntheticCtrTask
+
+#: A model with a handful of tiny tables next to one huge ID table.
+CORPORA = [64, 512, 4096]
+KEY_BITS = 10
+
+
+def main() -> None:
+    print(f"Corpora: {CORPORA}, flat keys of {KEY_BITS} bits\n")
+
+    size_aware = SizeAwareCodec(CORPORA, key_bits=KEY_BITS)
+    fixed = FixedLengthCodec(CORPORA, key_bits=KEY_BITS, table_bits=2)
+
+    print("Size-aware layout (Fleche):")
+    for line in size_aware.describe():
+        print("  " + line)
+    print("Fixed-length layout (Kraken):")
+    for line in fixed.describe():
+        print("  " + line)
+    print()
+
+    ids = [np.arange(size, dtype=np.uint64) for size in CORPORA]
+    rows = []
+    for name, codec in (("Kraken (fixed)", fixed),
+                        ("Fleche (size-aware)", size_aware)):
+        stats = collision_stats(codec, ids)
+        rows.append([
+            name,
+            f"{stats.intra_table_rate:.2%}",
+            f"{stats.inter_table_rate:.2%}",
+        ])
+    print(format_table(
+        ["codec", "intra-table collisions", "inter-table collisions"],
+        rows, title="Measured collision rates",
+    ))
+    print()
+
+    task = SyntheticCtrTask(
+        corpus_sizes=CORPORA, num_train=15_000, num_test=4_000,
+        alpha=-0.8, seed=5,
+    )
+    study = CollisionAucStudy(task, epochs=4)
+    upper = study.upper_bound_auc()
+    auc_rows = [
+        ["Kraken (fixed)", f"{study.auc_with_codec(fixed):.4f}"],
+        ["Fleche (size-aware)", f"{study.auc_with_codec(size_aware):.4f}"],
+        ["no-collision upper bound", f"{upper:.4f}"],
+    ]
+    print(format_table(
+        ["codec", "AUC"], auc_rows,
+        title="Model quality on the synthetic CTR task (Figure 13's metric)",
+    ))
+    print()
+    print("Size-aware coding spends its bits where corpora need them: the")
+    print("big table keeps more feature bits, so fewer hot IDs collide and")
+    print("the model keeps more of its accuracy at the same key width.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Video-recommendation scenario: drifting hotspots and elastic caching.
+
+Models the workload that motivates the flat cache (paper §2.2, Issue 1):
+a feed service whose per-table hotspots *move over time* — trending videos
+rise and fade, new users appear.  A static per-table cache keeps chasing
+stale local hotspots; Fleche's shared backend rebalances elastically and
+holds its hit rate through the drift.
+
+Run:  python examples/video_recommendation.py
+"""
+
+import numpy as np
+
+from repro import (
+    DatasetSpec,
+    EmbeddingStore,
+    Executor,
+    FieldSpec,
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+    PerTableCacheLayer,
+    PerTableConfig,
+    default_platform,
+    synthetic_dataset,
+)
+from repro.bench.reporting import format_table
+
+CACHE_RATIO = 0.05
+PHASE_BATCHES = 16
+BATCH_SIZE = 1024
+
+
+def drifting_feed_dataset() -> DatasetSpec:
+    """A feed model: users, videos, authors, topics, devices, ...
+
+    High-drift fields (videos, authors: trending content) sit next to
+    nearly static ones (device type, country).
+    """
+    fields = (
+        FieldSpec(corpus_size=500_000, alpha=-1.1, drift=0.10),  # user id
+        FieldSpec(corpus_size=300_000, alpha=-1.5, drift=0.20),  # video id
+        FieldSpec(corpus_size=60_000, alpha=-1.4, drift=0.15),   # author id
+        FieldSpec(corpus_size=5_000, alpha=-1.2, drift=0.02),    # topic
+        FieldSpec(corpus_size=2_000, alpha=-1.3, drift=0.01),    # city
+        FieldSpec(corpus_size=50, alpha=-1.0, drift=0.0),        # device
+        FieldSpec(corpus_size=30_000, alpha=-1.6, drift=0.25),   # sound/meme
+        FieldSpec(corpus_size=200, alpha=-0.9, drift=0.0),       # country
+    )
+    return DatasetSpec(
+        name="video-feed", fields=fields, num_samples=10_000_000, dim=32,
+        seed=77,
+    )
+
+
+def main() -> None:
+    hw = default_platform()
+    dataset = drifting_feed_dataset()
+    # Three "hours" of traffic; hotspots drift every few batches.
+    trace = synthetic_dataset(
+        dataset, num_batches=3 * PHASE_BATCHES, batch_size=BATCH_SIZE,
+        drift_every=4,
+    )
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    schemes = {
+        "HugeCTR (static split)": PerTableCacheLayer(
+            store, PerTableConfig(CACHE_RATIO), hw
+        ),
+        "Fleche (flat cache)": FlecheEmbeddingLayer(
+            store, FlecheConfig(cache_ratio=CACHE_RATIO), hw
+        ),
+    }
+
+    rows = []
+    per_phase = {name: [] for name in schemes}
+    for name, layer in schemes.items():
+        executor = Executor(hw)
+        for phase in range(3):
+            hits = misses = 0
+            for batch in list(trace)[phase * PHASE_BATCHES:(phase + 1) * PHASE_BATCHES]:
+                result = layer.query(batch, executor)
+                hits += result.hits
+                misses += result.misses
+            per_phase[name].append(hits / (hits + misses))
+
+    for name, phases in per_phase.items():
+        rows.append([name] + [f"{p:.1%}" for p in phases])
+    print(format_table(
+        ["scheme", "hour 1 (cold)", "hour 2", "hour 3"],
+        rows,
+        title=(f"Hit rates under drifting hotspots "
+               f"(cache {CACHE_RATIO:.0%}, {dataset.num_tables} tables)"),
+    ))
+
+    fleche_hit = per_phase["Fleche (flat cache)"][-1]
+    hugectr_hit = per_phase["HugeCTR (static split)"][-1]
+    print()
+    print(f"After warm-up, the elastic flat cache sustains "
+          f"{fleche_hit:.1%} vs the static split's {hugectr_hit:.1%} — "
+          f"a {(fleche_hit - hugectr_hit) * 100:.1f}-point gap born purely "
+          f"from cache *structure*, not size.")
+
+
+if __name__ == "__main__":
+    main()

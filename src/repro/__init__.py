@@ -1,0 +1,119 @@
+"""repro — a full reproduction of *Fleche: An Efficient GPU Embedding Cache
+for Personalized Recommendations* (Xie et al., EuroSys '22).
+
+The library rebuilds the paper's entire stack in Python: a timing-accurate
+CPU+GPU simulator, the SlabHash GPU index, the slab memory pool with epoch
+reclamation, flat-key coding (fixed-length and size-aware), the HugeCTR-
+style per-table baseline, and Fleche itself (flat cache, self-identified
+kernel fusion, decoupled copy, unified index), plus the DLRM dense part and
+the workload generators the evaluation needs.
+
+Quickstart::
+
+    from repro import (
+        default_platform, FlecheConfig, FlecheEmbeddingLayer,
+        EmbeddingStore, Executor, synthetic_dataset, uniform_tables_spec,
+    )
+
+    hw = default_platform()
+    spec = uniform_tables_spec(num_tables=8, corpus_size=10_000)
+    trace = synthetic_dataset(spec, num_batches=32, batch_size=256)
+    store = EmbeddingStore(spec.table_specs(), hw)
+    layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
+    executor = Executor(hw)
+    result = layer.query(trace[0], executor)
+    print(result.hit_rate, executor.elapsed())
+"""
+
+from .hardware import HardwareSpec, CpuSpec, GpuSpec, default_platform
+from .errors import (
+    ReproError,
+    ConfigError,
+    CapacityError,
+    CodingError,
+    SimulationError,
+    WorkloadError,
+)
+from .gpusim import Executor, KernelSpec, TimeBreakdown, Category
+from .coding import FixedLengthCodec, SizeAwareCodec, collision_stats
+from .tables import TableSpec, EmbeddingStore, EmbeddingTable
+from .workloads import (
+    DatasetSpec,
+    FieldSpec,
+    Trace,
+    TraceBatch,
+    ZipfSampler,
+    synthetic_dataset,
+    avazu_replica,
+    criteo_kaggle_replica,
+    criteo_tb_replica,
+)
+from .workloads.synthetic import uniform_tables_spec
+from .core import (
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+    FlatCache,
+    InferenceEngine,
+    InferenceResult,
+    CacheQueryResult,
+    CacheSnapshot,
+    UpdateApplier,
+)
+from .baselines import (
+    PerTableCacheLayer,
+    PerTableConfig,
+    NoCacheLayer,
+    frequency_optimal_hit_rate,
+    belady_hit_rate,
+)
+from .model import DeepCrossNetwork, auc_score
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HardwareSpec",
+    "CpuSpec",
+    "GpuSpec",
+    "default_platform",
+    "ReproError",
+    "ConfigError",
+    "CapacityError",
+    "CodingError",
+    "SimulationError",
+    "WorkloadError",
+    "Executor",
+    "KernelSpec",
+    "TimeBreakdown",
+    "Category",
+    "FixedLengthCodec",
+    "SizeAwareCodec",
+    "collision_stats",
+    "TableSpec",
+    "EmbeddingStore",
+    "EmbeddingTable",
+    "DatasetSpec",
+    "FieldSpec",
+    "Trace",
+    "TraceBatch",
+    "ZipfSampler",
+    "synthetic_dataset",
+    "uniform_tables_spec",
+    "avazu_replica",
+    "criteo_kaggle_replica",
+    "criteo_tb_replica",
+    "FlecheConfig",
+    "FlecheEmbeddingLayer",
+    "FlatCache",
+    "InferenceEngine",
+    "InferenceResult",
+    "CacheQueryResult",
+    "CacheSnapshot",
+    "UpdateApplier",
+    "PerTableCacheLayer",
+    "PerTableConfig",
+    "NoCacheLayer",
+    "frequency_optimal_hit_rate",
+    "belady_hit_rate",
+    "DeepCrossNetwork",
+    "auc_score",
+]

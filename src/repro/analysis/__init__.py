@@ -1,0 +1,26 @@
+"""Workload analysis: reuse distances, miss-ratio curves, hotspots.
+
+Sizing a GPU embedding cache is a capacity-planning question: how big
+must the cache be for a target hit rate?  This package answers it from a
+trace alone:
+
+* :mod:`repro.analysis.reuse` — exact LRU reuse (stack) distances via the
+  Mattson algorithm, and the miss-ratio curve (MRC) they induce: one pass
+  yields the LRU hit rate at *every* cache size simultaneously;
+* :mod:`repro.analysis.hotspot` — per-table and global hotspot profiles
+  (how many keys cover a target share of accesses), the statistic behind
+  the paper's Issue 1: per-table hotspot sizes differ, so a fixed
+  per-table split wastes capacity.
+"""
+
+from .reuse import reuse_distances, miss_ratio_curve, MissRatioCurve
+from .hotspot import hotspot_profile, HotspotProfile, global_vs_static_split
+
+__all__ = [
+    "reuse_distances",
+    "miss_ratio_curve",
+    "MissRatioCurve",
+    "hotspot_profile",
+    "HotspotProfile",
+    "global_vs_static_split",
+]

@@ -1,0 +1,33 @@
+"""Comparison systems.
+
+* :mod:`repro.baselines.per_table_cache` — the HugeCTR-Inference cache
+  scheme the paper profiles (§2.2): a static, fixed-proportion cache table
+  per embedding table, coupled index+copy kernels, one stream per table.
+* :mod:`repro.baselines.optimal_cache` — clairvoyant upper bounds for the
+  hit rate ("Optimal" in Figures 3 and 12).
+* :mod:`repro.baselines.no_cache` — everything served from CPU-DRAM, the
+  configuration the paper reports as >5x slower than caching.
+"""
+
+from .per_table_cache import PerTableCacheLayer, PerTableConfig
+from .optimal_cache import frequency_optimal_hit_rate, belady_hit_rate
+from .no_cache import NoCacheLayer
+from .reduction_cache import ReductionCache, co_occurrence_workload
+from .persistent_kernel import (
+    PersistentKernelConfig,
+    degraded_platform,
+    query_service_time,
+)
+
+__all__ = [
+    "PerTableCacheLayer",
+    "PerTableConfig",
+    "frequency_optimal_hit_rate",
+    "belady_hit_rate",
+    "NoCacheLayer",
+    "ReductionCache",
+    "co_occurrence_workload",
+    "PersistentKernelConfig",
+    "degraded_platform",
+    "query_service_time",
+]

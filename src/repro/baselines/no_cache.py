@@ -1,0 +1,60 @@
+"""The no-caching reference: every lookup served by CPU-DRAM.
+
+The paper omits this configuration from its figures because GPU caching is
+already "more than 5x" faster (§2.1, §6.1); the class exists so the claim
+can be verified and so examples can show the baseline-of-baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..gpusim.executor import Executor
+from ..gpusim.stats import Category
+from ..hardware import HardwareSpec
+from ..tables.store import EmbeddingStore
+from ..workloads.trace import TraceBatch
+from ..core.cache_base import CacheQueryResult, EmbeddingCacheScheme
+
+
+class NoCacheLayer(EmbeddingCacheScheme):
+    """Embedding layer with no GPU cache at all."""
+
+    name = "no-cache"
+
+    def __init__(self, store: EmbeddingStore, hw: HardwareSpec):
+        self.store = store
+        self.hw = hw
+
+    def memory_usage(self) -> Dict[str, int]:
+        return {}
+
+    def query(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
+        if batch.num_tables != self.store.num_tables:
+            raise ConfigError("batch table count does not match the store")
+        outputs: List[np.ndarray] = []
+        misses = 0
+        stream = executor.stream("h2d")
+        for t, ids in enumerate(batch.ids_per_table):
+            unique, inverse = np.unique(
+                np.asarray(ids, dtype=np.uint64), return_inverse=True
+            )
+            result = self.store.query(t, unique)
+            executor.host_work(result.cost.index_time, Category.DRAM_INDEX)
+            executor.host_work(result.cost.copy_time, Category.DRAM_COPY)
+            executor.copy(
+                result.vectors.nbytes, Category.DRAM_COPY, async_stream=stream
+            )
+            outputs.append(result.vectors[inverse])
+            misses += len(unique)
+        executor.synchronize(None)
+        return CacheQueryResult(
+            outputs=outputs,
+            hits=0,
+            misses=misses,
+            unique_keys=misses,
+            total_keys=batch.total_ids,
+        )

@@ -1,0 +1,26 @@
+"""Benchmark harness: experiment runners and report formatting.
+
+Every table and figure of the paper's evaluation has a runner here; the
+``benchmarks/`` directory wraps them in pytest-benchmark entry points, and
+the runners can also be driven directly (see ``examples/``).
+"""
+
+from .reporting import format_table, format_rate, format_time
+from .harness import (
+    ExperimentContext,
+    make_context,
+    run_scheme,
+    scheme_factory,
+    SCHEME_NAMES,
+)
+
+__all__ = [
+    "format_table",
+    "format_rate",
+    "format_time",
+    "ExperimentContext",
+    "make_context",
+    "run_scheme",
+    "scheme_factory",
+    "SCHEME_NAMES",
+]

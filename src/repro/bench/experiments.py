@@ -1,0 +1,76 @@
+"""Experiment registry: one entry per paper table/figure and study.
+
+Maps stable experiment IDs to the benchmark that regenerates them, so
+tools (the CLI's ``run`` command, docs) can address experiments without
+knowing the file layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One reproducible experiment."""
+
+    experiment_id: str
+    paper_ref: str
+    description: str
+    bench_file: str
+
+
+_ENTRIES: Tuple[ExperimentEntry, ...] = (
+    ExperimentEntry("table1", "Table 1", "hardware platform constants",
+                    "benchmarks/bench_table1_hardware.py"),
+    ExperimentEntry("table2", "Table 2", "dataset replica characteristics",
+                    "benchmarks/bench_table2_datasets.py"),
+    ExperimentEntry("fig3", "Figure 3", "HugeCTR hit-rate gap vs Optimal",
+                    "benchmarks/bench_fig03_hitrate_gap.py"),
+    ExperimentEntry("fig4", "Figure 4", "kernel maintenance vs execution",
+                    "benchmarks/bench_fig04_kernel_maintenance.py"),
+    ExperimentEntry("exp1", "Figure 9", "overall throughput improvement",
+                    "benchmarks/bench_exp01_throughput.py"),
+    ExperimentEntry("exp2", "Figure 10", "throughput vs median/P99 latency",
+                    "benchmarks/bench_exp02_latency.py"),
+    ExperimentEntry("exp3", "Figure 11", "speedup across cache sizes",
+                    "benchmarks/bench_exp03_cache_sizes.py"),
+    ExperimentEntry("exp4", "Figure 12", "flat-cache hit rates",
+                    "benchmarks/bench_exp04_flat_cache_hitrate.py"),
+    ExperimentEntry("exp5", "Figure 13", "size-aware coding AUC",
+                    "benchmarks/bench_exp05_size_aware_coding.py"),
+    ExperimentEntry("exp6", "Figure 14", "kernel fusion vs table count",
+                    "benchmarks/bench_exp06_kernel_fusion.py"),
+    ExperimentEntry("exp7", "Figure 15", "workflow optimisations",
+                    "benchmarks/bench_exp07_workflow_opts.py"),
+    ExperimentEntry("exp8", "Figure 16", "cumulative technique breakdown",
+                    "benchmarks/bench_exp08_breakdown.py"),
+    ExperimentEntry("exp9", "Figure 17", "skewness sensitivity",
+                    "benchmarks/bench_exp09_skewness.py"),
+    ExperimentEntry("exp10", "Figure 18", "embedding-dimension sensitivity",
+                    "benchmarks/bench_exp10_dimension.py"),
+    ExperimentEntry("exp11", "Figure 19", "table-count sensitivity",
+                    "benchmarks/bench_exp11_table_count.py"),
+    ExperimentEntry("exp12", "Figure 20", "MLP-depth sensitivity",
+                    "benchmarks/bench_exp12_mlp_depth.py"),
+    ExperimentEntry("serving", "§1 framing", "SLA under open-loop load",
+                    "benchmarks/bench_serving_sla.py"),
+    ExperimentEntry("models", "§6.1 discussion", "dense-part families",
+                    "benchmarks/bench_model_families.py"),
+    ExperimentEntry("analysis", "Issue 1 / planning",
+                    "MRC validation + hotspot gap",
+                    "benchmarks/bench_analysis_capacity.py"),
+    ExperimentEntry("ablations", "design choices",
+                    "admission/watermarks/tuner/copies/alternatives/scaling",
+                    "benchmarks/bench_ablation_admission.py"),
+)
+
+
+def registry() -> Dict[str, ExperimentEntry]:
+    """Experiment ID -> entry."""
+    return {entry.experiment_id: entry for entry in _ENTRIES}
+
+
+def all_experiments() -> List[ExperimentEntry]:
+    return list(_ENTRIES)

@@ -1,0 +1,169 @@
+"""Shared machinery for running the paper's experiments.
+
+An :class:`ExperimentContext` bundles a dataset replica, its trace, the
+host store, and the platform spec; :func:`run_scheme` replays the trace
+through a cache scheme and returns the engine's result.  Benchmarks use
+these so every figure is produced by the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..baselines.no_cache import NoCacheLayer
+from ..baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
+from ..core.config import FlecheConfig
+from ..core.engine import InferenceEngine, InferenceResult
+from ..core.workflow import FlecheEmbeddingLayer
+from ..gpusim.executor import Executor
+from ..hardware import HardwareSpec, default_platform
+from ..model.dcn import DeepCrossNetwork
+from ..tables.store import EmbeddingStore
+from ..workloads.datasets import DATASET_REPLICAS, PAPER_DEFAULT_RATIO
+from ..workloads.spec import DatasetSpec
+from ..workloads.synthetic import synthetic_dataset
+from ..workloads.trace import Trace
+
+#: Replica scale used by benchmarks: full ladder, laptop-sized corpora.
+BENCH_SCALE = 1.0
+
+#: Scheme names accepted by :func:`scheme_factory`.
+SCHEME_NAMES = ("hugectr", "fleche", "fleche-noui", "no-cache")
+
+
+@dataclass
+class ExperimentContext:
+    """Everything one experiment run needs."""
+
+    dataset: DatasetSpec
+    trace: Trace
+    store: EmbeddingStore
+    hw: HardwareSpec
+    cache_ratio: float
+    warmup: int
+
+    @property
+    def measured_batches(self) -> List:
+        return list(self.trace)[self.warmup:]
+
+
+def make_context(
+    dataset_name: str = "avazu",
+    batch_size: int = 4096,
+    num_batches: int = 24,
+    cache_ratio: Optional[float] = None,
+    scale: float = BENCH_SCALE,
+    hw: Optional[HardwareSpec] = None,
+    warmup: Optional[int] = None,
+    dataset: Optional[DatasetSpec] = None,
+) -> ExperimentContext:
+    """Build a context for one of the paper's dataset replicas.
+
+    Args:
+        dataset_name: one of ``avazu``, ``criteo-kaggle``, ``criteo-tb``
+            (ignored when ``dataset`` is given).
+        batch_size: inference batch size.
+        num_batches: total batches generated (warmup + measurement).
+        cache_ratio: cache size as a fraction of all parameters; defaults
+            to the paper's per-dataset default (5% / 5% / 0.5%).
+        scale: replica corpus scale factor.
+        hw: platform spec (defaults to the paper's testbed).
+        warmup: warm-up batches (default: half the trace).
+        dataset: pre-built dataset spec overriding the named replica.
+    """
+    hw = hw or default_platform()
+    if dataset is None:
+        dataset = DATASET_REPLICAS[dataset_name](scale=scale)
+    if cache_ratio is None:
+        cache_ratio = PAPER_DEFAULT_RATIO.get(dataset.name, 0.05)
+    trace = synthetic_dataset(dataset, num_batches=num_batches, batch_size=batch_size)
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    return ExperimentContext(
+        dataset=dataset,
+        trace=trace,
+        store=store,
+        hw=hw,
+        cache_ratio=cache_ratio,
+        warmup=warmup if warmup is not None else num_batches // 2,
+    )
+
+
+def scheme_factory(
+    name: str, context: ExperimentContext, **config_overrides
+) -> Callable[[], object]:
+    """Return a zero-arg constructor for the named cache scheme."""
+    if name not in SCHEME_NAMES:
+        raise ValueError(f"unknown scheme {name!r}; pick from {SCHEME_NAMES}")
+    hw, store, ratio = context.hw, context.store, context.cache_ratio
+
+    def build():
+        if name == "hugectr":
+            return PerTableCacheLayer(store, PerTableConfig(cache_ratio=ratio), hw)
+        if name == "fleche":
+            cfg = FlecheConfig(cache_ratio=ratio, **config_overrides)
+            return FlecheEmbeddingLayer(store, cfg, hw)
+        if name == "fleche-noui":
+            cfg = FlecheConfig(
+                cache_ratio=ratio, use_unified_index=False, **config_overrides
+            )
+            return FlecheEmbeddingLayer(store, cfg, hw)
+        if name == "no-cache":
+            return NoCacheLayer(store, hw)
+        raise ValueError(f"unknown scheme {name!r}; pick from {SCHEME_NAMES}")
+
+    return build
+
+
+def run_scheme(
+    context: ExperimentContext,
+    scheme_name: str,
+    include_dense: bool = False,
+    model: Optional[DeepCrossNetwork] = None,
+    pin_unified: bool = False,
+    **config_overrides,
+) -> InferenceResult:
+    """Replay the context's trace through one scheme; warm-up untimed.
+
+    ``pin_unified`` disables the capacity auto-tuner and pins the unified
+    index at its configured maximum — the steady state the paper's
+    sensitivity experiments operate in.
+    """
+    scheme = scheme_factory(scheme_name, context, **config_overrides)()
+    if pin_unified and isinstance(scheme, FlecheEmbeddingLayer):
+        if scheme.tuner is not None:
+            fraction = scheme.config.unified_index_fraction
+            scheme.tuner = None
+            scheme.cache.set_unified_capacity(
+                int(scheme.cache.capacity_slots * fraction)
+            )
+    if include_dense and model is None:
+        model = DeepCrossNetwork(
+            num_tables=context.dataset.num_tables,
+            embedding_dim=context.dataset.dim,
+        )
+    engine = InferenceEngine(
+        scheme,
+        context.hw,
+        model=model,
+        include_dense=include_dense,
+    )
+    executor = Executor(context.hw)
+    return engine.run(list(context.trace), executor, warmup=context.warmup)
+
+
+def sweep(
+    context_factory: Callable[[object], ExperimentContext],
+    points: Iterable[object],
+    scheme_names: Iterable[str],
+    **run_kwargs,
+) -> Dict[object, Dict[str, InferenceResult]]:
+    """Run a parameter sweep: one context per point, all schemes on each."""
+    results: Dict[object, Dict[str, InferenceResult]] = {}
+    for point in points:
+        context = context_factory(point)
+        results[point] = {
+            name: run_scheme(context, name, **run_kwargs)
+            for name in scheme_names
+        }
+    return results

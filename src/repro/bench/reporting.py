@@ -1,0 +1,70 @@
+"""Plain-text report formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+#: Where :func:`emit` persists benchmark reports (overridable via env).
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration with an appropriate unit."""
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_rate(per_second: float) -> str:
+    """Human-readable rate (inferences/sec, keys/sec, ...)."""
+    if per_second >= 1e9:
+        return f"{per_second / 1e9:.2f} G/s"
+    if per_second >= 1e6:
+        return f"{per_second / 1e6:.2f} M/s"
+    if per_second >= 1e3:
+        return f"{per_second / 1e3:.2f} K/s"
+    return f"{per_second:.1f} /s"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([str(c) for c in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt_row(row: List[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells[1:])
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str) -> str:
+    """Print a benchmark report and persist it under ``RESULTS_DIR``.
+
+    Returns the path written, for logging.
+    """
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    return path

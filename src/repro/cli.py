@@ -1,0 +1,289 @@
+"""Command-line interface: run experiments without pytest.
+
+Usage::
+
+    python -m repro list
+    python -m repro hitrate --dataset avazu --ratio 0.05
+    python -m repro throughput --dataset criteo-kaggle --batch 2048
+    python -m repro fusion --tables 60
+    python -m repro coding --bits 10
+    python -m repro trace --out batch.trace.json
+
+Each subcommand runs a focused experiment on the simulated platform and
+prints a paper-style table; ``trace`` additionally exports a Chrome-trace
+JSON of one batch's timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import (
+    Executor,
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+    PerTableCacheLayer,
+    PerTableConfig,
+    default_platform,
+    frequency_optimal_hit_rate,
+)
+from .bench.harness import make_context, run_scheme
+from .bench.reporting import format_rate, format_table, format_time
+from .core.cache_base import HitRateAccumulator
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        ["hitrate", "Optimal / HugeCTR / Fleche hit rates (Figs 3, 12)"],
+        ["throughput", "embedding throughput HugeCTR vs Fleche (Fig 9)"],
+        ["fusion", "cache-query latency vs table count (Figs 4, 14)"],
+        ["coding", "AUC of fixed-length vs size-aware coding (Fig 13)"],
+        ["trace", "export one batch's simulated timeline (Chrome trace)"],
+        ["run", "run a registered paper experiment via pytest-benchmark"],
+    ]
+    print(format_table(["command", "what it runs"], rows,
+                       title="repro quick experiments"))
+    from .bench.experiments import all_experiments
+
+    print()
+    print(format_table(
+        ["id", "paper ref", "regenerates"],
+        [[e.experiment_id, e.paper_ref, e.description]
+         for e in all_experiments()],
+        title="registered experiments (use: python -m repro run <id>)",
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import subprocess
+
+    from .bench.experiments import registry
+
+    entries = registry()
+    entry = entries.get(args.experiment)
+    if entry is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(sorted(entries))}")
+        return 2
+    command = [
+        sys.executable, "-m", "pytest", entry.bench_file,
+        "--benchmark-only", "-q",
+    ]
+    print(f"running {entry.paper_ref}: {entry.description}")
+    return subprocess.call(command)
+
+
+def _cmd_hitrate(args) -> int:
+    hw = default_platform()
+    context = make_context(
+        args.dataset, batch_size=args.batch, num_batches=args.batches,
+        cache_ratio=args.ratio, scale=args.scale, hw=hw,
+    )
+    rows = []
+    _, measure = context.trace.split(context.warmup)
+    capacity = max(1, int(context.dataset.total_sparse_ids * args.ratio))
+    rows.append(["Optimal",
+                 f"{frequency_optimal_hit_rate(measure, capacity):.1%}"])
+    for name in ("hugectr", "fleche-noui"):
+        from .bench.harness import scheme_factory
+
+        layer = scheme_factory(name, context)()
+        executor = Executor(hw)
+        acc = HitRateAccumulator()
+        batches = list(context.trace)
+        for batch in batches[:context.warmup]:
+            layer.query(batch, executor)
+        for batch in batches[context.warmup:]:
+            acc.record(layer.query(batch, executor))
+        label = "HugeCTR" if name == "hugectr" else "Fleche"
+        rows.append([label, f"{acc.hit_rate:.1%}"])
+    print(format_table(
+        ["scheme", "hit rate"], rows,
+        title=(f"Hit rates on {args.dataset} "
+               f"(cache {args.ratio:.1%}, batch {args.batch})"),
+    ))
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    hw = default_platform()
+    context = make_context(
+        args.dataset, batch_size=args.batch, num_batches=args.batches,
+        cache_ratio=args.ratio, scale=args.scale, hw=hw,
+    )
+    rows = []
+    results = {}
+    for name in ("hugectr", "fleche"):
+        result = run_scheme(context, name, include_dense=args.end_to_end)
+        results[name] = result
+        rows.append([
+            "HugeCTR" if name == "hugectr" else "Fleche",
+            format_rate(result.throughput),
+            format_time(result.median_latency),
+            f"{result.hit_rate:.1%}",
+        ])
+    speedup = results["fleche"].throughput / results["hugectr"].throughput
+    print(format_table(
+        ["scheme", "throughput", "median latency", "hit rate"], rows,
+        title=(f"{'End-to-end' if args.end_to_end else 'Embedding-layer'} "
+               f"throughput on {args.dataset}, batch {args.batch} "
+               f"(Fleche speedup x{speedup:.2f})"),
+    ))
+    return 0
+
+
+def _cmd_fusion(args) -> int:
+    import numpy as np
+
+    from .tables.store import EmbeddingStore
+    from .workloads.synthetic import synthetic_dataset, uniform_tables_spec
+
+    hw = default_platform()
+    rows = []
+    for n in sorted({1, args.tables // 4 or 1, args.tables // 2 or 1,
+                     args.tables}):
+        spec = uniform_tables_spec(
+            num_tables=n, corpus_size=max(1000, 250_000 // n), dim=32,
+        )
+        per_table = max(1, args.keys // n)
+        trace = synthetic_dataset(spec, num_batches=6, batch_size=per_table)
+        store = EmbeddingStore(spec.table_specs(), hw)
+        times = {}
+        for name in ("hugectr", "fleche"):
+            if name == "fleche":
+                layer = FlecheEmbeddingLayer(
+                    store,
+                    FlecheConfig(cache_ratio=0.1, use_unified_index=False),
+                    hw,
+                )
+            else:
+                layer = PerTableCacheLayer(
+                    store, PerTableConfig(cache_ratio=0.1), hw
+                )
+            executor = Executor(hw)
+            for b in list(trace)[:3]:
+                layer.query(b, executor)
+            executor.reset()
+            for b in list(trace)[3:]:
+                layer.query(b, executor)
+            executor.drain()
+            stats = executor.stats
+            times[name] = (stats.maintenance_time
+                           + stats.cache_query_time) / 3
+        rows.append([n, format_time(times["hugectr"]),
+                     format_time(times["fleche"])])
+    print(format_table(
+        ["# tables", "HugeCTR", "Fleche"], rows,
+        title=f"Cache-query latency, {args.keys} keys total (Fig 14)",
+    ))
+    return 0
+
+
+def _cmd_coding(args) -> int:
+    from .coding.fixed_length import FixedLengthCodec
+    from .coding.size_aware import SizeAwareCodec
+    from .model.trainer import CollisionAucStudy, SyntheticCtrTask
+
+    corpora = [64, 512, 4096]
+    task = SyntheticCtrTask(
+        corpus_sizes=corpora, num_train=12_000, num_test=3_000,
+        alpha=-0.8, seed=5,
+    )
+    study = CollisionAucStudy(task, epochs=4)
+    rows = [
+        ["Kraken (fixed-length)",
+         f"{study.auc_with_codec(FixedLengthCodec(corpora, key_bits=args.bits, table_bits=2)):.4f}"],
+        ["Fleche (size-aware)",
+         f"{study.auc_with_codec(SizeAwareCodec(corpora, key_bits=args.bits)):.4f}"],
+        ["upper bound", f"{study.upper_bound_auc():.4f}"],
+    ]
+    print(format_table(
+        ["codec", "AUC"], rows,
+        title=f"Model quality at {args.bits}-bit flat keys (Fig 13)",
+    ))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .gpusim.tracing import TraceRecorder
+
+    hw = default_platform()
+    context = make_context(
+        args.dataset, batch_size=args.batch, num_batches=4,
+        scale=args.scale, hw=hw, warmup=3,
+    )
+    layer = FlecheEmbeddingLayer(
+        context.store, FlecheConfig(cache_ratio=context.cache_ratio), hw
+    )
+    executor = Executor(hw)
+    batches = list(context.trace)
+    for batch in batches[:3]:
+        layer.query(batch, executor)
+    recorder = TraceRecorder.attach(executor)
+    layer.query(batches[3], executor)
+    path = recorder.export_json(args.out)
+    print(f"wrote {len(recorder.spans)} spans on "
+          f"{len(recorder.tracks())} tracks to {path}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fleche reproduction: run paper experiments from the CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    def common(p):
+        p.add_argument("--dataset", default="avazu",
+                       choices=("avazu", "criteo-kaggle", "criteo-tb"))
+        p.add_argument("--batch", type=int, default=1024)
+        p.add_argument("--batches", type=int, default=16)
+        p.add_argument("--ratio", type=float, default=0.05)
+        p.add_argument("--scale", type=float, default=0.2)
+
+    p = sub.add_parser("hitrate", help="hit rates (Figs 3, 12)")
+    common(p)
+    p = sub.add_parser("throughput", help="throughput (Fig 9)")
+    common(p)
+    p.add_argument("--end-to-end", action="store_true")
+    p = sub.add_parser("fusion", help="latency vs table count (Fig 14)")
+    p.add_argument("--tables", type=int, default=60)
+    p.add_argument("--keys", type=int, default=10_000)
+    p = sub.add_parser("coding", help="coding AUC (Fig 13)")
+    p.add_argument("--bits", type=int, default=10)
+    p = sub.add_parser("trace", help="export one batch's timeline")
+    p.add_argument("--dataset", default="avazu",
+                   choices=("avazu", "criteo-kaggle", "criteo-tb"))
+    p.add_argument("--batch", type=int, default=512)
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--out", default="fleche.trace.json")
+    p = sub.add_parser("run", help="run a registered paper experiment")
+    p.add_argument("experiment", help="experiment id (see `repro list`)")
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "hitrate": _cmd_hitrate,
+    "throughput": _cmd_throughput,
+    "fusion": _cmd_fusion,
+    "coding": _cmd_coding,
+    "trace": _cmd_trace,
+    "run": _cmd_run,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

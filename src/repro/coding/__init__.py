@@ -1,0 +1,31 @@
+"""Flat-key coding: re-encoding (table, feature ID) pairs into unified keys.
+
+Fleche's flat cache shares one backend across all embedding tables, which
+requires every (table, feature ID) pair to map into a single key space
+(paper §3.1, Figure 5b).  Two codecs are provided:
+
+* :class:`~repro.coding.fixed_length.FixedLengthCodec` — the Kraken-style
+  baseline: a constant number of high bits for the table ID, the rest for
+  the (hashed) feature ID.
+* :class:`~repro.coding.size_aware.SizeAwareCodec` — Fleche's
+  variable-length prefix code: smaller tables get longer table-ID prefixes,
+  leaving large tables more feature bits and thus fewer collisions.
+
+:mod:`repro.coding.collision` measures intra-table collision rates, which
+the AUC study (Experiment #5) converts into model-quality impact.
+"""
+
+from .layout import CodecLayout, TableCode, FlatKeyCodec
+from .fixed_length import FixedLengthCodec
+from .size_aware import SizeAwareCodec
+from .collision import collision_stats, CollisionStats
+
+__all__ = [
+    "CodecLayout",
+    "TableCode",
+    "FlatKeyCodec",
+    "FixedLengthCodec",
+    "SizeAwareCodec",
+    "collision_stats",
+    "CollisionStats",
+]

@@ -1,0 +1,53 @@
+"""Fixed-length flat-key coding (the Kraken baseline).
+
+Kraken reserves a constant number of high bits for the table ID regardless
+of corpus size, and hashes the feature ID into the remaining bits (paper
+§3.1).  Small tables then waste key space while billion-row tables suffer
+violent hash collisions — the weakness Experiment #5 measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..errors import CodingError
+from .layout import CodecLayout, FlatKeyCodec, TableCode
+
+
+class FixedLengthCodec(FlatKeyCodec):
+    """Constant-width table-ID prefix, hashed feature suffix."""
+
+    def __init__(
+        self,
+        corpus_sizes: Sequence[int],
+        key_bits: int = 32,
+        table_bits: Optional[int] = None,
+    ):
+        if table_bits is None:
+            table_bits = max(1, math.ceil(math.log2(max(len(corpus_sizes), 2))))
+        if table_bits >= key_bits:
+            raise CodingError(
+                f"table_bits ({table_bits}) must be smaller than key_bits "
+                f"({key_bits})"
+            )
+        if len(corpus_sizes) > (1 << table_bits):
+            raise CodingError(
+                f"{len(corpus_sizes)} tables do not fit in {table_bits} table bits"
+            )
+        self.table_bits = table_bits
+        super().__init__(corpus_sizes, key_bits)
+
+    def build_layout(self) -> CodecLayout:
+        feature_bits = self.key_bits - self.table_bits
+        codes = tuple(
+            TableCode(
+                table_id=i,
+                prefix=i,
+                prefix_bits=self.table_bits,
+                feature_bits=feature_bits,
+                corpus_size=size,
+            )
+            for i, size in enumerate(self.corpus_sizes)
+        )
+        return CodecLayout(key_bits=self.key_bits, codes=codes)

@@ -1,0 +1,143 @@
+"""Size-aware flat-key coding (Fleche, paper §3.1 / Figure 5b).
+
+The codec builds a *variable-length prefix code* over table IDs:
+
+1. Each table's desired prefix length is the longest one whose remaining
+   feature bits still accommodate the table's corpus exactly
+   (``key_bits - ceil(log2(corpus))``) — smaller tables therefore get
+   longer prefixes, squeezing more feature bits out for large tables.
+2. Feasibility is the Kraft inequality ``sum(2^-len) <= 1``.  When the
+   desired lengths overshoot it, prefixes are lengthened greedily, always
+   taking a bit from the table that can best afford it (the one whose
+   post-shrink load factor ``corpus / 2^feature_bits`` stays lowest) —
+   this is the paper's "reserve several bits and allocate them in
+   proportion to the corpus sizes" rule, which may introduce intra-table
+   collisions but never inter-table ones.
+3. Prefix values are assigned canonically (sorted by length), which
+   guarantees the prefix-free property: once a table ID is assigned, no
+   other code may extend it (paper: "the future use of all bits prefixed
+   by it should be prohibited").
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import List, Sequence
+
+from ..errors import CodingError
+from .layout import CodecLayout, FlatKeyCodec, TableCode
+
+#: Longest prefix we ever assign; beyond this the space savings are noise.
+_MAX_PREFIX_BITS = 56
+
+
+class SizeAwareCodec(FlatKeyCodec):
+    """Variable-length, corpus-size-aware prefix code for flat keys."""
+
+    def build_layout(self) -> CodecLayout:
+        n = self.num_tables
+        if n == 1:
+            # One table needs no discrimination bits at all.
+            return CodecLayout(
+                key_bits=self.key_bits,
+                codes=(
+                    TableCode(
+                        table_id=0,
+                        prefix=0,
+                        prefix_bits=0,
+                        feature_bits=self.key_bits,
+                        corpus_size=self.corpus_sizes[0],
+                    ),
+                ),
+            )
+
+        lengths = self._desired_lengths()
+        self._enforce_kraft(lengths)
+        prefixes = self._assign_canonical(lengths)
+        codes = tuple(
+            TableCode(
+                table_id=i,
+                prefix=prefixes[i],
+                prefix_bits=lengths[i],
+                feature_bits=self.key_bits - lengths[i],
+                corpus_size=self.corpus_sizes[i],
+            )
+            for i in range(n)
+        )
+        return CodecLayout(key_bits=self.key_bits, codes=codes)
+
+    # ------------------------------------------------------------------ steps
+
+    def _desired_lengths(self) -> List[int]:
+        """Longest prefix per table leaving exact room for its corpus."""
+        lengths = []
+        cap = min(_MAX_PREFIX_BITS, self.key_bits - 1)
+        for size in self.corpus_sizes:
+            needed_feature_bits = max(1, math.ceil(math.log2(max(size, 2))))
+            desired = self.key_bits - needed_feature_bits
+            lengths.append(max(1, min(cap, desired)))
+        return lengths
+
+    @staticmethod
+    def _expected_collisions(corpus: int, feature_bits: int) -> float:
+        """Expected number of IDs losing their identity to hash collisions.
+
+        Exact when the corpus fits (zero — the codec then uses the identity
+        mapping); otherwise the classic balls-into-bins estimate
+        ``c - s * (1 - exp(-c / s))`` for ``c`` IDs hashed into ``s`` slots.
+        """
+        slots = 2.0 ** min(feature_bits, 62)
+        if corpus <= slots:
+            return 0.0
+        return corpus - slots * (1.0 - math.exp(-corpus / slots))
+
+    def _enforce_kraft(self, lengths: List[int]) -> None:
+        """Lengthen prefixes in place until ``sum(2^-len) <= 1``.
+
+        Each step takes one feature bit from the table where the loss adds
+        the smallest expected *collided fraction* — every table serves one
+        lookup per sample, so a table's total access mass is comparable to
+        any other's, and collision damage is proportional to the fraction
+        of its IDs that lose identity.  Large tables therefore absorb the
+        squeeze: key space ends up allocated in proportion to corpus
+        sizes, as the paper prescribes.
+        """
+        def kraft() -> Fraction:
+            return sum(Fraction(1, 2 ** l) for l in lengths)
+
+        while kraft() > 1:
+            best = -1
+            best_delta = None
+            for i, length in enumerate(lengths):
+                if length >= min(_MAX_PREFIX_BITS, self.key_bits - 1):
+                    continue
+                feature_bits = self.key_bits - length
+                corpus = self.corpus_sizes[i]
+                delta = (
+                    self._expected_collisions(corpus, feature_bits - 1)
+                    - self._expected_collisions(corpus, feature_bits)
+                ) / corpus
+                if best_delta is None or delta < best_delta:
+                    best, best_delta = i, delta
+            if best < 0:
+                raise CodingError(
+                    f"cannot build a prefix-free code for {len(lengths)} tables "
+                    f"in {self.key_bits}-bit keys"
+                )
+            lengths[best] += 1
+
+    @staticmethod
+    def _assign_canonical(lengths: Sequence[int]) -> List[int]:
+        """Canonical prefix-value assignment (shortest codes first)."""
+        order = sorted(range(len(lengths)), key=lambda i: (lengths[i], i))
+        prefixes = [0] * len(lengths)
+        code = 0
+        prev_len = lengths[order[0]]
+        for rank, table in enumerate(order):
+            length = lengths[table]
+            if rank:
+                code = (code + 1) << (length - prev_len)
+            prefixes[table] = code
+            prev_len = length
+        return prefixes

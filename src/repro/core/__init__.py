@@ -1,0 +1,37 @@
+"""Fleche: the paper's primary contribution.
+
+* :mod:`repro.core.flat_cache` — the flat cache (FC) data structure: one
+  global slab-hash backend + slab memory pool shared by all tables.
+* :mod:`repro.core.fusion` — self-identified kernel fusion.
+* :mod:`repro.core.workflow` — the query pipeline: deduplication, fused
+  indexing, decoupled copying, overlapped DRAM query, unified index.
+* :mod:`repro.core.engine` — end-to-end inference engine (embedding +
+  pooling + dense part) with simulated timing.
+"""
+
+from .config import FlecheConfig
+from .cache_base import CacheQueryResult, EmbeddingCacheScheme
+from .flat_cache import FlatCache
+from .fusion import FusionPlan, build_fusion_plan, identify_thread
+from .workflow import FlecheEmbeddingLayer
+from .engine import InferenceEngine, InferenceResult
+from .snapshot import CacheSnapshot, snapshot, restore
+from .updates import UpdateApplier, UpdateOutcome
+
+__all__ = [
+    "FlecheConfig",
+    "CacheQueryResult",
+    "EmbeddingCacheScheme",
+    "FlatCache",
+    "FusionPlan",
+    "build_fusion_plan",
+    "identify_thread",
+    "FlecheEmbeddingLayer",
+    "InferenceEngine",
+    "InferenceResult",
+    "CacheSnapshot",
+    "snapshot",
+    "restore",
+    "UpdateApplier",
+    "UpdateOutcome",
+]

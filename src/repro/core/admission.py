@@ -1,0 +1,35 @@
+"""Probability-based admission filter (paper §3.1).
+
+To reduce the flat cache's swap-in/swap-out overhead for rarely occurring
+IDs, each missing embedding is admitted with probability ``p``; in
+expectation, features seen fewer than ``1/p`` times bypass the cache
+(the trick of McMahan et al., KDD'13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class AdmissionFilter:
+    """Bernoulli admission filter over missing keys."""
+
+    def __init__(self, probability: float = 1.0, seed: int = 0):
+        if not 0.0 < probability <= 1.0:
+            raise ConfigError("admission probability must be in (0, 1]")
+        self.probability = probability
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def bypass_threshold(self) -> float:
+        """Expected occurrence count below which an ID bypasses the cache."""
+        return 1.0 / self.probability
+
+    def admit(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean mask of keys admitted to the cache."""
+        n = len(keys)
+        if self.probability >= 1.0:
+            return np.ones(n, dtype=bool)
+        return self._rng.random(n) < self.probability

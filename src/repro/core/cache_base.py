@@ -1,0 +1,89 @@
+"""Shared interface and result types for embedding cache schemes.
+
+Both the HugeCTR-style per-table baseline and Fleche implement
+:class:`EmbeddingCacheScheme`: given one :class:`~repro.workloads.trace.TraceBatch`
+and an :class:`~repro.gpusim.Executor`, produce the per-table output
+matrices and drive the simulated timeline through the query.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..gpusim.executor import Executor
+from ..workloads.trace import TraceBatch
+
+
+@dataclass
+class CacheQueryResult:
+    """Outcome of one batched embedding-layer query.
+
+    Attributes:
+        outputs: per-table output matrices ``O_i`` with shape
+            ``len(ID_List_i) x d_i`` (the paper's notation, §2.2).
+        hits: cache hits among *deduplicated* keys.
+        misses: cache misses among deduplicated keys.
+        unified_hits: misses whose DRAM location was resolved by the GPU
+            unified index (bypassing host indexing, §3.3).
+        unique_keys: deduplicated key count of the batch.
+        total_keys: raw key count of the batch.
+    """
+
+    outputs: List[np.ndarray]
+    hits: int = 0
+    misses: int = 0
+    unified_hits: int = 0
+    unique_keys: int = 0
+    total_keys: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate over deduplicated keys (the paper's cache hit rate)."""
+        denominator = self.hits + self.misses
+        return self.hits / denominator if denominator else 0.0
+
+
+@dataclass
+class HitRateAccumulator:
+    """Aggregates hit statistics across many batches."""
+
+    hits: int = 0
+    misses: int = 0
+    unified_hits: int = 0
+    per_batch: List[float] = field(default_factory=list)
+
+    def record(self, result: CacheQueryResult) -> None:
+        self.hits += result.hits
+        self.misses += result.misses
+        self.unified_hits += result.unified_hits
+        self.per_batch.append(result.hit_rate)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class EmbeddingCacheScheme(abc.ABC):
+    """A GPU-resident embedding cache scheme under test."""
+
+    #: Human-readable scheme name used by the benchmark reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def query(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
+        """Serve one batch, advancing ``executor``'s simulated timeline."""
+
+    @abc.abstractmethod
+    def memory_usage(self) -> Dict[str, int]:
+        """HBM bytes consumed, keyed by component (pool, index, ...)."""
+
+    def warm(self, batches, executor: Executor) -> None:
+        """Replay ``batches`` to warm the cache (timings discarded)."""
+        for batch in batches:
+            self.query(batch, executor)
+        executor.reset()

@@ -1,0 +1,84 @@
+"""Deduplicating and restoring (paper §4).
+
+Batches carry many duplicate IDs across samples; Fleche deduplicates all
+flat keys before querying and restores the full output matrix afterwards.
+Deduplication also guarantees at most one outstanding GPU-side writer per
+key, which is what lets the per-slot timestamp double as a concurrency
+version (§3.1).
+
+The real work happens in numpy; :func:`dedup_kernel_spec` and
+:func:`restore_kernel_spec` describe the equivalent device kernels (a
+radix-sort-based unique and a gather) so the workflow can charge their
+time to the "Other" category the paper's Figure 16 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.kernel import KernelSpec, coalesced_bytes
+
+
+@dataclass(frozen=True)
+class DedupResult:
+    """Deduplicated view of a key batch."""
+
+    unique_keys: np.ndarray
+    #: index into ``unique_keys`` for every original position.
+    inverse: np.ndarray
+
+    @property
+    def duplication_factor(self) -> float:
+        if len(self.unique_keys) == 0:
+            return 1.0
+        return len(self.inverse) / len(self.unique_keys)
+
+
+def deduplicate(keys: np.ndarray) -> DedupResult:
+    """Collapse duplicate keys, remembering how to restore the batch."""
+    unique, inverse = np.unique(np.asarray(keys, dtype=np.uint64),
+                                return_inverse=True)
+    return DedupResult(unique_keys=unique, inverse=inverse.astype(np.int64))
+
+
+def restore(unique_rows: np.ndarray, inverse: np.ndarray) -> np.ndarray:
+    """Expand per-unique-key rows back to the full batch order."""
+    return unique_rows[inverse]
+
+
+def dedup_kernel_spec(num_keys: int) -> KernelSpec:
+    """Device cost of deduplicating ``num_keys`` (radix sort + compaction).
+
+    A radix sort makes a small constant number of full passes over the key
+    array; we count 4 passes of read+write over 8-byte keys.
+    """
+    passes = 4
+    bytes_moved = passes * 2 * 8 * num_keys
+    return KernelSpec(
+        name="dedup",
+        threads=max(num_keys, 1),
+        stream_bytes=bytes_moved,
+    )
+
+
+def restore_kernel_spec(
+    num_rows: int,
+    dim: int,
+    unique_rows: int = None,
+    transaction_bytes: int = 128,
+) -> KernelSpec:
+    """Device cost of scattering unique rows back to the full output.
+
+    Reads the deduplicated row matrix once and writes the full output
+    matrix (``num_rows`` rows, duplicates included).
+    """
+    row_bytes = coalesced_bytes(dim * 4, transaction_bytes)
+    if unique_rows is None:
+        unique_rows = num_rows
+    return KernelSpec(
+        name="restore",
+        threads=max(num_rows, 1) * min(dim, 32),
+        stream_bytes=row_bytes * (num_rows + unique_rows),
+    )

@@ -1,0 +1,150 @@
+"""End-to-end inference engine: embedding layer + pooling + dense part.
+
+One inference step (paper Figure 1):
+
+1. the embedding cache scheme serves all sparse lookups (simulated timing
+   through the executor);
+2. pooled embedding vectors and dense features are concatenated;
+3. the DCN's cross and MLP kernels run on the GPU (FLOP-roofline timing,
+   one launch per layer);
+4. the batch's click probabilities come back.
+
+The engine works with *any* :class:`~repro.core.cache_base.EmbeddingCacheScheme`
+— Fleche, the per-table baseline, or no cache — which is how every
+end-to-end figure of the paper is generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..gpusim.executor import Executor
+from ..gpusim.stats import Category, TimeBreakdown
+from ..hardware import HardwareSpec
+from ..model.dcn import DeepCrossNetwork
+from ..model.pooling import sum_pool
+from ..workloads.trace import TraceBatch
+from .cache_base import CacheQueryResult, EmbeddingCacheScheme
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of one engine run over a sequence of batches."""
+
+    #: total simulated wall-clock of the measured window (seconds).
+    elapsed: float
+    #: per-batch simulated latencies (seconds).
+    latencies: List[float] = field(default_factory=list)
+    #: per-batch embedding-layer latencies (seconds).
+    embedding_latencies: List[float] = field(default_factory=list)
+    samples: int = 0
+    hits: int = 0
+    misses: int = 0
+    unified_hits: int = 0
+    breakdown: Optional[TimeBreakdown] = None
+    #: final batch's click probabilities (for correctness checks).
+    last_probabilities: Optional[np.ndarray] = None
+
+    @property
+    def throughput(self) -> float:
+        """Inferences per second over the measured window."""
+        return self.samples / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile in seconds (q in [0, 100])."""
+        return float(np.percentile(self.latencies, q)) if self.latencies else 0.0
+
+    @property
+    def median_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+
+class InferenceEngine:
+    """Drives a cache scheme plus a dense model over traces."""
+
+    def __init__(
+        self,
+        scheme: EmbeddingCacheScheme,
+        hw: HardwareSpec,
+        model: Optional[DeepCrossNetwork] = None,
+        ids_per_field: int = 1,
+        include_dense: bool = True,
+    ):
+        self.scheme = scheme
+        self.hw = hw
+        self.model = model
+        self.ids_per_field = ids_per_field
+        self.include_dense = include_dense and model is not None
+
+    # ------------------------------------------------------------------ steps
+
+    def _run_dense(
+        self,
+        batch: TraceBatch,
+        query: CacheQueryResult,
+        executor: Executor,
+    ) -> np.ndarray:
+        """Pool, concatenate, and run the dense part (timed per kernel)."""
+        pooled = [
+            sum_pool(output, self.ids_per_field) for output in query.outputs
+        ]
+        x = self.model.concat_inputs(pooled)
+        dense_stream = executor.stream("dense")
+        for spec in self.model.kernels(batch.batch_size):
+            executor.launch(spec, stream=dense_stream, category=Category.MLP)
+        executor.synchronize(dense_stream)
+        return self.model.forward(x).probabilities
+
+    def run_batch(self, batch: TraceBatch, executor: Executor) -> tuple:
+        """Run one batch; returns (query result, probabilities or None)."""
+        t0 = executor.elapsed()
+        query = self.scheme.query(batch, executor)
+        t_embed = executor.elapsed()
+        probabilities = None
+        if self.include_dense:
+            probabilities = self._run_dense(batch, query, executor)
+        t1 = executor.elapsed()
+        return query, probabilities, t_embed - t0, t1 - t0
+
+    # ------------------------------------------------------------------ runs
+
+    def run(
+        self,
+        batches: Iterable[TraceBatch],
+        executor: Executor,
+        warmup: int = 0,
+    ) -> InferenceResult:
+        """Replay ``batches``; the first ``warmup`` warm the cache untimed."""
+        batches = list(batches)
+        for batch in batches[:warmup]:
+            self.scheme.query(batch, executor)
+        executor.reset()
+
+        result = InferenceResult(elapsed=0.0)
+        for batch in batches[warmup:]:
+            query, probabilities, embed_latency, latency = self.run_batch(
+                batch, executor
+            )
+            result.latencies.append(latency)
+            result.embedding_latencies.append(embed_latency)
+            result.samples += batch.batch_size
+            result.hits += query.hits
+            result.misses += query.misses
+            result.unified_hits += query.unified_hits
+            if probabilities is not None:
+                result.last_probabilities = probabilities
+        result.elapsed = executor.drain()
+        result.breakdown = executor.stats
+        return result

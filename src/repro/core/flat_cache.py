@@ -1,0 +1,411 @@
+"""The flat cache (FC) data structure (paper §3.1, Figure 5).
+
+FC is organised as key-value separation: a slab memory pool stores all
+embeddings (one slab class per embedding dimension), and one GPU-resident
+slab-hash index maps *flat keys* to tagged pointers — either a memory-pool
+location (LSB 0) or, when the unified index is enabled, a CPU-DRAM pointer
+(LSB 1).  Each index slot carries a timestamp implementing approximate LRU
+and doubling as a version for conflict detection.
+
+Because all tables share the one backend, cache shares per table expand and
+contract elastically with the workload's global hotspot — the property that
+closes HugeCTR's hit-rate gap (Figure 12).
+
+This module is the pure data structure: every method returns the probe
+statistics and byte counts the *workflow* layer converts into simulated
+time, so the structure itself stays unit-testable without an executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..coding.size_aware import SizeAwareCodec
+from ..coding.layout import FlatKeyCodec
+from ..errors import ConfigError
+from ..hashindex.slab_hash import ProbeStats, SlabHashIndex
+from ..mempool.epoch import EpochReclaimer
+from ..mempool.slab_pool import SlabMemoryPool
+from ..tables.table_spec import TableSpec
+from .admission import AdmissionFilter
+from .config import FlecheConfig
+from .unified_index import (
+    is_dram_pointer,
+    tag_cache_location,
+    tag_dram_pointer,
+    untag,
+)
+
+
+@dataclass
+class IndexOutcome:
+    """Result of the indexing phase over one deduplicated key batch."""
+
+    #: Mask over the batch: present in the index with a cache location.
+    cache_hit: np.ndarray
+    #: Mask over the batch: present in the index with a DRAM pointer.
+    dram_hit: np.ndarray
+    #: Raw (untagged) pool locations; valid where ``cache_hit``.
+    locations: np.ndarray
+    #: Device probe statistics of the indexing kernel.
+    stats: ProbeStats
+
+    @property
+    def miss(self) -> np.ndarray:
+        """Mask of keys with no usable cached embedding (DRAM hits miss too —
+        the unified index only short-circuits host *indexing*)."""
+        return ~self.cache_hit
+
+
+class FlatCache:
+    """One global cache backend shared by all embedding tables."""
+
+    def __init__(
+        self,
+        specs: Sequence[TableSpec],
+        config: FlecheConfig,
+        codec: Optional[FlatKeyCodec] = None,
+    ):
+        if not specs:
+            raise ConfigError("flat cache needs at least one table spec")
+        self.specs = list(specs)
+        self.config = config
+        self.codec = codec or SizeAwareCodec(
+            [s.corpus_size for s in specs], key_bits=config.key_bits
+        )
+
+        # Size the pool: cache_ratio of total parameter bytes, split across
+        # dimension classes proportionally to each class's parameter share.
+        # Index metadata (24 B/slot: key + tagged pointer + timestamp) is
+        # charged against the same budget.  Unified-index pointers live in
+        # the index's load-factor headroom plus a bounded slack region; the
+        # tuner trades cached embeddings for pointers dynamically (§3.3),
+        # so the slack is not pre-charged against the pool.
+        total_bytes = sum(s.param_bytes for s in specs)
+        budget = config.cache_ratio * total_bytes
+        unified_factor = (
+            config.unified_index_fraction if config.use_unified_index else 0.0
+        )
+        index_overhead = 24.0 / config.index_load_factor
+        bytes_per_dim: Dict[int, int] = {}
+        for s in specs:
+            bytes_per_dim[s.dim] = bytes_per_dim.get(s.dim, 0) + s.param_bytes
+        class_capacities = {}
+        for dim, dim_bytes in bytes_per_dim.items():
+            share = budget * (dim_bytes / total_bytes)
+            class_capacities[dim] = max(16, int(share // (dim * 4 + index_overhead)))
+        self.pool = SlabMemoryPool(class_capacities)
+
+        total_slots = sum(class_capacities.values())
+        unified_slots = int(total_slots * unified_factor)
+        self.index = SlabHashIndex(
+            capacity=total_slots + unified_slots,
+            load_factor=config.index_load_factor,
+        )
+        self.admission = AdmissionFilter(
+            config.admission_probability, seed=config.seed
+        )
+        self.reclaimer = EpochReclaimer()
+        self._clock = 0
+        #: live unified-index entries (bounded by the tuner's capacity).
+        self.unified_entries = 0
+        self.unified_capacity = unified_slots if config.use_unified_index else 0
+        self._dim_of_table = {s.table_id: s.dim for s in specs}
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def capacity_slots(self) -> int:
+        """Total embedding slots across all slab classes."""
+        return sum(self.pool.capacity_of(d) for d in self.pool.dims())
+
+    def memory_usage(self) -> Dict[str, int]:
+        return {
+            "pool": self.pool.total_bytes,
+            "index": self.index.metadata_bytes,
+        }
+
+    def tick(self) -> int:
+        """Advance the logical clock (one tick per batch); returns stamp."""
+        self._clock += 1
+        self.reclaimer.advance()
+        freed = self.reclaimer.collect()
+        if len(freed):
+            self.pool.release(freed)
+        return self._clock
+
+    # ------------------------------------------------------------------ encode
+
+    def encode(self, table_id: int, feature_ids: np.ndarray) -> np.ndarray:
+        """Re-encode one table's feature IDs to flat keys (§3.1)."""
+        return self.codec.encode(table_id, feature_ids)
+
+    # ------------------------------------------------------------------ index
+
+    def index_lookup(self, flat_keys: np.ndarray) -> IndexOutcome:
+        """Indexing kernel: resolve flat keys to tagged pointers."""
+        found, pointers, stats = self.index.lookup(flat_keys, stamp=self._clock)
+        dram = found & is_dram_pointer(pointers)
+        cache_hit = found & ~is_dram_pointer(pointers)
+        locations = untag(pointers)
+        return IndexOutcome(
+            cache_hit=cache_hit, dram_hit=dram, locations=locations, stats=stats
+        )
+
+    # ------------------------------------------------------------------ read
+
+    def gather(self, locations: np.ndarray) -> np.ndarray:
+        """Copying kernel: read embeddings at pool ``locations``.
+
+        Thread safety comes from epoch-based reclamation: slots freed by a
+        concurrent eviction cannot be reused before this reader finishes.
+        """
+        epoch = self.reclaimer.pin()
+        try:
+            return self.pool.read(locations)
+        finally:
+            self.reclaimer.unpin(epoch)
+
+    # ------------------------------------------------------------------ insert
+
+    def admit_and_insert(
+        self,
+        flat_keys: np.ndarray,
+        vectors: np.ndarray,
+        dim: int,
+        dram_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, ProbeStats]:
+        """Cache replacement for missing embeddings (§3.1).
+
+        Applies the probability filter, allocates pool slots, writes the
+        vectors (the decoupled copying kernel), and only then publishes the
+        key -> location mappings (the indexing kernel) — the order §3.3
+        prescribes, since copying is invisible to indexing.
+
+        Returns:
+            ``(inserted_mask, stats)``: which of ``flat_keys`` actually
+            entered the cache, and the index-update probe stats.
+        """
+        n = len(flat_keys)
+        inserted_mask = np.zeros(n, dtype=bool)
+        if n == 0:
+            return inserted_mask, ProbeStats(0, 0, 0.0)
+        admitted = self.admission.admit(flat_keys)
+        positions = np.nonzero(admitted)[0]
+        if len(positions) == 0:
+            return inserted_mask, ProbeStats(0, 0, 0.0)
+
+        free = self.pool.free_of(dim)
+        if free < len(positions):
+            self._evict(dim, need=len(positions) - free)
+            free = self.pool.free_of(dim)
+            if free < len(positions):  # pool smaller than one batch's misses
+                positions = positions[:free]
+        if len(positions) == 0:
+            return inserted_mask, ProbeStats(0, 0, 0.0)
+
+        keys = flat_keys[positions]
+        rows = vectors[positions]
+        # Admitted keys currently carrying a DRAM pointer get their entry
+        # overwritten with a cache location: fewer unified entries live.
+        # (``dram_mask`` lets callers who already indexed skip the lookup.)
+        if dram_mask is not None:
+            promoted = int(dram_mask[positions].sum())
+        else:
+            found, pointers, _ = self.index.lookup(keys)
+            promoted = int((found & is_dram_pointer(pointers)).sum())
+        self.unified_entries = max(0, self.unified_entries - promoted)
+
+        locations = self.pool.allocate(dim, len(keys))
+        self.pool.write(locations, rows)  # copying kernel
+        result = self.index.insert(
+            keys, tag_cache_location(locations), stamp=self._clock
+        )
+        self._release_displaced(result.evicted_values)
+        inserted_mask[positions] = True
+        return inserted_mask, result.stats
+
+    # ------------------------------------------------------------------ unified
+
+    def publish_dram_pointers(
+        self, flat_keys: np.ndarray, dram_rows: np.ndarray
+    ) -> int:
+        """Record DRAM locations of cold embeddings in the index (§3.3)."""
+        budget = self.unified_capacity - self.unified_entries
+        if budget <= 0 or len(flat_keys) == 0:
+            return 0
+        # Keys already present (cached embedding or existing pointer) are
+        # skipped: a cache entry always beats a pointer, and re-publishing
+        # a pointer must not inflate the entry count.
+        found, _, _ = self.index.lookup(flat_keys)
+        candidates = flat_keys[~found]
+        rows = np.asarray(dram_rows, dtype=np.uint64)[~found]
+        if len(candidates) == 0:
+            return 0
+        take = min(budget, len(candidates))
+        keys = candidates[:take]
+        pointers = tag_dram_pointer(rows[:take])
+        inserted = self.index.insert(
+            keys, pointers, stamp=self._clock, overwrite=False
+        )
+        self._release_displaced(inserted.evicted_values)
+        self.unified_entries += take
+        return take
+
+    def _release_displaced(self, displaced: np.ndarray) -> None:
+        """Retire pool slots (and unified entries) bumped by bucket LRU."""
+        if not len(displaced):
+            return
+        dram = is_dram_pointer(displaced)
+        cache_ptrs = displaced[~dram]
+        if len(cache_ptrs):
+            self.reclaimer.retire(untag(cache_ptrs))
+        self.unified_entries -= int(dram.sum())
+
+    def invalidate_dram_pointers(self, flat_keys: np.ndarray) -> int:
+        """Erase unified-index entries whose DRAM target no longer exists.
+
+        §5's corner case for giant models: when the CPU-DRAM layer is
+        itself a cache, its evictions leave GPU-side DRAM pointers
+        dangling.  Only entries that actually carry a DRAM pointer are
+        touched; cached embeddings for the same keys stay valid.
+        """
+        flat_keys = np.ascontiguousarray(flat_keys, dtype=np.uint64)
+        if len(flat_keys) == 0:
+            return 0
+        found, pointers, _ = self.index.lookup(flat_keys)
+        stale = found & is_dram_pointer(pointers)
+        if not stale.any():
+            return 0
+        removed, _ = self.index.erase(flat_keys[stale])
+        count = int(removed.sum())
+        self.unified_entries = max(0, self.unified_entries - count)
+        return count
+
+    def clear_unified_index(self) -> int:
+        """Drop every DRAM pointer (the tuner's reset action).
+
+        Returns the number of entries removed.  Implemented as the same
+        full-table scan the eviction pass uses.
+        """
+        keys, values, _ = self.index.scan()
+        dram = is_dram_pointer(values)
+        if not dram.any():
+            self.unified_entries = 0
+            return 0
+        removed, _ = self.index.erase(keys[dram])
+        self.unified_entries = 0
+        return int(removed.sum())
+
+    def set_unified_capacity(self, capacity: int) -> None:
+        """Apply a tuner decision.
+
+        Growing proactively demotes the coldest cached embeddings into DRAM
+        pointers (freeing their pool slots for hotter keys); shrinking drops
+        the oldest DRAM pointers.
+        """
+        capacity = max(0, int(capacity))
+        if capacity < self.unified_entries:
+            keys, values, stamps = self.index.scan()
+            dram = is_dram_pointer(values)
+            dram_keys = keys[dram]
+            order = np.argsort(stamps[dram])
+            surplus = self.unified_entries - capacity
+            victims = dram_keys[order[:surplus]]
+            self.index.erase(victims)
+            self.unified_entries = capacity
+        elif capacity > self.unified_entries:
+            self._demote_cold(capacity - self.unified_entries)
+        self.unified_capacity = capacity
+
+    def _demote_cold(self, count: int) -> None:
+        """Convert up to ``count`` of the coldest cache entries to pointers.
+
+        Only entries that have not been touched for a couple of batches are
+        candidates — the paper replaces the cache of *cold* embeddings, so
+        freshly inserted or recently hit entries must never be demoted.
+        """
+        if count <= 0:
+            return
+        keys, values, stamps = self.index.scan()
+        cold = ~is_dram_pointer(values) & (stamps <= self._clock - 2)
+        if not cold.any():
+            return
+        cache_keys = keys[cold]
+        cache_stamps = stamps[cold]
+        cache_locations = untag(values[cold])
+        order = np.argsort(cache_stamps)
+        victims = order[: min(count, len(order))]
+        self.index.insert(
+            cache_keys[victims],
+            tag_dram_pointer(cache_keys[victims]),
+            stamp=self._clock,
+        )
+        self.reclaimer.retire(cache_locations[victims])
+        self.unified_entries += len(victims)
+
+    # ------------------------------------------------------------------ evict
+
+    def _evict(self, dim: int, need: int) -> None:
+        """Full-scan eviction (§3.1): drop cold entries of slab class ``dim``.
+
+        Runs when the slab class cannot satisfy an allocation (utilisation
+        above the high watermark); evicts the coldest entries until
+        utilisation falls to the low watermark (or ``need`` is satisfied).
+        Freed slots are retired through the epoch reclaimer, so concurrent
+        readers never observe reuse (read-after-delete safety).
+        """
+        keys, values, stamps = self.index.scan()
+        cache_mask = ~is_dram_pointer(values)
+        locations = untag(values[cache_mask])
+        dims = self.pool.dim_of_locations(locations)
+        in_class = dims == dim
+        class_keys = keys[cache_mask][in_class]
+        class_stamps = stamps[cache_mask][in_class]
+        class_locations = locations[in_class]
+        if len(class_keys) == 0:
+            return
+
+        capacity = self.pool.capacity_of(dim)
+        target_live = int(capacity * self.config.evict_low_watermark)
+        to_evict = max(need, len(class_keys) - target_live)
+        to_evict = min(to_evict, len(class_keys))
+        order = np.argsort(class_stamps)  # coldest first
+        victims = order[:to_evict]
+        victim_keys = class_keys[victims]
+
+        # Demote as many victims as the unified-index budget allows: their
+        # index entries become DRAM pointers instead of disappearing (§3.3,
+        # "replacing the cache of cold embeddings with CPU-DRAM pointers").
+        demote = min(
+            max(0, self.unified_capacity - self.unified_entries),
+            len(victim_keys),
+        )
+        if demote:
+            demoted_keys = victim_keys[:demote]
+            self.index.insert(
+                demoted_keys,
+                tag_dram_pointer(demoted_keys),
+                stamp=self._clock,
+            )
+            self.unified_entries += demote
+            victim_keys = victim_keys[demote:]
+        if len(victim_keys):
+            self.index.erase(victim_keys)
+        self.reclaimer.retire(class_locations[victims])
+        # Eviction happens between batches: the grace period elapses before
+        # the next batch's readers arrive, so reclaim one epoch ahead.
+        self.reclaimer.advance()
+        freed = self.reclaimer.collect()
+        if len(freed):
+            self.pool.release(freed)
+
+    # ------------------------------------------------------------------ debug
+
+    def live_entries(self) -> int:
+        """Number of cached embeddings (excluding DRAM pointers)."""
+        _, values, _ = self.index.scan()
+        return int((~is_dram_pointer(values)).sum())

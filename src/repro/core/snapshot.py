@@ -1,0 +1,124 @@
+"""Flat-cache snapshots: warm restarts for serving (operational feature).
+
+A serving process that restarts with a cold cache serves its first
+minutes at DRAM speed — production stacks therefore persist the cache's
+hot set and restore it at boot.  :func:`snapshot` captures a FlatCache's
+live entries (keys, vectors, recency) into a compact, serialisable
+:class:`CacheSnapshot`; :func:`restore` loads one into a freshly built
+cache of any compatible geometry (a smaller cache keeps the hottest
+prefix).
+
+DRAM pointers are deliberately *not* snapshotted: after a restart the
+CPU-DRAM layer's layout cannot be trusted (the §5 invalidation argument),
+so the unified index restarts empty and the tuner re-grows it.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .flat_cache import FlatCache
+from .unified_index import is_dram_pointer, untag
+
+#: Format marker so stale snapshot files fail loudly.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """The persisted hot set of a flat cache."""
+
+    version: int
+    key_bits: int
+    #: per-dimension entry arrays: dim -> (keys, stamps, vectors)
+    entries: Dict[int, tuple]
+
+    @property
+    def num_entries(self) -> int:
+        return sum(len(keys) for keys, _, _ in self.entries.values())
+
+    def to_bytes(self) -> bytes:
+        buffer = io.BytesIO()
+        pickle.dump(
+            {
+                "version": self.version,
+                "key_bits": self.key_bits,
+                "entries": self.entries,
+            },
+            buffer,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "CacheSnapshot":
+        data = pickle.loads(payload)
+        if data.get("version") != SNAPSHOT_VERSION:
+            raise WorkloadError(
+                f"unsupported snapshot version {data.get('version')!r}"
+            )
+        return cls(
+            version=data["version"],
+            key_bits=data["key_bits"],
+            entries=data["entries"],
+        )
+
+
+def snapshot(cache: FlatCache) -> CacheSnapshot:
+    """Capture every cached embedding (not DRAM pointers) with recency."""
+    keys, values, stamps = cache.index.scan()
+    cached = ~is_dram_pointer(values)
+    keys = keys[cached]
+    stamps = stamps[cached]
+    locations = untag(values[cached])
+    dims = cache.pool.dim_of_locations(locations)
+
+    entries: Dict[int, tuple] = {}
+    for dim in np.unique(dims):
+        mask = dims == dim
+        vectors = cache.pool.read(locations[mask])
+        entries[int(dim)] = (
+            keys[mask].copy(), stamps[mask].copy(), vectors.copy()
+        )
+    return CacheSnapshot(
+        version=SNAPSHOT_VERSION,
+        key_bits=cache.codec.key_bits,
+        entries=entries,
+    )
+
+
+def restore(cache: FlatCache, snap: CacheSnapshot) -> int:
+    """Load a snapshot into ``cache``; returns the entries restored.
+
+    Entries are inserted hottest-first, so when the target cache is
+    smaller than the snapshot, the coldest tail is the part that does not
+    fit.  The codec must agree on key width (otherwise flat keys would
+    mean different IDs).
+    """
+    if snap.key_bits != cache.codec.key_bits:
+        raise WorkloadError(
+            f"snapshot key width {snap.key_bits} != cache's "
+            f"{cache.codec.key_bits}"
+        )
+    restored = 0
+    cache.tick()
+    for dim, (keys, stamps, vectors) in snap.entries.items():
+        if dim not in cache.pool.dims():
+            raise WorkloadError(
+                f"snapshot contains dimension {dim} the cache lacks"
+            )
+        order = np.argsort(stamps)[::-1]  # hottest first
+        budget = cache.pool.free_of(dim)
+        take = min(budget, len(order))
+        chosen = order[:take]
+        inserted, _ = cache.admit_and_insert(
+            keys[chosen], vectors[chosen], dim
+        )
+        restored += int(inserted.sum())
+    return restored

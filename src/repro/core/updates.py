@@ -1,0 +1,123 @@
+"""Parameter-update propagation: cache coherence with model refreshes.
+
+Production recommendation models are continuously retrained; refreshed
+embeddings stream into the serving fleet while inference keeps running.
+A GPU-resident cache must not keep serving stale vectors.  The paper's
+machinery already contains the needed primitive — each index slot's
+timestamp "also acts as a version number to detect concurrent read-write
+conflicts" (§3.1) — and its deduplicating guarantees one writer per key.
+
+:class:`UpdateApplier` builds on that:
+
+* updates arrive as (table, feature_id, vector) batches from the trainer;
+* cached keys are *refreshed in place* (write the pool slot, bump the
+  version stamp) — one copying kernel plus one indexing kernel, the same
+  decoupled shape as replacement (§3.3);
+* unified-index DRAM pointers for updated keys are invalidated when the
+  update also relocated the host copy;
+* uncached keys cost nothing (the cache simply doesn't know them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..gpusim.executor import Executor
+from ..gpusim.stats import Category
+from .flat_cache import FlatCache
+from .unified_index import is_dram_pointer
+from .workflow import _copy_kernel_spec, _index_kernel_spec
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """What one update batch did to the cache."""
+
+    refreshed: int
+    pointers_invalidated: int
+    untracked: int
+
+    @property
+    def total(self) -> int:
+        return self.refreshed + self.pointers_invalidated + self.untracked
+
+
+class UpdateApplier:
+    """Applies trainer-pushed embedding refreshes to a flat cache."""
+
+    def __init__(self, cache: FlatCache, invalidate_pointers: bool = True):
+        self.cache = cache
+        self.invalidate_pointers = invalidate_pointers
+        self.applied_batches = 0
+
+    def apply(
+        self,
+        table_id: int,
+        feature_ids: np.ndarray,
+        vectors: np.ndarray,
+        executor: Optional[Executor] = None,
+    ) -> UpdateOutcome:
+        """Refresh one table's updated embeddings inside the cache.
+
+        Args:
+            table_id: table whose parameters changed.
+            feature_ids: updated IDs (duplicates tolerated; last wins is
+                irrelevant since the trainer sends one row per ID).
+            vectors: the new embedding rows, aligned with ``feature_ids``.
+            executor: when given, the refresh kernels are accounted on the
+                simulated timeline (category OTHER — off the query path).
+        """
+        feature_ids = np.ascontiguousarray(feature_ids, dtype=np.uint64)
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape[0] != len(feature_ids):
+            raise WorkloadError("updates: ids/vectors length mismatch")
+        dim = self.cache._dim_of_table[table_id]
+        if vectors.shape[1] != dim:
+            raise WorkloadError(
+                f"updates: expected dim {dim}, got {vectors.shape[1]}"
+            )
+        self.applied_batches += 1
+
+        keys = self.cache.encode(table_id, feature_ids)
+        found, pointers, _ = self.cache.index.lookup(keys)
+        dram = found & is_dram_pointer(pointers)
+        cached = found & ~dram
+
+        refreshed = 0
+        if cached.any():
+            # In-place refresh: write the pool slots, then bump versions.
+            from .unified_index import untag
+
+            locations = untag(pointers[cached])
+            self.cache.pool.write(locations, vectors[cached])
+            # Version bump = re-stamp via a lookup touch at current clock.
+            self.cache.index.lookup(keys[cached], stamp=self.cache._clock)
+            refreshed = int(cached.sum())
+            if executor is not None:
+                executor.launch(
+                    _copy_kernel_spec("update_copy", refreshed, dim,
+                                      executor.hw),
+                    stream=executor.stream("copy"),
+                    category=Category.OTHER,
+                )
+                executor.launch(
+                    _index_kernel_spec("update_index", refreshed),
+                    stream=executor.stream("main"),
+                    category=Category.OTHER,
+                )
+
+        invalidated = 0
+        if self.invalidate_pointers and dram.any():
+            removed = self.cache.invalidate_dram_pointers(keys[dram])
+            invalidated = removed
+
+        untracked = int(len(keys) - refreshed - int(dram.sum()))
+        return UpdateOutcome(
+            refreshed=refreshed,
+            pointers_invalidated=invalidated,
+            untracked=untracked,
+        )

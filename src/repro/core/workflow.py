@@ -1,0 +1,470 @@
+"""The Fleche embedding-layer query workflow (paper §3.1-§3.3, Figure 8).
+
+One batched query proceeds as:
+
+1. **Re-encode** all feature IDs to flat keys (host, nearly free).
+2. **Deduplicate** keys on device (one radix-sort kernel, "Other" time).
+3. **Index** the flat cache — with self-identified kernel fusion this is a
+   single kernel regardless of table count; without it, one kernel per
+   table (the ablation Experiment #8 measures as "+FC").
+4. **Decoupled copy**: a separate gather kernel copies hit embeddings to
+   the output while the CPU *simultaneously* queries the CPU-DRAM layer
+   for the misses (Figure 8b).  With the coupled ablation the copy rides
+   inside the indexing kernel and the DRAM query must wait.
+5. **Unified index**: misses whose index entry carried a DRAM pointer skip
+   the host-side hash probing (Figure 8c).
+6. **Replacement**: missing embeddings come back over PCIe, a copying
+   kernel writes them into the memory pool, then an indexing kernel
+   publishes the new key -> location mappings.
+7. **Restore** the full output matrices from the deduplicated rows.
+
+All data movement really happens (numpy); all timing flows through the
+:class:`~repro.gpusim.Executor` so maintenance and execution are accounted
+the way the paper measures them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..gpusim.executor import Executor, Stream
+from ..gpusim.kernel import KernelSpec, coalesced_bytes
+from ..gpusim.stats import Category
+from ..hardware import HardwareSpec
+from ..tables.store import EmbeddingStore
+from ..workloads.trace import TraceBatch
+from .cache_base import CacheQueryResult, EmbeddingCacheScheme
+from .config import FlecheConfig
+from .dedup import dedup_kernel_spec, restore_kernel_spec
+from .flat_cache import FlatCache
+from .fusion import build_fusion_plan
+from .unified_index import UnifiedIndexTuner
+
+#: Host cost of re-encoding one table's ID list: a lookup in the dozens-entry
+#: mapping table plus one vectorised transform (paper: "ultra-fast and at
+#: almost no cost").
+_ENCODE_COST_PER_TABLE = 0.2e-6
+_ENCODE_COST_PER_KEY = 0.5e-9
+
+#: Threads a warp-cooperative probe dedicates to one key.
+_WARP = 32
+
+
+def _index_kernel_spec(name: str, num_keys: int, hops: float = 1.0) -> KernelSpec:
+    """Indexing kernel: one warp probes one key (one 128 B transaction)."""
+    return KernelSpec(
+        name=name,
+        threads=max(num_keys, 1) * _WARP,
+        random_transactions=num_keys,
+        dependent_hops=hops,
+    )
+
+
+def _copy_kernel_spec(name: str, rows: int, dim: int, hw: HardwareSpec) -> KernelSpec:
+    """Decoupled copying kernel: threads scale with embedding dimension.
+
+    Reads are gathers of whole embeddings (coalesced transactions), writes
+    are dense; with many threads per embedding the kernel is throughput-
+    bound, the improvement §3.3 credits to decoupling.
+    """
+    row_bytes = coalesced_bytes(dim * 4, hw.gpu.transaction_bytes)
+    return KernelSpec(
+        name=name,
+        threads=max(rows, 1) * min(max(dim, _WARP), 256),
+        stream_bytes=2 * rows * row_bytes,
+    )
+
+
+#: Spin-retry rounds warps burn against a held lock while the owner copies
+#: its embedding (Figure 7a).  The waste is bounded by the device's
+#: concurrency window: only resident warps can spin at any instant.
+_LOCK_RETRY_ROUNDS = 5
+
+#: A warp-per-embedding gather moves whole lines one warp at a time; it
+#: achieves roughly half the streaming bandwidth of the wide, many-threads-
+#: per-embedding gather the decoupled copying kernel uses (§3.3).
+_NARROW_GATHER_PENALTY = 2.0
+
+
+def coupled_query_kernel_spec(
+    name: str,
+    num_keys: int,
+    hit_rows: int,
+    output_rows: int,
+    dim: int,
+    hw: HardwareSpec,
+    concurrent_tables: int = 1,
+) -> KernelSpec:
+    """HugeCTR-style coupled index+copy kernel (Figure 7a).
+
+    One warp locks the entry, then copies the whole embedding while holding
+    it: the copy's memory rounds extend the dependent chain, the gather is
+    warp-granular (half-rate), and contending warps spin-retry against the
+    held lock.  Spin waste is bounded by the device's resident-warp window,
+    a *global* resource shared by however many tables' kernels run
+    concurrently — callers pass ``concurrent_tables`` so the bound is split
+    fairly.
+    """
+    row_bytes = coalesced_bytes(dim * 4, hw.gpu.transaction_bytes)
+    tx_per_embedding = max(1, row_bytes // hw.gpu.transaction_bytes)
+    resident_warps = hw.gpu.max_resident_threads // hw.gpu.warp_size
+    spin_window = max(1, resident_warps // max(1, concurrent_tables))
+    retry_tx = int(
+        min(hit_rows, spin_window) * tx_per_embedding * _LOCK_RETRY_ROUNDS
+    )
+    gather_bytes = int(hit_rows * row_bytes * _NARROW_GATHER_PENALTY)
+    out_bytes = row_bytes * output_rows
+    return KernelSpec(
+        name=name,
+        threads=max(num_keys, 1) * _WARP,
+        random_transactions=num_keys + retry_tx,
+        dependent_hops=1.0 + tx_per_embedding,
+        stream_bytes=gather_bytes + out_bytes,
+    )
+
+
+@dataclass
+class _DimGroup:
+    """Work of one embedding dimension within a batch."""
+
+    dim: int
+    #: positions (into the batch's unique-key array) of this group's keys.
+    positions: np.ndarray
+    unique_keys: np.ndarray
+    rep_tables: np.ndarray
+    rep_features: np.ndarray
+
+
+class FlecheEmbeddingLayer(EmbeddingCacheScheme):
+    """Fleche: flat cache + fusion + decoupling + unified index."""
+
+    name = "fleche"
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        config: FlecheConfig,
+        hw: HardwareSpec,
+        codec=None,
+    ):
+        self.store = store
+        self.config = config
+        self.hw = hw
+        self.cache = FlatCache(store.specs, config, codec=codec)
+        self._dim_of_table = np.array(
+            [spec.dim for spec in store.specs], dtype=np.int64
+        )
+        self.tuner: Optional[UnifiedIndexTuner] = None
+        if config.use_unified_index:
+            self.tuner = UnifiedIndexTuner(max_capacity=self.cache.unified_capacity)
+            # The tuner starts from an empty unified index and grows it.
+            self.cache.set_unified_capacity(0)
+        # Giant-model deployments (paper §5): if the store is itself a
+        # cache over a remote tier, register for its eviction notices so
+        # stale unified-index pointers get erased.
+        register = getattr(store, "register_pointer_invalidator", None)
+        if register is not None and config.use_unified_index:
+            register(self._invalidate_stale_pointers)
+
+    def _invalidate_stale_pointers(self, global_keys: np.ndarray) -> None:
+        """Translate DRAM-tier eviction notices into flat-key erasures."""
+        global_keys = np.asarray(global_keys, dtype=np.uint64)
+        if len(global_keys) == 0:
+            return
+        tables = (global_keys >> np.uint64(48)).astype(np.int64)
+        features = global_keys & np.uint64((1 << 48) - 1)
+        flat = np.zeros(len(global_keys), dtype=np.uint64)
+        for t in np.unique(tables):
+            mask = tables == t
+            flat[mask] = self.cache.encode(int(t), features[mask])
+        self.cache.invalidate_dram_pointers(flat)
+
+    # ------------------------------------------------------------------ public
+
+    def memory_usage(self) -> Dict[str, int]:
+        return self.cache.memory_usage()
+
+    def query(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
+        if batch.num_tables != self.store.num_tables:
+            raise ConfigError(
+                f"batch covers {batch.num_tables} tables, store has "
+                f"{self.store.num_tables}"
+            )
+        start = executor.elapsed()
+        self.cache.tick()
+        result = self._query_once(batch, executor)
+        if self.tuner is not None:
+            latency = executor.elapsed() - start
+            decision = self.tuner.observe(latency)
+            if decision.action == "reset":
+                self.cache.clear_unified_index()
+            self.cache.set_unified_capacity(decision.capacity)
+        return result
+
+    # ------------------------------------------------------------------ phases
+
+    def _encode_batch(self, batch: TraceBatch, executor: Executor) -> np.ndarray:
+        """Phase 1: host-side re-encoding of all ID lists to flat keys."""
+        encode_time = (
+            _ENCODE_COST_PER_TABLE * batch.num_tables
+            + _ENCODE_COST_PER_KEY * batch.total_ids
+        )
+        executor.host_work(encode_time, Category.OTHER)
+        keys = [
+            self.cache.encode(t, ids) for t, ids in enumerate(batch.ids_per_table)
+        ]
+        return np.concatenate(keys) if keys else np.zeros(0, np.uint64)
+
+    def _dedup_on_device(
+        self, flat_keys: np.ndarray, executor: Executor, stream: Stream
+    ):
+        """Phase 2: ship keys to the device and deduplicate there."""
+        executor.copy(
+            flat_keys.nbytes, Category.OTHER, async_stream=stream
+        )
+        executor.launch(
+            dedup_kernel_spec(len(flat_keys)), stream=stream,
+            category=Category.OTHER,
+        )
+        unique_keys, rep_index, inverse = np.unique(
+            flat_keys, return_index=True, return_inverse=True
+        )
+        return unique_keys, rep_index, inverse.astype(np.int64)
+
+    def _dim_groups(
+        self,
+        unique_keys: np.ndarray,
+        rep_tables: np.ndarray,
+        rep_features: np.ndarray,
+    ) -> List[_DimGroup]:
+        dims = self._dim_of_table[rep_tables]
+        groups = []
+        for dim in np.unique(dims):
+            mask = dims == dim
+            positions = np.nonzero(mask)[0]
+            groups.append(
+                _DimGroup(
+                    dim=int(dim),
+                    positions=positions,
+                    unique_keys=unique_keys[positions],
+                    rep_tables=rep_tables[positions],
+                    rep_features=rep_features[positions],
+                )
+            )
+        return groups
+
+    # ------------------------------------------------------------------ query
+
+    def _query_once(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
+        config = self.config
+        main_stream = executor.stream("main")
+        copy_stream = executor.stream("copy")
+
+        tables_flat, features_flat = batch.flattened()
+        flat_keys = self._encode_batch(batch, executor)
+        unique_keys, rep_index, inverse = self._dedup_on_device(
+            flat_keys, executor, main_stream
+        )
+        rep_tables = tables_flat[rep_index]
+        rep_features = features_flat[rep_index]
+
+        # --- Phase 3: indexing.  Per-table work is described once; fusion
+        # decides whether it becomes a single launch or one per table, and
+        # decoupling decides whether the copy rides inside it (coupled) or
+        # in separate gather kernels (phase 4a).
+        outcome = self.cache.index_lookup(unique_keys)
+        per_table_specs = []
+        for t in range(batch.num_tables):
+            of_table = rep_tables == t
+            count = int(of_table.sum())
+            if config.decouple_copy:
+                spec = _index_kernel_spec(f"fc_index_t{t}", count)
+            else:
+                # Fleche deduplicates regardless (§4), so the coupled
+                # ablation queries unique keys and writes unique rows; the
+                # restore kernel expands them, exactly as on the decoupled
+                # path.
+                spec = coupled_query_kernel_spec(
+                    f"fc_query_t{t}",
+                    num_keys=count,
+                    hit_rows=int(outcome.cache_hit[of_table].sum()),
+                    output_rows=count,
+                    dim=int(self._dim_of_table[t]),
+                    hw=self.hw,
+                    concurrent_tables=batch.num_tables,
+                )
+            per_table_specs.append(spec)
+        if config.use_fusion:
+            plan = build_fusion_plan(per_table_specs, name="fc_index_fused")
+            executor.copy(
+                plan.metadata_bytes, Category.CACHE_INDEX, async_stream=main_stream
+            )
+            executor.launch(
+                plan.fused_spec, stream=main_stream,
+                category=Category.CACHE_INDEX,
+            )
+        else:
+            for t, spec in enumerate(per_table_specs):
+                stream = executor.stream(f"table{t}")
+                executor.copy(
+                    24 + 8 * spec.threads // _WARP,
+                    Category.CACHE_INDEX,
+                    async_stream=stream,
+                )
+                executor.launch(
+                    spec, stream=stream, category=Category.CACHE_INDEX
+                )
+
+        # CPU needs the miss list: synchronise and read it back.
+        executor.synchronize(None if not config.use_fusion else main_stream)
+        miss_mask = outcome.miss
+        executor.copy(max(1, int(miss_mask.sum())) * 8, Category.MAINTENANCE)
+
+        groups = self._dim_groups(unique_keys, rep_tables, rep_features)
+        unique_vectors: Dict[int, np.ndarray] = {}
+        for group in groups:
+            unique_vectors[group.dim] = np.zeros(
+                (len(group.positions), group.dim), dtype=np.float32
+            )
+
+        # --- Phase 4a: decoupled copy kernel(s) for the hits (async).
+        hit_rows_by_group = {}
+        for group in groups:
+            hit_here = outcome.cache_hit[group.positions]
+            hit_rows_by_group[group.dim] = hit_here
+            locations = outcome.locations[group.positions][hit_here]
+            if config.decouple_copy:
+                spec = _copy_kernel_spec(
+                    f"fc_copy_d{group.dim}", len(locations), group.dim, self.hw
+                )
+                executor.launch(
+                    spec, stream=copy_stream, category=Category.CACHE_COPY
+                )
+            if len(locations):
+                unique_vectors[group.dim][hit_here] = self.cache.gather(locations)
+
+        # --- Phase 4b/5: DRAM query for the misses (overlaps with copies
+        # when decoupled; with the coupled ablation the sync above already
+        # serialised everything).
+        total_unified = 0
+        for group in groups:
+            miss_here = outcome.miss[group.positions]
+            if not miss_here.any():
+                continue
+            dram_hit_here = outcome.dram_hit[group.positions][miss_here]
+            miss_tables = group.rep_tables[miss_here]
+            miss_features = group.rep_features[miss_here]
+            indexed_mask = dram_hit_here if config.use_unified_index else None
+            store_result = self.store.query_many(
+                miss_tables, miss_features, indexed_mask=indexed_mask
+            )
+            executor.host_work(store_result.cost.index_time, Category.DRAM_INDEX)
+            executor.host_work(store_result.cost.copy_time, Category.DRAM_COPY)
+            payload = store_result.vectors.nbytes
+            executor.copy(payload, Category.DRAM_COPY, async_stream=copy_stream)
+            unique_vectors[group.dim][miss_here] = store_result.vectors
+            total_unified += int(dram_hit_here.sum())
+
+            # --- Phase 6: replacement (copy kernel, then indexing kernel).
+            miss_keys = group.unique_keys[miss_here]
+            inserted_mask, _ = self.cache.admit_and_insert(
+                miss_keys,
+                store_result.vectors,
+                group.dim,
+                dram_mask=dram_hit_here,
+            )
+            executor.launch(
+                _copy_kernel_spec(
+                    f"fc_replace_copy_d{group.dim}",
+                    int(inserted_mask.sum()),
+                    group.dim,
+                    self.hw,
+                ),
+                stream=copy_stream,
+                category=Category.CACHE_COPY,
+            )
+            executor.launch(
+                _index_kernel_spec(
+                    f"fc_replace_index_d{group.dim}",
+                    int(inserted_mask.sum()),
+                    hops=2.0,
+                ),
+                stream=main_stream,
+                category=Category.CACHE_INDEX,
+            )
+            # Denied, not-yet-tracked keys may enter the unified index.
+            if config.use_unified_index:
+                candidates = ~inserted_mask & ~dram_hit_here
+                if candidates.any():
+                    rows = (
+                        miss_tables[candidates].astype(np.uint64)
+                        << np.uint64(40)
+                    ) | miss_features[candidates]
+                    self.cache.publish_dram_pointers(
+                        miss_keys[candidates], rows
+                    )
+
+        # --- Phase 7: restore the full output matrices from unique rows
+        # (both paths — Fleche always deduplicates, §4).
+        weighted_dim = (
+            int(np.average(self._dim_of_table)) if batch.num_tables else 0
+        )
+        executor.launch(
+            restore_kernel_spec(
+                len(flat_keys), weighted_dim, unique_rows=len(unique_keys)
+            ),
+            stream=copy_stream,
+            category=Category.OTHER,
+        )
+        executor.synchronize(None)
+
+        outputs = self._assemble_outputs(
+            batch, inverse, unique_keys, unique_vectors, groups
+        )
+        # Hit statistics are per *access* (duplicates weighted), matching
+        # how the paper's hit rates are measured.
+        counts = np.bincount(inverse, minlength=len(unique_keys))
+        hits = int(counts[outcome.cache_hit].sum())
+        misses = int(counts[outcome.miss].sum())
+        return CacheQueryResult(
+            outputs=outputs,
+            hits=hits,
+            misses=misses,
+            unified_hits=total_unified,
+            unique_keys=len(unique_keys),
+            total_keys=len(flat_keys),
+        )
+
+    # ------------------------------------------------------------------ output
+
+    def _assemble_outputs(
+        self,
+        batch: TraceBatch,
+        inverse: np.ndarray,
+        unique_keys: np.ndarray,
+        unique_vectors: Dict[int, np.ndarray],
+        groups: Sequence[_DimGroup],
+    ) -> List[np.ndarray]:
+        """Restore per-table output matrices from deduplicated rows."""
+        # Map each unique key position to (dim, row-within-dim-group).
+        dim_of_unique = np.zeros(len(unique_keys), dtype=np.int64)
+        row_of_unique = np.zeros(len(unique_keys), dtype=np.int64)
+        for group in groups:
+            dim_of_unique[group.positions] = group.dim
+            row_of_unique[group.positions] = np.arange(len(group.positions))
+
+        outputs: List[np.ndarray] = []
+        offset = 0
+        for t, ids in enumerate(batch.ids_per_table):
+            n = len(ids)
+            dim = int(self._dim_of_table[t])
+            positions = inverse[offset:offset + n]
+            rows = row_of_unique[positions]
+            outputs.append(unique_vectors[dim][rows] if n else
+                           np.zeros((0, dim), np.float32))
+            offset += n
+        return outputs

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class CapacityError(ReproError):
+    """A structure ran out of capacity (memory pool, hash index, ...)."""
+
+
+class CodingError(ReproError):
+    """A flat-key coding layout could not be built or applied."""
+
+
+class SimulationError(ReproError):
+    """The hardware timeline was driven into an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload / dataset specification is invalid."""

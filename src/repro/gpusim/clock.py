@@ -1,0 +1,48 @@
+"""Monotonic timelines used by the executor.
+
+A :class:`Timeline` is a single monotonically advancing clock.  The executor
+owns one timeline for the CPU thread and one per CUDA stream; overlap between
+host and device work is expressed by advancing the clocks independently and
+joining them at synchronisation points.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+
+class Timeline:
+    """A monotonic clock measured in seconds."""
+
+    __slots__ = ("name", "_now")
+
+    def __init__(self, name: str, start: float = 0.0):
+        self.name = name
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current time on this timeline."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move the clock forward by ``duration`` seconds and return the new time."""
+        if duration < 0:
+            raise SimulationError(
+                f"timeline {self.name!r}: cannot advance by negative duration {duration}"
+            )
+        self._now += duration
+        return self._now
+
+    def advance_to(self, instant: float) -> float:
+        """Move the clock forward to ``instant`` if it is in the future."""
+        if instant > self._now:
+            self._now = instant
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock (only meaningful between independent experiments)."""
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeline({self.name!r}, now={self._now:.9f})"

@@ -1,0 +1,79 @@
+"""Device memory allocator model.
+
+Raw ``cudaMalloc`` costs up to a dozen microseconds per call (paper §3.1),
+which is why Fleche pre-allocates one bulk region at boot and sub-allocates
+inside it.  :class:`DeviceAllocator` tracks HBM usage, charges the
+``cudaMalloc`` latency for every *driver* allocation, and enforces the
+device capacity so cache configurations that cannot fit are rejected early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import CapacityError, SimulationError
+from ..hardware import HardwareSpec
+
+
+@dataclass
+class Allocation:
+    """One live driver-level device allocation."""
+
+    handle: int
+    nbytes: int
+    label: str
+
+
+@dataclass
+class DeviceAllocator:
+    """Tracks driver-level HBM allocations and their latency cost.
+
+    The allocator is deliberately simple: driver allocations are bump-
+    allocated and freed by handle.  Fine-grained reuse happens one level up
+    in :mod:`repro.mempool`, exactly as in the paper.
+    """
+
+    hw: HardwareSpec
+    _allocations: Dict[int, Allocation] = field(default_factory=dict)
+    _next_handle: int = 1
+    _used: int = 0
+    #: Total CPU time spent inside cudaMalloc/cudaFree, for accounting.
+    driver_time: float = 0.0
+    alloc_calls: int = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated on the device."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes of HBM still available."""
+        return self.hw.gpu.hbm_capacity - self._used
+
+    def malloc(self, nbytes: int, label: str = "") -> Allocation:
+        """Allocate ``nbytes`` of device memory (charges cudaMalloc latency)."""
+        if nbytes <= 0:
+            raise SimulationError(f"cudaMalloc of non-positive size {nbytes}")
+        if nbytes > self.free_bytes:
+            raise CapacityError(
+                f"device OOM: requested {nbytes} bytes with only "
+                f"{self.free_bytes} free (label={label!r})"
+            )
+        allocation = Allocation(self._next_handle, nbytes, label)
+        self._allocations[allocation.handle] = allocation
+        self._next_handle += 1
+        self._used += nbytes
+        self.driver_time += self.hw.kernel.cudamalloc_overhead
+        self.alloc_calls += 1
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Release a driver allocation."""
+        stored = self._allocations.pop(allocation.handle, None)
+        if stored is None:
+            raise SimulationError(
+                f"double free or foreign allocation (handle={allocation.handle})"
+            )
+        self._used -= stored.nbytes

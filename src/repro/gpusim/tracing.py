@@ -1,0 +1,168 @@
+"""Timeline tracing for the simulator.
+
+A :class:`TraceRecorder` attached to an :class:`~repro.gpusim.Executor`
+captures every accounted interval — kernel launches and executions, host
+work, copies, synchronisations — as spans on named tracks (the CPU thread
+and each CUDA stream).  Traces export to the Chrome trace-event JSON
+format, so a batch's choreography (launch storms, overlap between the
+DRAM query and the copy kernel, sync stalls) can be inspected in
+``chrome://tracing`` / Perfetto.
+
+Usage::
+
+    executor = Executor(hw)
+    recorder = TraceRecorder.attach(executor)
+    layer.query(batch, executor)
+    recorder.export_json("batch.trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SimulationError
+from .executor import Executor, Stream
+from .kernel import KernelSpec, kernel_execution_time
+from .stats import Category
+from .transfer import CopyMethod
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced interval on a track."""
+
+    track: str
+    name: str
+    start: float
+    duration: float
+    category: str
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise SimulationError(f"span {self.name!r} has negative duration")
+
+
+@dataclass
+class TraceRecorder:
+    """Records executor activity as spans; see module docstring."""
+
+    spans: List[Span] = field(default_factory=list)
+    _executor: Optional[Executor] = None
+
+    # ------------------------------------------------------------------ attach
+
+    @classmethod
+    def attach(cls, executor: Executor) -> "TraceRecorder":
+        """Wrap the executor's accounting entry points with span capture.
+
+        The wrapping is purely additive: timing behaviour is unchanged, the
+        recorder only observes clock values around each call.
+        """
+        recorder = cls(_executor=executor)
+        original_launch = executor.launch
+        original_host_work = executor.host_work
+        original_copy = executor.copy
+        original_synchronize = executor.synchronize
+
+        def launch(spec: KernelSpec, stream: Optional[Stream] = None,
+                   category: Category = Category.CACHE_INDEX,
+                   launch_cost: Optional[float] = None) -> float:
+            cpu_before = executor.cpu.now
+            end = original_launch(spec, stream, category, launch_cost)
+            target = stream or executor.default_stream
+            exec_time = kernel_execution_time(spec, executor.hw)
+            recorder.spans.append(Span(
+                track="cpu", name=f"launch:{spec.name}",
+                start=cpu_before, duration=executor.cpu.now - cpu_before,
+                category="maintenance",
+            ))
+            recorder.spans.append(Span(
+                track=f"stream:{target.name}", name=spec.name,
+                start=end - exec_time, duration=exec_time,
+                category=category.value,
+            ))
+            return end
+
+        def host_work(duration: float, category: Category) -> None:
+            start = executor.cpu.now
+            original_host_work(duration, category)
+            recorder.spans.append(Span(
+                track="cpu", name=f"host:{category.value}",
+                start=start, duration=duration, category=category.value,
+            ))
+
+        def copy(nbytes: int, category: Category,
+                 method: CopyMethod = CopyMethod.AUTO,
+                 async_stream: Optional[Stream] = None) -> None:
+            start = executor.cpu.now
+            original_copy(nbytes, category, method, async_stream)
+            recorder.spans.append(Span(
+                track="cpu", name=f"copy:{nbytes}B",
+                start=start, duration=executor.cpu.now - start,
+                category=category.value,
+            ))
+
+        def synchronize(stream: Optional[Stream] = None) -> None:
+            start = executor.cpu.now
+            original_synchronize(stream)
+            recorder.spans.append(Span(
+                track="cpu",
+                name=f"sync:{stream.name if stream else 'all'}",
+                start=start, duration=executor.cpu.now - start,
+                category="maintenance",
+            ))
+
+        executor.launch = launch  # type: ignore[method-assign]
+        executor.host_work = host_work  # type: ignore[method-assign]
+        executor.copy = copy  # type: ignore[method-assign]
+        executor.synchronize = synchronize  # type: ignore[method-assign]
+        return recorder
+
+    # ------------------------------------------------------------------ query
+
+    def tracks(self) -> List[str]:
+        """Track names seen so far, CPU first."""
+        seen = []
+        for span in self.spans:
+            if span.track not in seen:
+                seen.append(span.track)
+        seen.sort(key=lambda t: (t != "cpu", t))
+        return seen
+
+    def busy_time(self, track: str) -> float:
+        """Total span duration on one track."""
+        return sum(s.duration for s in self.spans if s.track == track)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    # ------------------------------------------------------------------ export
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event representation (complete 'X' events)."""
+        track_ids = {name: i for i, name in enumerate(self.tracks())}
+        events = []
+        for name, tid in track_ids.items():
+            events.append({
+                "ph": "M", "pid": 0, "tid": tid,
+                "name": "thread_name", "args": {"name": name},
+            })
+        for span in self.spans:
+            events.append({
+                "ph": "X",
+                "pid": 0,
+                "tid": track_ids[span.track],
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start * 1e6,     # trace format is microseconds
+                "dur": span.duration * 1e6,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_json(self, path: str) -> str:
+        """Write the Chrome trace JSON; returns the path."""
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(), f, indent=1)
+        return path

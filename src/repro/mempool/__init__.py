@@ -1,0 +1,12 @@
+"""Device memory pool substrate.
+
+Fleche stores all cached embeddings in one pre-allocated memory pool managed
+as slab classes keyed by embedding dimension (paper §3.1, Figure 5c), and
+reclaims freed space with epoch-based reclamation so in-flight readers never
+observe a reused slot (§3.1, §3.3).
+"""
+
+from .slab_pool import SlabMemoryPool, SlabClass
+from .epoch import EpochReclaimer
+
+__all__ = ["SlabMemoryPool", "SlabClass", "EpochReclaimer"]

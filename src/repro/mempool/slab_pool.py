@@ -1,0 +1,189 @@
+"""Slab memory pool for cached embeddings.
+
+The pool is carved out of one bulk device allocation at boot (avoiding the
+per-call latency of ``cudaMalloc``); inside it, one *slab class* exists per
+embedding dimension, since every embedding of a table has the same size
+known in advance — this is how Fleche sidesteps fragmentation (§3.1).
+
+Slot handles are encoded as ``class_id << 32 | slot`` so a single uint64
+payload in the GPU hash index identifies both the slab class and the slot.
+The actual vectors are stored in one numpy matrix per class, making the
+copy kernels plain vectorised gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import CapacityError, SimulationError
+
+_CLASS_SHIFT = np.uint64(32)
+_SLOT_MASK = np.uint64(0xFFFFFFFF)
+
+
+def pack_location(class_id: int, slot: int) -> int:
+    """Encode a (slab class, slot) pair into one uint64 payload."""
+    return (class_id << 32) | slot
+
+
+def unpack_locations(locations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised inverse of :func:`pack_location`."""
+    locations = locations.astype(np.uint64)
+    class_ids = (locations >> _CLASS_SHIFT).astype(np.int64)
+    slots = (locations & _SLOT_MASK).astype(np.int64)
+    return class_ids, slots
+
+
+@dataclass
+class SlabClass:
+    """All slots of one embedding dimension."""
+
+    class_id: int
+    dim: int
+    capacity: int
+    storage: np.ndarray
+    free_slots: List[int] = field(default_factory=list)
+    live: int = 0
+
+    @property
+    def slot_bytes(self) -> int:
+        return self.dim * 4  # float32 embeddings
+
+    def allocate(self, count: int) -> np.ndarray:
+        """Take ``count`` free slots; raises :class:`CapacityError` if short."""
+        if count > len(self.free_slots):
+            raise CapacityError(
+                f"slab class dim={self.dim}: requested {count} slots, "
+                f"{len(self.free_slots)} free"
+            )
+        taken = self.free_slots[-count:]
+        del self.free_slots[-count:]
+        self.live += count
+        return np.asarray(taken, dtype=np.int64)
+
+    def release(self, slots: np.ndarray) -> None:
+        self.free_slots.extend(int(s) for s in slots)
+        self.live -= len(slots)
+        if self.live < 0:
+            raise SimulationError(f"slab class dim={self.dim}: negative live count")
+
+
+class SlabMemoryPool:
+    """Memory pool with one slab class per embedding dimension.
+
+    Args:
+        class_capacities: mapping ``dim -> slot count`` describing how many
+            embeddings of each dimension the pool can hold.  Capacities are
+            derived by the cache from its byte budget.
+    """
+
+    def __init__(self, class_capacities: Dict[int, int]):
+        if not class_capacities:
+            raise SimulationError("memory pool needs at least one slab class")
+        self._classes: Dict[int, SlabClass] = {}
+        self._class_by_dim: Dict[int, int] = {}
+        for class_id, (dim, capacity) in enumerate(sorted(class_capacities.items())):
+            if dim <= 0 or capacity <= 0:
+                raise SimulationError(
+                    f"invalid slab class dim={dim} capacity={capacity}"
+                )
+            storage = np.zeros((capacity, dim), dtype=np.float32)
+            slab = SlabClass(
+                class_id=class_id,
+                dim=dim,
+                capacity=capacity,
+                storage=storage,
+                free_slots=list(range(capacity)),
+            )
+            self._classes[class_id] = slab
+            self._class_by_dim[dim] = class_id
+        self._total_slots = sum(c.capacity for c in self._classes.values())
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of HBM the pool's bulk allocation occupies."""
+        return sum(c.storage.nbytes for c in self._classes.values())
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of pool slots currently live (drives eviction, §3.1)."""
+        live = sum(c.live for c in self._classes.values())
+        return live / self._total_slots
+
+    def utilization_of(self, dim: int) -> float:
+        slab = self._classes[self._class_by_dim[dim]]
+        return slab.live / slab.capacity
+
+    def dims(self) -> List[int]:
+        return sorted(self._class_by_dim)
+
+    def capacity_of(self, dim: int) -> int:
+        return self._classes[self._class_by_dim[dim]].capacity
+
+    def free_of(self, dim: int) -> int:
+        return len(self._classes[self._class_by_dim[dim]].free_slots)
+
+    # ------------------------------------------------------------------ alloc
+
+    def allocate(self, dim: int, count: int) -> np.ndarray:
+        """Allocate ``count`` slots of dimension ``dim``; returns locations."""
+        if count == 0:
+            return np.zeros(0, dtype=np.uint64)
+        class_id = self._class_by_dim.get(dim)
+        if class_id is None:
+            raise SimulationError(f"no slab class for embedding dimension {dim}")
+        slots = self._classes[class_id].allocate(count)
+        return (np.uint64(class_id) << _CLASS_SHIFT) | slots.astype(np.uint64)
+
+    def release(self, locations: np.ndarray) -> None:
+        """Return previously allocated ``locations`` to their free lists."""
+        if len(locations) == 0:
+            return
+        class_ids, slots = unpack_locations(np.asarray(locations))
+        for class_id in np.unique(class_ids):
+            slab = self._classes.get(int(class_id))
+            if slab is None:
+                raise SimulationError(f"release of unknown slab class {class_id}")
+            slab.release(slots[class_ids == class_id])
+
+    # ------------------------------------------------------------------ data
+
+    def write(self, locations: np.ndarray, vectors: np.ndarray) -> None:
+        """Store ``vectors`` (all same dim) into ``locations``."""
+        if len(locations) == 0:
+            return
+        class_ids, slots = unpack_locations(np.asarray(locations))
+        unique = np.unique(class_ids)
+        if len(unique) != 1:
+            raise SimulationError("write: locations span multiple slab classes")
+        slab = self._classes[int(unique[0])]
+        if vectors.shape != (len(locations), slab.dim):
+            raise SimulationError(
+                f"write: expected shape {(len(locations), slab.dim)}, "
+                f"got {vectors.shape}"
+            )
+        slab.storage[slots] = vectors
+
+    def read(self, locations: np.ndarray) -> np.ndarray:
+        """Gather the vectors stored at ``locations`` (all same dim)."""
+        if len(locations) == 0:
+            return np.zeros((0, 0), dtype=np.float32)
+        class_ids, slots = unpack_locations(np.asarray(locations))
+        unique = np.unique(class_ids)
+        if len(unique) != 1:
+            raise SimulationError("read: locations span multiple slab classes")
+        slab = self._classes[int(unique[0])]
+        return slab.storage[slots]
+
+    def dim_of_locations(self, locations: np.ndarray) -> np.ndarray:
+        """Per-location embedding dimension (vectorised)."""
+        class_ids, _ = unpack_locations(np.asarray(locations))
+        dims = np.zeros(len(class_ids), dtype=np.int64)
+        for class_id, slab in self._classes.items():
+            dims[class_ids == class_id] = slab.dim
+        return dims

@@ -1,0 +1,32 @@
+"""Dense part of the DLRM: pooling, cross layers, MLP, and metrics.
+
+The paper evaluates on a Deep & Cross Network (6 cross layers + a
+(1024, 1024) MLP, §6.1).  The forward pass here is a real numpy
+computation; its GPU execution time is modelled from FLOPs via the
+roofline in :mod:`repro.gpusim.kernel`, which is all the end-to-end
+figures require (the MLP is untouched by Fleche's techniques).
+"""
+
+from .pooling import sum_pool, mean_pool, max_pool
+from .mlp import MLP
+from .cross import CrossNetwork
+from .dcn import DeepCrossNetwork, DenseForwardResult
+from .deepfm import DeepFM
+from .attention import SelfAttentionInteraction
+from .auc import auc_score
+from .trainer import CollisionAucStudy, SyntheticCtrTask
+
+__all__ = [
+    "sum_pool",
+    "mean_pool",
+    "max_pool",
+    "MLP",
+    "CrossNetwork",
+    "DeepCrossNetwork",
+    "DeepFM",
+    "SelfAttentionInteraction",
+    "DenseForwardResult",
+    "auc_score",
+    "CollisionAucStudy",
+    "SyntheticCtrTask",
+]

@@ -1,0 +1,92 @@
+"""The full Deep & Cross Network used by the evaluation (paper §6.1).
+
+Structure: pooled embedding vectors of all tables are concatenated with the
+dense features, fed through six cross layers, then a (1024, 1024) MLP and a
+sigmoid output.  :meth:`DeepCrossNetwork.forward` is a real numpy forward
+pass; :meth:`kernels` lists the dense-part kernels for the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..gpusim.kernel import KernelSpec
+from .cross import CrossNetwork
+from .mlp import MLP
+
+
+@dataclass(frozen=True)
+class DenseForwardResult:
+    """Output of the dense part for one batch."""
+
+    probabilities: np.ndarray
+    flops: float
+
+
+class DeepCrossNetwork:
+    """DCN: cross layers in front of an MLP tower.
+
+    Args:
+        num_tables: embedding tables feeding the concatenation.
+        embedding_dim: dimension of each pooled embedding vector.
+        dense_dim: number of continuous input features.
+        num_cross_layers: cross-layer count (paper default 6).
+        hidden_units: MLP tower widths (paper default (1024, 1024)).
+    """
+
+    def __init__(
+        self,
+        num_tables: int,
+        embedding_dim: int,
+        dense_dim: int = 13,
+        num_cross_layers: int = 6,
+        hidden_units: Sequence[int] = (1024, 1024),
+        seed: int = 3,
+    ):
+        if num_tables <= 0 or embedding_dim <= 0 or dense_dim < 0:
+            raise ConfigError("invalid DCN dimensions")
+        self.num_tables = num_tables
+        self.embedding_dim = embedding_dim
+        self.dense_dim = dense_dim
+        self.input_dim = num_tables * embedding_dim + dense_dim
+        self.cross = CrossNetwork(self.input_dim, num_cross_layers, seed=seed)
+        self.mlp = MLP(self.input_dim, hidden_units, seed=seed + 1)
+
+    def concat_inputs(
+        self, pooled_per_table: List[np.ndarray], dense: np.ndarray = None
+    ) -> np.ndarray:
+        """Concatenate pooled embeddings (and dense features) per sample."""
+        if len(pooled_per_table) != self.num_tables:
+            raise ConfigError(
+                f"expected {self.num_tables} pooled tables, got "
+                f"{len(pooled_per_table)}"
+            )
+        batch = pooled_per_table[0].shape[0]
+        parts = list(pooled_per_table)
+        if self.dense_dim:
+            if dense is None:
+                dense = np.zeros((batch, self.dense_dim), dtype=np.float32)
+            parts.append(dense.astype(np.float32))
+        return np.concatenate(parts, axis=1)
+
+    def forward(self, x: np.ndarray) -> DenseForwardResult:
+        """Run the dense part on concatenated inputs ``x`` (B x input_dim)."""
+        if x.shape[1] != self.input_dim:
+            raise ConfigError(
+                f"expected input dim {self.input_dim}, got {x.shape[1]}"
+            )
+        crossed = self.cross.forward(x)
+        probabilities = self.mlp.forward(crossed)
+        flops = self.cross.flops(x.shape[0]) + self.mlp.flops(x.shape[0])
+        return DenseForwardResult(probabilities=probabilities, flops=flops)
+
+    def kernels(self, batch_size: int) -> List[KernelSpec]:
+        """Every dense-part kernel launch for one batch."""
+        return self.cross.kernels(batch_size) + self.mlp.kernels(batch_size)
+
+    def flops(self, batch_size: int) -> float:
+        return self.cross.flops(batch_size) + self.mlp.flops(batch_size)

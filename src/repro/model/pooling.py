@@ -1,0 +1,39 @@
+"""Pooling operations over multi-hot embedding lookups.
+
+After embedding lookup, the vectors of each categorical field are
+compressed into one dense vector per sample through a pooling operation
+(paper §2.1).  Pooling is segment-wise: a field contributing ``k`` IDs per
+sample pools each consecutive group of ``k`` rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def _as_segments(embeddings: np.ndarray, ids_per_sample: int) -> np.ndarray:
+    if embeddings.ndim != 2:
+        raise WorkloadError("pooling expects a 2-D embedding matrix")
+    rows, dim = embeddings.shape
+    if ids_per_sample <= 0 or rows % ids_per_sample:
+        raise WorkloadError(
+            f"{rows} rows do not split into segments of {ids_per_sample}"
+        )
+    return embeddings.reshape(rows // ids_per_sample, ids_per_sample, dim)
+
+
+def sum_pool(embeddings: np.ndarray, ids_per_sample: int = 1) -> np.ndarray:
+    """Sum-pool consecutive groups of ``ids_per_sample`` rows."""
+    return _as_segments(embeddings, ids_per_sample).sum(axis=1)
+
+
+def mean_pool(embeddings: np.ndarray, ids_per_sample: int = 1) -> np.ndarray:
+    """Average-pool consecutive groups of ``ids_per_sample`` rows."""
+    return _as_segments(embeddings, ids_per_sample).mean(axis=1)
+
+
+def max_pool(embeddings: np.ndarray, ids_per_sample: int = 1) -> np.ndarray:
+    """Max-pool consecutive groups of ``ids_per_sample`` rows."""
+    return _as_segments(embeddings, ids_per_sample).max(axis=1)

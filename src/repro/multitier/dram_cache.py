@@ -1,0 +1,118 @@
+"""The host-DRAM cache layer for giant models (paper §5).
+
+When parameters exceed local DRAM, the CPU-DRAM layer keeps only a subset
+of embeddings, backed by the remote parameter server.  It behaves as an
+LRU cache keyed by (table, feature id) and — critically for Fleche —
+*announces its evictions*: any GPU-side unified-index pointer referring to
+an evicted entry has become dangling and must be invalidated (§5's corner
+case).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, WorkloadError
+from ..tables.table_spec import TableSpec
+
+
+def pack_global_key(table_id: int, feature_id: int) -> int:
+    """One flat namespace over (table, feature) for the DRAM layer."""
+    return (table_id << 48) | feature_id
+
+
+class DramCacheLayer:
+    """LRU host cache of embeddings, backed by a fetch callback.
+
+    Args:
+        specs: the model's table specs.
+        capacity: embeddings the DRAM layer can hold.
+        fetch: callback ``(table_id, feature_ids) -> (vectors, cost)`` used
+            on DRAM misses (typically the remote parameter server).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TableSpec],
+        capacity: int,
+        fetch: Callable[[int, np.ndarray], Tuple[np.ndarray, float]],
+    ):
+        if capacity <= 0:
+            raise ConfigError("DRAM cache capacity must be positive")
+        self.specs = list(specs)
+        self.capacity = int(capacity)
+        self._fetch = fetch
+        self._entries: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._invalidation_listeners: List[Callable[[np.ndarray], None]] = []
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ hooks
+
+    def on_eviction(self, listener: Callable[[np.ndarray], None]) -> None:
+        """Register a listener receiving the global keys of evicted rows.
+
+        Fleche's tiered store registers the unified-index invalidator here.
+        """
+        self._invalidation_listeners.append(listener)
+
+    def _evict_to_capacity(self) -> None:
+        evicted = []
+        while len(self._entries) > self.capacity:
+            key, _ = self._entries.popitem(last=False)
+            evicted.append(key)
+        if evicted:
+            self.evictions += len(evicted)
+            keys = np.asarray(evicted, dtype=np.uint64)
+            for listener in self._invalidation_listeners:
+                listener(keys)
+
+    # ------------------------------------------------------------------ query
+
+    def lookup(
+        self, table_id: int, feature_ids: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """Serve one table's IDs, faulting misses in from the backing store.
+
+        Returns ``(vectors, backing_time)`` where ``backing_time`` is the
+        remote fetch cost incurred (zero when everything was resident).
+        """
+        spec = self.specs[table_id]
+        feature_ids = np.ascontiguousarray(feature_ids, dtype=np.uint64)
+        vectors = np.zeros((len(feature_ids), spec.dim), dtype=np.float32)
+        missing_positions = []
+        for i, fid in enumerate(feature_ids):
+            key = pack_global_key(table_id, int(fid))
+            row = self._entries.get(key)
+            if row is not None:
+                self._entries.move_to_end(key)
+                vectors[i] = row
+                self.hits += 1
+            else:
+                missing_positions.append(i)
+                self.misses += 1
+
+        backing_time = 0.0
+        if missing_positions:
+            positions = np.asarray(missing_positions)
+            missing_ids = feature_ids[positions]
+            unique_missing, inverse = np.unique(missing_ids, return_inverse=True)
+            fetched, backing_time = self._fetch(table_id, unique_missing)
+            if fetched.shape != (len(unique_missing), spec.dim):
+                raise WorkloadError("backing fetch returned wrong shape")
+            vectors[positions] = fetched[inverse]
+            for fid, row in zip(unique_missing, fetched):
+                self._entries[pack_global_key(table_id, int(fid))] = row
+            self._evict_to_capacity()
+        return vectors, backing_time
+
+    def resident(self, table_id: int, feature_id: int) -> bool:
+        """Whether one (table, id) is currently cached in DRAM."""
+        return pack_global_key(table_id, int(feature_id)) in self._entries

@@ -1,0 +1,181 @@
+"""The assembled three-tier parameter hierarchy (paper §5).
+
+``GPU-HBM cache -> CPU-DRAM cache -> remote parameter server``
+
+The hierarchy exposes the same batched query interface as the plain
+:class:`~repro.tables.store.EmbeddingStore`, so Fleche's workflow runs on
+top unchanged — the property §5 claims ("all our designs still work in
+this scenario").  The one corner case is handled explicitly: when the
+DRAM layer evicts an embedding, any unified-index pointer for it on the
+GPU has gone stale; the hierarchy forwards the eviction notice to a
+registered invalidator so the flat cache can erase those pointers before
+they are trusted again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..hashindex.host_hash import HostQueryCost, host_query_cost
+from ..hardware import HardwareSpec
+from ..tables.store import StoreQueryResult
+from ..tables.table_spec import TableSpec
+from .dram_cache import DramCacheLayer
+from .remote_ps import RemoteParameterServer
+
+
+@dataclass
+class TierStats:
+    """Aggregate traffic counters per tier."""
+
+    dram_hits: int = 0
+    dram_misses: int = 0
+    remote_fetches: int = 0
+    remote_keys: int = 0
+    remote_time: float = 0.0
+    pointer_invalidations: int = 0
+
+    @property
+    def dram_hit_rate(self) -> float:
+        total = self.dram_hits + self.dram_misses
+        return self.dram_hits / total if total else 0.0
+
+
+class TieredParameterStore:
+    """Drop-in EmbeddingStore replacement backed by a remote tier.
+
+    Args:
+        specs: table specs.
+        hw: the platform (for DRAM cost modelling).
+        dram_capacity: embeddings the local DRAM tier can hold.
+        remote: the remote parameter server (default configuration if
+            omitted).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TableSpec],
+        hw: HardwareSpec,
+        dram_capacity: int,
+        remote: Optional[RemoteParameterServer] = None,
+    ):
+        if not specs:
+            raise WorkloadError("tiered store needs at least one table")
+        self.specs = list(specs)
+        self.hw = hw
+        self.remote = remote or RemoteParameterServer(specs)
+        self.stats = TierStats()
+        self._invalidators: List[Callable[[np.ndarray], None]] = []
+
+        def backing_fetch(table_id: int, feature_ids: np.ndarray):
+            result = self.remote.fetch(table_id, feature_ids)
+            self.stats.remote_fetches += 1
+            self.stats.remote_keys += len(feature_ids)
+            self.stats.remote_time += result.network_time
+            return result.vectors, result.network_time
+
+        self.dram = DramCacheLayer(specs, dram_capacity, backing_fetch)
+        self.dram.on_eviction(self._forward_invalidation)
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.specs)
+
+    def spec_of(self, table_id: int) -> TableSpec:
+        return self.specs[table_id]
+
+    # ------------------------------------------------------------------ hooks
+
+    def register_pointer_invalidator(
+        self, invalidator: Callable[[np.ndarray], None]
+    ) -> None:
+        """Register the GPU-side unified-index invalidator (§5).
+
+        The callable receives the *global keys* (``table << 48 | feature``)
+        of embeddings evicted from the DRAM tier.
+        """
+        self._invalidators.append(invalidator)
+
+    def _forward_invalidation(self, global_keys: np.ndarray) -> None:
+        self.stats.pointer_invalidations += len(global_keys)
+        for invalidator in self._invalidators:
+            invalidator(global_keys)
+
+    # ------------------------------------------------------------------ query
+
+    def query(
+        self,
+        table_id: int,
+        feature_ids: np.ndarray,
+        indexed_fraction: float = 0.0,
+    ) -> StoreQueryResult:
+        """Fetch one table's embeddings through the hierarchy."""
+        if not 0.0 <= indexed_fraction <= 1.0:
+            raise WorkloadError("indexed_fraction must be in [0, 1]")
+        before_h, before_m = self.dram.hits, self.dram.misses
+        vectors, remote_time = self.dram.lookup(table_id, feature_ids)
+        self.stats.dram_hits += self.dram.hits - before_h
+        self.stats.dram_misses += self.dram.misses - before_m
+
+        spec = self.specs[table_id]
+        keys_to_index = int(round(len(feature_ids) * (1.0 - indexed_fraction)))
+        local = host_query_cost(
+            self.hw,
+            num_keys=keys_to_index,
+            payload_bytes=len(feature_ids) * spec.value_bytes,
+        )
+        cost = HostQueryCost(
+            index_time=local.index_time,
+            copy_time=local.copy_time + remote_time,
+        )
+        return StoreQueryResult(vectors=vectors, cost=cost)
+
+    def query_many(
+        self,
+        table_ids: np.ndarray,
+        feature_ids: np.ndarray,
+        indexed_mask: np.ndarray = None,
+    ) -> StoreQueryResult:
+        """Mixed-table batched query (same contract as EmbeddingStore)."""
+        table_ids = np.asarray(table_ids)
+        feature_ids = np.asarray(feature_ids, dtype=np.uint64)
+        if table_ids.shape != feature_ids.shape:
+            raise WorkloadError("query_many: shape mismatch")
+        if len(table_ids) == 0:
+            return StoreQueryResult(
+                np.zeros((0, 0), np.float32), host_query_cost(self.hw, 0, 0)
+            )
+        dims = {self.specs[int(t)].dim for t in np.unique(table_ids)}
+        if len(dims) != 1:
+            raise WorkloadError("query_many: tables must share one dimension")
+        dim = dims.pop()
+
+        vectors = np.zeros((len(table_ids), dim), dtype=np.float32)
+        remote_time = 0.0
+        payload = 0
+        before_h, before_m = self.dram.hits, self.dram.misses
+        for table_id in np.unique(table_ids):
+            mask = table_ids == table_id
+            got, fetch_time = self.dram.lookup(int(table_id), feature_ids[mask])
+            vectors[mask] = got
+            remote_time += fetch_time
+            payload += int(mask.sum()) * self.specs[int(table_id)].value_bytes
+        self.stats.dram_hits += self.dram.hits - before_h
+        self.stats.dram_misses += self.dram.misses - before_m
+
+        if indexed_mask is None:
+            keys_to_index = len(table_ids)
+        else:
+            keys_to_index = int((~np.asarray(indexed_mask, bool)).sum())
+        local = host_query_cost(self.hw, keys_to_index, payload)
+        cost = HostQueryCost(
+            index_time=local.index_time,
+            copy_time=local.copy_time + remote_time,
+        )
+        return StoreQueryResult(vectors=vectors, cost=cost)

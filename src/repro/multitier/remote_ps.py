@@ -1,0 +1,121 @@
+"""Remote parameter server: the bottom tier for giant models (paper §5).
+
+Holds the authoritative copy of every embedding.  Lookups travel over the
+datacenter network: one round trip per batched request plus streaming time
+for the payload.  Vectors come from the same deterministic ground-truth
+generator as the local store, so correctness stays verifiable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..tables.embedding_table import reference_vectors
+from ..tables.table_spec import TableSpec
+
+US = 1e-6
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Datacenter network between inference node and parameter servers.
+
+    Failure injection: with probability ``slow_probability`` a request
+    lands on a degraded path (congestion, a slow replica) and takes
+    ``slow_factor`` times longer; with probability ``timeout_probability``
+    it times out entirely after ``timeout`` and is retried (one retry is
+    always assumed to succeed — persistent failures are a different
+    study).  Both default to off, keeping the happy path deterministic.
+    """
+
+    #: One request/response round trip (kernel bypass RDMA-ish).
+    round_trip: float = 25 * US
+    #: Usable per-connection bandwidth.
+    bandwidth: float = 5e9
+    #: Requests are sharded over this many parameter-server nodes.
+    num_shards: int = 4
+    #: Probability a request hits a degraded path.
+    slow_probability: float = 0.0
+    #: Latency multiplier on the degraded path.
+    slow_factor: float = 10.0
+    #: Probability a request times out and retries once.
+    timeout_probability: float = 0.0
+    #: Client-side timeout before the retry fires.
+    timeout: float = 1000 * US
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.slow_probability <= 1.0:
+            raise WorkloadError("slow_probability must be in [0, 1]")
+        if not 0.0 <= self.timeout_probability <= 1.0:
+            raise WorkloadError("timeout_probability must be in [0, 1]")
+        if self.slow_factor < 1.0:
+            raise WorkloadError("slow_factor must be >= 1")
+        if self.timeout <= 0:
+            raise WorkloadError("timeout must be positive")
+
+    def fetch_cost(
+        self, payload_bytes: int, rng: "np.random.Generator" = None
+    ) -> float:
+        """Time to fetch ``payload_bytes`` with one batched request."""
+        if payload_bytes < 0:
+            raise WorkloadError("negative payload")
+        streaming = payload_bytes / (self.bandwidth * self.num_shards)
+        base = self.round_trip + streaming
+        if rng is None or (
+            self.slow_probability == 0.0 and self.timeout_probability == 0.0
+        ):
+            return base
+        roll = rng.random()
+        if roll < self.timeout_probability:
+            return self.timeout + base  # wait out the timeout, retry wins
+        if roll < self.timeout_probability + self.slow_probability:
+            return base * self.slow_factor
+        return base
+
+
+@dataclass(frozen=True)
+class RemoteFetchResult:
+    """Vectors plus the network time their fetch cost."""
+
+    vectors: np.ndarray
+    network_time: float
+
+
+class RemoteParameterServer:
+    """Authoritative remote store for all embedding tables."""
+
+    def __init__(
+        self,
+        specs: Sequence[TableSpec],
+        network: NetworkSpec = None,
+        seed: int = 0,
+    ):
+        if not specs:
+            raise WorkloadError("remote PS needs at least one table")
+        self.specs = list(specs)
+        self.network = network or NetworkSpec()
+        self.fetches = 0
+        self.keys_served = 0
+        self._rng = np.random.default_rng(seed)
+
+    def fetch(self, table_id: int, feature_ids: np.ndarray) -> RemoteFetchResult:
+        """Fetch one table's embeddings in a single batched request."""
+        spec = self.specs[table_id]
+        feature_ids = np.ascontiguousarray(feature_ids, dtype=np.uint64)
+        if feature_ids.size and int(feature_ids.max()) >= spec.corpus_size:
+            raise WorkloadError(
+                f"table {table_id}: feature id beyond corpus size"
+            )
+        vectors = reference_vectors(table_id, feature_ids, spec.dim)
+        payload = vectors.nbytes + 8 * len(feature_ids)
+        self.fetches += 1
+        self.keys_served += len(feature_ids)
+        network_time = (
+            self.network.fetch_cost(payload, rng=self._rng)
+            if len(feature_ids) else 0.0
+        )
+        return RemoteFetchResult(vectors=vectors, network_time=network_time)

@@ -1,0 +1,112 @@
+"""Open-loop request arrival processes.
+
+A :class:`Request` is one inference candidate batch of size 1: a user
+context needing scores.  Arrival processes generate timestamped requests
+whose sparse features follow the dataset's per-field distributions, so the
+cache sees realistic locality under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..workloads.spec import DatasetSpec
+from ..workloads.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: int
+    arrival_time: float
+    #: per-table feature IDs (``ids_per_field`` each).
+    feature_ids: tuple
+
+
+class _FeatureSource:
+    """Draws per-request sparse features from the dataset's fields."""
+
+    def __init__(self, dataset: DatasetSpec, seed: int):
+        self.dataset = dataset
+        self._samplers = [
+            ZipfSampler(f.corpus_size, f.alpha, seed=seed * 31 + i)
+            for i, f in enumerate(dataset.fields)
+        ]
+
+    def draw(self) -> tuple:
+        k = self.dataset.ids_per_field
+        return tuple(s.sample(k) for s in self._samplers)
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at a configured rate (requests/second)."""
+
+    def __init__(self, dataset: DatasetSpec, rate: float, seed: int = 0):
+        if rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+        self._features = _FeatureSource(dataset, seed)
+
+    def generate(self, count: int) -> List[Request]:
+        """The first ``count`` requests of the process."""
+        if count <= 0:
+            raise WorkloadError("count must be positive")
+        gaps = self._rng.exponential(1.0 / self.rate, size=count)
+        times = np.cumsum(gaps)
+        return [
+            Request(i, float(times[i]), self._features.draw())
+            for i in range(count)
+        ]
+
+
+class BurstyArrivals:
+    """Markov-modulated arrivals: quiet/burst phases with distinct rates.
+
+    Production feeds show diurnal spikes and hot events; the bursty source
+    stresses the batcher's timeout behaviour and the P99 tail.
+    """
+
+    def __init__(
+        self,
+        dataset: DatasetSpec,
+        base_rate: float,
+        burst_rate: float,
+        burst_fraction: float = 0.2,
+        phase_length: float = 0.01,
+        seed: int = 0,
+    ):
+        if base_rate <= 0 or burst_rate <= 0:
+            raise WorkloadError("rates must be positive")
+        if not 0.0 < burst_fraction < 1.0:
+            raise WorkloadError("burst_fraction must be in (0, 1)")
+        if phase_length <= 0:
+            raise WorkloadError("phase_length must be positive")
+        self.base_rate = base_rate
+        self.burst_rate = burst_rate
+        self.burst_fraction = burst_fraction
+        self.phase_length = phase_length
+        self._rng = np.random.default_rng(seed)
+        self._features = _FeatureSource(dataset, seed)
+
+    def generate(self, count: int) -> List[Request]:
+        if count <= 0:
+            raise WorkloadError("count must be positive")
+        requests: List[Request] = []
+        now = 0.0
+        while len(requests) < count:
+            bursting = self._rng.random() < self.burst_fraction
+            rate = self.burst_rate if bursting else self.base_rate
+            phase_end = now + self.phase_length
+            while now < phase_end and len(requests) < count:
+                now += float(self._rng.exponential(1.0 / rate))
+                requests.append(
+                    Request(len(requests), now, self._features.draw())
+                )
+            now = phase_end
+        return requests

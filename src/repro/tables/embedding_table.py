@@ -1,0 +1,100 @@
+"""One host-resident embedding table.
+
+Vectors are generated deterministically from (table_id, feature_id) the
+first time they are touched, so the whole library can verify cached results
+bit-exactly against the ground truth without materialising giant parameter
+matrices up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..hashindex.host_hash import HostHashTable
+from .table_spec import TableSpec
+
+_MIX1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX2 = np.uint64(0xC4CEB9FE1A85EC53)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64-style finalizer (vectorised)."""
+    x = x.astype(np.uint64)
+    x ^= x >> np.uint64(33)
+    x *= _MIX1
+    x ^= x >> np.uint64(33)
+    x *= _MIX2
+    x ^= x >> np.uint64(33)
+    return x
+
+
+def reference_vectors(table_id: int, feature_ids: np.ndarray, dim: int) -> np.ndarray:
+    """Ground-truth embeddings for (table, ids): deterministic, vectorised.
+
+    Component ``j`` of the vector for feature ``f`` is a hash of
+    ``(table_id, f, j)`` mapped to a uniform value in ``[-0.5, 0.5)``; the
+    mapping is a pure function, so any two code paths that claim to return
+    the embedding of the same ID can be compared bit-exactly.
+    """
+    feature_ids = np.asarray(feature_ids, dtype=np.uint64)
+    base = (np.uint64(table_id + 1) << np.uint64(48)) ^ feature_ids
+    cols = np.arange(dim, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    mixed = _mix64(base[:, None] ^ cols[None, :])
+    return (mixed.astype(np.float64) / 2.0**64 - 0.5).astype(np.float32)
+
+
+def reference_vector(table_id: int, feature_id: int, dim: int) -> np.ndarray:
+    """Scalar convenience wrapper around :func:`reference_vectors`."""
+    return reference_vectors(table_id, np.array([feature_id], np.uint64), dim)[0]
+
+
+class EmbeddingTable:
+    """Host hash table of embedding vectors for one feature field.
+
+    Rows are materialised lazily: a feature ID's vector is generated on its
+    first access and then pinned, so repeated lookups are stable (training
+    would update rows in place; inference only reads).
+    """
+
+    def __init__(self, spec: TableSpec):
+        self.spec = spec
+        self._index = HostHashTable(capacity=max(spec.corpus_size, 8))
+        self._rows = np.zeros((0, spec.dim), dtype=np.float32)
+        self._row_count = 0
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def _ensure_rows(self, feature_ids: np.ndarray) -> None:
+        """Materialise rows for any IDs not yet present."""
+        found, _ = self._index.lookup_many(feature_ids)
+        missing = np.unique(feature_ids[~found])
+        if not missing.size:
+            return
+        if (missing >= self.spec.corpus_size).any():
+            raise WorkloadError(
+                f"table {self.spec.table_id}: feature id beyond corpus size "
+                f"{self.spec.corpus_size}"
+            )
+        new_rows = reference_vectors(self.spec.table_id, missing, self.spec.dim)
+        start = self._row_count
+        if self._rows.shape[0] < start + len(missing):
+            grow_to = max(start + len(missing), max(64, self._rows.shape[0] * 2))
+            grown = np.zeros((grow_to, self.spec.dim), dtype=np.float32)
+            grown[:start] = self._rows[:start]
+            self._rows = grown
+        self._rows[start:start + len(missing)] = new_rows
+        self._index.insert_many(
+            missing, np.arange(start, start + len(missing), dtype=np.int64)
+        )
+        self._row_count += len(missing)
+
+    def lookup(self, feature_ids: np.ndarray) -> np.ndarray:
+        """Return the embedding matrix for ``feature_ids`` (always hits)."""
+        feature_ids = np.ascontiguousarray(feature_ids, dtype=np.uint64)
+        if feature_ids.size == 0:
+            return np.zeros((0, self.spec.dim), dtype=np.float32)
+        self._ensure_rows(feature_ids)
+        _, rows = self._index.lookup_many(feature_ids)
+        return self._rows[rows]

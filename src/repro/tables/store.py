@@ -1,0 +1,134 @@
+"""The CPU-DRAM embedding store: all tables of a model, plus its cost model.
+
+This is the lower layer of the two-layer architecture (paper §2.2): the GPU
+cache answers hits; misses are indexed and copied out of this store at DRAM
+speed, and the resulting embeddings travel over PCIe into the output matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..hashindex.host_hash import HostQueryCost, host_query_cost
+from ..hardware import HardwareSpec
+from .embedding_table import EmbeddingTable
+from .table_spec import TableSpec, total_param_bytes
+
+
+@dataclass(frozen=True)
+class StoreQueryResult:
+    """Result of one batched host-store query."""
+
+    vectors: np.ndarray
+    cost: HostQueryCost
+
+
+class EmbeddingStore:
+    """All embedding tables of one model, resident in host DRAM."""
+
+    def __init__(self, specs: Sequence[TableSpec], hw: HardwareSpec):
+        if not specs:
+            raise WorkloadError("embedding store needs at least one table")
+        ids = [spec.table_id for spec in specs]
+        if ids != list(range(len(specs))):
+            raise WorkloadError("table specs must be densely numbered from 0")
+        self.specs = list(specs)
+        self.hw = hw
+        self._tables: Dict[int, EmbeddingTable] = {
+            spec.table_id: EmbeddingTable(spec) for spec in specs
+        }
+
+    # ------------------------------------------------------------------ info
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.specs)
+
+    @property
+    def param_bytes(self) -> int:
+        """Aggregate parameter size (Table 2's "Param Size" column)."""
+        return total_param_bytes(self.specs)
+
+    def spec_of(self, table_id: int) -> TableSpec:
+        return self.specs[table_id]
+
+    def table(self, table_id: int) -> EmbeddingTable:
+        return self._tables[table_id]
+
+    # ------------------------------------------------------------------ query
+
+    def query(
+        self,
+        table_id: int,
+        feature_ids: np.ndarray,
+        indexed_fraction: float = 0.0,
+    ) -> StoreQueryResult:
+        """Fetch embeddings of one table's ``feature_ids`` from DRAM.
+
+        Args:
+            table_id: table to query.
+            feature_ids: IDs to fetch (the cache's misses).
+            indexed_fraction: fraction of the keys whose DRAM location was
+                already resolved by the GPU-side unified index (§3.3) —
+                those skip the host hash probing and only pay the copy.
+        """
+        if not 0.0 <= indexed_fraction <= 1.0:
+            raise WorkloadError("indexed_fraction must be in [0, 1]")
+        table = self._tables[table_id]
+        vectors = table.lookup(feature_ids)
+        spec = self.specs[table_id]
+        keys_to_index = int(round(len(feature_ids) * (1.0 - indexed_fraction)))
+        cost = host_query_cost(
+            self.hw,
+            num_keys=keys_to_index,
+            payload_bytes=len(feature_ids) * spec.value_bytes,
+        )
+        return StoreQueryResult(vectors=vectors, cost=cost)
+
+    def query_many(
+        self,
+        table_ids: np.ndarray,
+        feature_ids: np.ndarray,
+        indexed_mask: np.ndarray = None,
+    ) -> StoreQueryResult:
+        """Fetch embeddings for a mixed batch of (table, id) pairs.
+
+        All tables in the batch must share one dimension (callers group by
+        dimension); the cost is accounted jointly, since the store's lookup
+        threads drain the whole miss batch together.
+        """
+        table_ids = np.asarray(table_ids)
+        feature_ids = np.asarray(feature_ids, dtype=np.uint64)
+        if table_ids.shape != feature_ids.shape:
+            raise WorkloadError("query_many: shape mismatch")
+        if len(table_ids) == 0:
+            zero = host_query_cost(self.hw, 0, 0)
+            return StoreQueryResult(np.zeros((0, 0), np.float32), zero)
+
+        dims = {self.specs[int(t)].dim for t in np.unique(table_ids)}
+        if len(dims) != 1:
+            raise WorkloadError("query_many: tables must share one dimension")
+        dim = dims.pop()
+
+        vectors = np.zeros((len(table_ids), dim), dtype=np.float32)
+        payload = 0
+        for table_id in np.unique(table_ids):
+            mask = table_ids == table_id
+            vectors[mask] = self._tables[int(table_id)].lookup(feature_ids[mask])
+            payload += int(mask.sum()) * self.specs[int(table_id)].value_bytes
+
+        if indexed_mask is None:
+            keys_to_index = len(table_ids)
+        else:
+            keys_to_index = int((~np.asarray(indexed_mask, bool)).sum())
+        cost = host_query_cost(self.hw, keys_to_index, payload)
+        return StoreQueryResult(vectors=vectors, cost=cost)
+
+
+def make_store(specs: Sequence[TableSpec], hw: HardwareSpec) -> EmbeddingStore:
+    """Convenience constructor mirroring the other substrate factories."""
+    return EmbeddingStore(specs, hw)

@@ -1,0 +1,54 @@
+"""Embedding table specifications.
+
+A DLRM's sparse part is a set of embedding tables ``{E_0, ..., E_{n-1}}``
+where table ``E_i`` has corpus size (hash-table capacity) ``c_i`` and value
+dimension ``d_i`` (paper §2.2).  :class:`TableSpec` carries exactly those
+parameters plus bookkeeping helpers used throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Static description of one embedding table."""
+
+    table_id: int
+    corpus_size: int
+    dim: int
+
+    def __post_init__(self) -> None:
+        if self.corpus_size <= 0:
+            raise ConfigError(f"table {self.table_id}: corpus_size must be > 0")
+        if self.dim <= 0:
+            raise ConfigError(f"table {self.table_id}: dim must be > 0")
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes of one float32 embedding vector."""
+        return self.dim * 4
+
+    @property
+    def param_bytes(self) -> int:
+        """Total parameter bytes of the table."""
+        return self.corpus_size * self.value_bytes
+
+
+def make_table_specs(corpus_sizes: Sequence[int], dims: Sequence[int]) -> List[TableSpec]:
+    """Build specs from parallel corpus-size / dimension sequences."""
+    if len(corpus_sizes) != len(dims):
+        raise ConfigError("corpus_sizes and dims must have the same length")
+    return [
+        TableSpec(table_id=i, corpus_size=int(c), dim=int(d))
+        for i, (c, d) in enumerate(zip(corpus_sizes, dims))
+    ]
+
+
+def total_param_bytes(specs: Sequence[TableSpec]) -> int:
+    """Aggregate parameter size of all tables (Table 2's "Param Size")."""
+    return sum(spec.param_bytes for spec in specs)

@@ -1,0 +1,38 @@
+"""Workload generation: datasets, traces, and sampling distributions.
+
+The paper evaluates on three real-world CTR datasets (Avazu, Criteo-Kaggle,
+Criteo-TB; Table 2) plus synthetic power-law workloads for sensitivity
+studies (§6.1).  Since the raw datasets cannot ship with this repository,
+:mod:`repro.workloads.datasets` builds scaled-down *replicas* that preserve
+the statistics the cache behaviour depends on: per-table corpus sizes with
+the published table counts, heterogeneous per-table skew, and temporal
+hotspot drift.
+"""
+
+from .zipf import ZipfSampler
+from .spec import DatasetSpec, FieldSpec
+from .synthetic import synthetic_dataset, uniform_tables_spec
+from .datasets import avazu_replica, criteo_kaggle_replica, criteo_tb_replica, DATASET_REPLICAS
+from .trace import Trace, TraceBatch
+from .preprocess import filter_low_frequency
+from .persistence import save_trace, load_trace
+from .gnn import gnn_feature_dataset, gnn_neighbourhood_trace
+
+__all__ = [
+    "ZipfSampler",
+    "DatasetSpec",
+    "FieldSpec",
+    "synthetic_dataset",
+    "uniform_tables_spec",
+    "avazu_replica",
+    "criteo_kaggle_replica",
+    "criteo_tb_replica",
+    "DATASET_REPLICAS",
+    "Trace",
+    "TraceBatch",
+    "filter_low_frequency",
+    "save_trace",
+    "load_trace",
+    "gnn_feature_dataset",
+    "gnn_neighbourhood_trace",
+]

@@ -1,0 +1,110 @@
+"""GNN feature-lookup workloads (paper §5, applicability discussion).
+
+The paper argues Fleche transfers to graph neural networks: categorical
+features of nodes and edges form many large embedding tables whose access
+patterns resemble recommendation workloads.  This module synthesises such
+traces from a graph sampled neighbourhood process:
+
+* node popularity follows the graph's degree distribution (power law);
+* one "sample" is a mini-batch of seed nodes plus their sampled
+  neighbours, so the same hub nodes recur across batches — exactly the
+  locality a GPU-resident cache exploits;
+* node/edge attribute tables of different sizes ride along, mirroring the
+  heterogeneous table mix of DLRMs.
+
+It also encodes the paper's NLP counter-point: a word-embedding table is
+small enough to cache entirely, making Fleche unnecessary —
+:func:`nlp_word_table_fits_hbm` checks that directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..hardware import HardwareSpec
+from .spec import DatasetSpec, FieldSpec
+from .trace import Trace, TraceBatch
+from .zipf import ZipfSampler
+
+
+def gnn_feature_dataset(
+    num_nodes: int = 500_000,
+    num_node_attr_tables: int = 6,
+    num_edge_attr_tables: int = 4,
+    degree_alpha: float = -1.6,
+    dim: int = 32,
+    seed: int = 0,
+) -> DatasetSpec:
+    """Dataset spec for a GNN feature store.
+
+    Table 0 is the node-ID embedding table (degree-skewed access); the
+    remaining tables are node/edge attribute vocabularies of decreasing
+    size.
+    """
+    if num_nodes <= 0:
+        raise WorkloadError("num_nodes must be positive")
+    rng = np.random.default_rng(seed)
+    fields = [FieldSpec(corpus_size=num_nodes, alpha=degree_alpha)]
+    for i in range(num_node_attr_tables + num_edge_attr_tables):
+        corpus = max(8, int(num_nodes / (4 ** (i + 1))))
+        fields.append(
+            FieldSpec(
+                corpus_size=corpus,
+                alpha=float(rng.uniform(-1.8, -1.0)),
+            )
+        )
+    return DatasetSpec(
+        name="gnn-features",
+        fields=tuple(fields),
+        num_samples=10_000_000,
+        dim=dim,
+        seed=seed,
+    )
+
+
+def gnn_neighbourhood_trace(
+    spec: DatasetSpec,
+    num_batches: int,
+    seeds_per_batch: int,
+    fanout: int = 8,
+) -> Trace:
+    """Mini-batches of seed nodes plus sampled neighbours.
+
+    Neighbour IDs are drawn from the degree distribution (hubs recur), so
+    each batch touches ``seeds * (1 + fanout)`` node IDs; attribute tables
+    receive one ID per touched node.
+    """
+    if num_batches <= 0 or seeds_per_batch <= 0 or fanout < 0:
+        raise WorkloadError("invalid trace parameters")
+    node_field = spec.fields[0]
+    node_sampler = ZipfSampler(node_field.corpus_size, node_field.alpha,
+                               seed=spec.seed)
+    attr_samplers = [
+        ZipfSampler(f.corpus_size, f.alpha, seed=spec.seed * 13 + i + 1)
+        for i, f in enumerate(spec.fields[1:])
+    ]
+    batches: List[TraceBatch] = []
+    ids_per_batch = seeds_per_batch * (1 + fanout)
+    for _ in range(num_batches):
+        seeds = node_sampler.sample(seeds_per_batch)
+        neighbours = node_sampler.sample(seeds_per_batch * fanout)
+        nodes = np.concatenate([seeds, neighbours])
+        ids_per_table = [nodes]
+        for sampler in attr_samplers:
+            ids_per_table.append(sampler.sample(ids_per_batch))
+        batches.append(
+            TraceBatch(ids_per_table=ids_per_table, batch_size=seeds_per_batch)
+        )
+    return Trace(batches, name=spec.name)
+
+
+def nlp_word_table_fits_hbm(
+    hw: HardwareSpec, vocabulary: int = 30_522, dim: int = 768
+) -> bool:
+    """The paper's NLP counter-example: BERT-scale word embeddings
+    (~100 MB) fit entirely in HBM, so no cache hierarchy is needed."""
+    table_bytes = vocabulary * dim * 4
+    return table_bytes < 0.05 * hw.gpu.hbm_capacity

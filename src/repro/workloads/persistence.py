@@ -1,0 +1,65 @@
+"""Trace persistence: save and reload request traces.
+
+Experiments are only reproducible if the exact trace can be pinned down.
+Generators here are seeded and deterministic, but cross-version numpy or
+algorithm changes can still drift a regenerated trace — persisting the
+materialised trace removes the ambiguity, and lets externally captured
+production traces enter the same pipeline.
+
+Format: a single ``.npz`` with one array per (batch, table) plus a small
+header; compact, portable, and loadable without this library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .trace import Trace, TraceBatch
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str) -> str:
+    """Persist ``trace`` to ``path`` (.npz); returns the path written."""
+    arrays = {
+        "__version__": np.array([_FORMAT_VERSION]),
+        "__num_batches__": np.array([len(trace)]),
+        "__num_tables__": np.array([trace.num_tables]),
+        "__batch_sizes__": np.array([b.batch_size for b in trace]),
+        "__name__": np.array([trace.name]),
+    }
+    for i, batch in enumerate(trace):
+        for t, ids in enumerate(batch.ids_per_table):
+            arrays[f"b{i}_t{t}"] = np.asarray(ids, dtype=np.uint64)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace persisted by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["__version__"][0])
+        except KeyError:
+            raise WorkloadError(f"{path!r} is not a persisted trace")
+        if version != _FORMAT_VERSION:
+            raise WorkloadError(
+                f"unsupported trace format version {version}"
+            )
+        num_batches = int(data["__num_batches__"][0])
+        num_tables = int(data["__num_tables__"][0])
+        batch_sizes = data["__batch_sizes__"]
+        name = str(data["__name__"][0])
+        batches = []
+        for i in range(num_batches):
+            ids_per_table = [
+                data[f"b{i}_t{t}"] for t in range(num_tables)
+            ]
+            batches.append(
+                TraceBatch(
+                    ids_per_table=ids_per_table,
+                    batch_size=int(batch_sizes[i]),
+                )
+            )
+    return Trace(batches, name=name)

@@ -1,0 +1,67 @@
+"""Trace preprocessing.
+
+HugeCTR's preprocessing scripts remove low-frequency features before
+deployment (paper §6.1); :func:`filter_low_frequency` reproduces that step
+on a trace, remapping the surviving IDs of each table onto a dense range so
+downstream corpus sizes shrink accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .trace import Trace, TraceBatch
+
+
+def frequency_tables(trace: Trace) -> List[Dict[int, int]]:
+    """Per-table occurrence counts over the whole trace."""
+    counts: List[Dict[int, int]] = []
+    for table in range(trace.num_tables):
+        ids = np.concatenate([batch.ids_per_table[table] for batch in trace])
+        values, occurrences = np.unique(ids, return_counts=True)
+        counts.append({int(v): int(c) for v, c in zip(values, occurrences)})
+    return counts
+
+
+def filter_low_frequency(
+    trace: Trace, min_count: int = 2
+) -> Tuple[Trace, List[Dict[int, int]]]:
+    """Drop IDs occurring fewer than ``min_count`` times; densify the rest.
+
+    Low-frequency IDs are mapped to a per-table out-of-vocabulary bucket
+    (ID 0 of the densified range), matching the common production practice
+    the HugeCTR scripts implement.
+
+    Returns:
+        ``(filtered_trace, remaps)`` where ``remaps[t]`` maps original IDs
+        of table ``t`` to their densified replacement.
+    """
+    if min_count < 1:
+        raise WorkloadError("min_count must be >= 1")
+    counts = frequency_tables(trace)
+    remaps: List[Dict[int, int]] = []
+    for table_counts in counts:
+        keep = sorted(
+            fid for fid, count in table_counts.items() if count >= min_count
+        )
+        remap = {fid: new_id + 1 for new_id, fid in enumerate(keep)}
+        remaps.append(remap)
+
+    new_batches = []
+    for batch in trace:
+        new_ids = []
+        for table, ids in enumerate(batch.ids_per_table):
+            remap = remaps[table]
+            mapped = np.fromiter(
+                (remap.get(int(fid), 0) for fid in ids),
+                dtype=np.uint64,
+                count=len(ids),
+            )
+            new_ids.append(mapped)
+        new_batches.append(
+            TraceBatch(ids_per_table=new_ids, batch_size=batch.batch_size)
+        )
+    return Trace(new_batches, name=f"{trace.name}:minc{min_count}"), remaps

@@ -1,0 +1,172 @@
+"""Tests for the workload-analysis package (MRC, hotspots)."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.analysis.hotspot import global_vs_static_split, hotspot_profile
+from repro.analysis.reuse import miss_ratio_curve, reuse_distances
+from repro.errors import WorkloadError
+from repro.workloads.trace import Trace, TraceBatch
+
+
+def trace_of(*per_table_streams):
+    """Single-batch trace from explicit per-table ID lists."""
+    return Trace([
+        TraceBatch(
+            [np.array(ids, np.uint64) for ids in per_table_streams],
+            batch_size=max(len(per_table_streams[0]), 1),
+        )
+    ])
+
+
+class TestReuseDistances:
+    def test_first_touches_are_minus_one(self):
+        d = reuse_distances(trace_of([1, 2, 3]))
+        assert d.tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse_distance_zero(self):
+        d = reuse_distances(trace_of([7, 7]))
+        assert d.tolist() == [-1, 0]
+
+    def test_classic_sequence(self):
+        # a b c a: reuse of a skipped {b, c} -> distance 2.
+        d = reuse_distances(trace_of([1, 2, 3, 1]))
+        assert d[3] == 2
+
+    def test_repeated_interleavings(self):
+        # a b a b: each reuse skips exactly one distinct key.
+        d = reuse_distances(trace_of([1, 2, 1, 2]))
+        assert d.tolist() == [-1, -1, 1, 1]
+
+    def test_duplicates_between_reuses_count_once(self):
+        # a b b b a: distinct keys between the two a's = {b} -> 1.
+        d = reuse_distances(trace_of([1, 2, 2, 2, 1]))
+        assert d[4] == 1
+
+    def test_tables_are_separate_keyspaces(self):
+        d = reuse_distances(trace_of([1, 1], [1, 1]))
+        # Stream interleaves tables: t0:[1,1], t1:[1,1] flattened per batch.
+        assert (d >= -1).all()
+        assert (d == 0).sum() == 2  # one immediate reuse per table
+
+    def test_matches_lru_simulation(self, rng):
+        """Mattson ground truth: distance < C iff LRU(C) hits."""
+        ids = rng.integers(0, 30, size=400).tolist()
+        t = trace_of(ids)
+        distances = reuse_distances(t)
+        for capacity in (1, 4, 16):
+            lru = OrderedDict()
+            hits = 0
+            for k in ids:
+                if k in lru:
+                    hits += 1
+                    lru.move_to_end(k)
+                else:
+                    lru[k] = None
+                    if len(lru) > capacity:
+                        lru.popitem(last=False)
+            predicted = int(((distances >= 0) & (distances < capacity)).sum())
+            assert predicted == hits
+
+
+class TestMissRatioCurve:
+    def test_monotone_nondecreasing(self, rng):
+        ids = rng.integers(0, 50, size=500).tolist()
+        mrc = miss_ratio_curve(trace_of(ids))
+        assert (np.diff(mrc.hit_rates) >= -1e-12).all()
+
+    def test_full_capacity_hits_everything_but_first_touches(self, rng):
+        ids = rng.integers(0, 20, size=200).tolist()
+        mrc = miss_ratio_curve(trace_of(ids))
+        expected = (200 - mrc.distinct_keys) / 200
+        assert mrc.hit_rates[-1] == pytest.approx(expected)
+
+    def test_hit_rate_at_interpolates(self, rng):
+        ids = rng.integers(0, 50, size=500).tolist()
+        mrc = miss_ratio_curve(trace_of(ids))
+        assert mrc.hit_rate_at(0) == 0.0
+        assert mrc.hit_rate_at(10**9) == pytest.approx(float(mrc.hit_rates[-1]))
+
+    def test_capacity_for_target(self, rng):
+        ids = (list(range(10)) * 30)
+        mrc = miss_ratio_curve(trace_of(ids))
+        cap = mrc.capacity_for(0.9)
+        assert cap is not None and cap <= 10
+        assert mrc.capacity_for(1.0) is None  # first touches never hit
+
+    def test_capacity_for_validation(self, rng):
+        mrc = miss_ratio_curve(trace_of([1, 1]))
+        with pytest.raises(WorkloadError):
+            mrc.capacity_for(1.5)
+
+    def test_predicts_flat_cache_hit_rate(self, hw, rng):
+        """The MRC predicts the measured flat-cache hit rate well."""
+        from repro.core.config import FlecheConfig
+        from repro.core.workflow import FlecheEmbeddingLayer
+        from repro.gpusim.executor import Executor
+        from repro.tables.store import EmbeddingStore
+        from repro.workloads.synthetic import (
+            synthetic_dataset,
+            uniform_tables_spec,
+        )
+
+        spec = uniform_tables_spec(num_tables=4, corpus_size=3_000,
+                                   alpha=-1.4, dim=16)
+        trace = synthetic_dataset(spec, num_batches=30, batch_size=256)
+        store = EmbeddingStore(spec.table_specs(), hw)
+        layer = FlecheEmbeddingLayer(
+            store, FlecheConfig(cache_ratio=0.1, use_unified_index=False), hw
+        )
+        executor = Executor(hw)
+        hits = misses = 0
+        for i, batch in enumerate(trace):
+            result = layer.query(batch, executor)
+            if i >= 15:
+                hits += result.hits
+                misses += result.misses
+        measured = hits / (hits + misses)
+        predicted = miss_ratio_curve(trace).hit_rate_at(
+            layer.cache.capacity_slots
+        )
+        assert measured == pytest.approx(predicted, abs=0.08)
+
+
+class TestHotspots:
+    def test_uniform_table_needs_most_keys(self):
+        skewed = [1] * 80 + [2] * 10 + [3] * 10
+        uniform = list(range(10)) * 10
+        profile = hotspot_profile(trace_of(skewed, uniform), share=0.8)
+        assert profile.hotspot_sizes[0] < profile.hotspot_sizes[1]
+        assert profile.imbalance > 1.0
+
+    def test_shares_sum_to_one(self, rng):
+        t = trace_of(rng.integers(0, 50, 100).tolist(),
+                     rng.integers(0, 5, 100).tolist())
+        profile = hotspot_profile(t)
+        assert sum(profile.traffic_shares.values()) == pytest.approx(1.0)
+
+    def test_share_validation(self):
+        with pytest.raises(WorkloadError):
+            hotspot_profile(trace_of([1]), share=0.0)
+
+    def test_global_beats_static_on_heterogeneous_tables(self, rng):
+        """Issue 1 in miniature: heterogeneous hotspots make the static
+        proportional split strictly worse than a global hot set."""
+        hot_small = ([1] * 200 + [2] * 100).copy()
+        cold_big = rng.integers(0, 500, size=300).tolist()
+        result = global_vs_static_split(trace_of(hot_small, cold_big),
+                                        total_budget=20)
+        assert result["global"] > result["static"]
+        assert result["gap"] > 0.0
+
+    def test_homogeneous_tables_show_little_gap(self, rng):
+        a = rng.integers(0, 100, 300).tolist()
+        b = rng.integers(0, 100, 300).tolist()
+        result = global_vs_static_split(trace_of(a, b), total_budget=40)
+        assert result["gap"] < 0.10
+
+    def test_budget_validation(self):
+        with pytest.raises(WorkloadError):
+            global_vs_static_split(trace_of([1]), total_budget=0)

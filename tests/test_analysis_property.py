@@ -1,0 +1,69 @@
+"""Property-based tests for the analysis package (hypothesis)."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reuse import miss_ratio_curve, reuse_distances
+from repro.workloads.trace import Trace, TraceBatch
+
+id_streams = st.lists(
+    st.integers(min_value=0, max_value=25), min_size=2, max_size=150
+)
+
+
+def _trace(ids):
+    return Trace([
+        TraceBatch([np.array(ids, np.uint64)], batch_size=len(ids))
+    ])
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids=id_streams)
+def test_mattson_matches_lru_at_every_capacity(ids):
+    """The stack-distance histogram reproduces exact LRU hit counts for
+    every capacity — the defining property of the Mattson algorithm."""
+    distances = reuse_distances(_trace(ids))
+    for capacity in (1, 2, 5, 13):
+        lru = OrderedDict()
+        hits = 0
+        for k in ids:
+            if k in lru:
+                hits += 1
+                lru.move_to_end(k)
+            else:
+                lru[k] = None
+                if len(lru) > capacity:
+                    lru.popitem(last=False)
+        predicted = int(((distances >= 0) & (distances < capacity)).sum())
+        assert predicted == hits
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids=id_streams)
+def test_first_touch_count_equals_distinct_keys(ids):
+    distances = reuse_distances(_trace(ids))
+    assert int((distances < 0).sum()) == len(set(ids))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids=id_streams)
+def test_mrc_is_monotone_and_bounded(ids):
+    mrc = miss_ratio_curve(_trace(ids))
+    assert (np.diff(mrc.hit_rates) >= -1e-12).all()
+    assert 0.0 <= mrc.hit_rates[0] <= mrc.hit_rates[-1] <= 1.0
+    # Compulsory misses bound the best possible hit rate.
+    assert mrc.hit_rates[-1] == (len(ids) - mrc.distinct_keys) / len(ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ids=id_streams, share=st.floats(min_value=0.1, max_value=1.0))
+def test_hotspot_size_monotone_in_share(ids, share):
+    from repro.analysis.hotspot import hotspot_profile
+
+    t = _trace(ids)
+    small = hotspot_profile(t, share=share * 0.5)
+    large = hotspot_profile(t, share=share)
+    assert small.hotspot_sizes[0] <= large.hotspot_sizes[0]

@@ -1,0 +1,56 @@
+"""Tests for the AUC metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.auc import auc_score
+
+
+class TestAucScore:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_midrank(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        labels = np.array([1, 0, 1, 0, 1])
+        scores = np.array([0.9, 0.8, 0.7, 0.6, 0.2])
+        # Pairs: (0.9>0.8),(0.9>0.6),(0.7<0.8),(0.7>0.6),(0.2<0.8),(0.2<0.6)
+        assert auc_score(labels, scores) == pytest.approx(3 / 6)
+
+    def test_monotone_transform_invariance(self, rng):
+        labels = rng.integers(0, 2, size=200)
+        labels[:5] = 1
+        labels[5:10] = 0
+        scores = rng.random(200)
+        a = auc_score(labels, scores)
+        b = auc_score(labels, scores * 100 - 3)
+        assert a == pytest.approx(b)
+
+    def test_needs_both_classes(self):
+        with pytest.raises(WorkloadError):
+            auc_score(np.ones(5), np.ones(5))
+
+    def test_needs_matching_shapes(self):
+        with pytest.raises(WorkloadError):
+            auc_score(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            auc_score(np.zeros(0), np.zeros(0))

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["hitrate"])
+        assert args.dataset == "avazu"
+        assert args.ratio == 0.05
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hitrate", "--dataset", "movielens"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for command in ("hitrate", "throughput", "fusion", "coding", "trace"):
+            assert command in out
+
+    def test_hitrate_prints_three_schemes(self, capsys):
+        rc = main([
+            "hitrate", "--dataset", "avazu", "--batches", "6",
+            "--batch", "128", "--scale", "0.02",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Optimal" in out and "HugeCTR" in out and "Fleche" in out
+
+    def test_throughput_reports_speedup(self, capsys):
+        rc = main([
+            "throughput", "--dataset", "avazu", "--batches", "6",
+            "--batch", "128", "--scale", "0.02",
+        ])
+        assert rc == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_fusion_table(self, capsys):
+        rc = main(["fusion", "--tables", "8", "--keys", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HugeCTR" in out and "Fleche" in out
+
+    def test_coding(self, capsys):
+        rc = main(["coding", "--bits", "12"])
+        assert rc == 0
+        assert "upper bound" in capsys.readouterr().out
+
+    def test_trace_exports_valid_json(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        rc = main([
+            "trace", "--out", str(out_path), "--scale", "0.02",
+            "--batch", "64",
+        ])
+        assert rc == 0
+        with open(out_path) as f:
+            trace = json.load(f)
+        assert trace["traceEvents"]

@@ -1,0 +1,86 @@
+"""Tests for the flat-key codec machinery."""
+
+import numpy as np
+import pytest
+
+from repro.coding.layout import (
+    CodecLayout,
+    TableCode,
+    hash_feature_ids,
+)
+from repro.errors import CodingError
+
+
+def code(table_id, prefix, prefix_bits, feature_bits, corpus=100):
+    return TableCode(table_id, prefix, prefix_bits, feature_bits, corpus)
+
+
+class TestHashFeatureIds:
+    def test_identity_when_corpus_fits(self):
+        ids = np.arange(100, dtype=np.uint64)
+        out = hash_feature_ids(ids, 8, corpus_size=256)
+        np.testing.assert_array_equal(out, ids)
+
+    def test_hash_when_corpus_overflows(self):
+        ids = np.arange(1000, dtype=np.uint64)
+        out = hash_feature_ids(ids, 8, corpus_size=1000)
+        assert (out < 256).all()
+        # Hashing 1000 ids into 256 slots must collide.
+        assert len(np.unique(out)) < 1000
+
+    def test_full_width_is_identity(self):
+        ids = np.array([0, 2**60], dtype=np.uint64)
+        np.testing.assert_array_equal(hash_feature_ids(ids, 64), ids)
+
+    def test_deterministic(self):
+        ids = np.arange(50, dtype=np.uint64)
+        a = hash_feature_ids(ids, 10)
+        b = hash_feature_ids(ids, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_range_respected(self):
+        ids = np.arange(10_000, dtype=np.uint64) * 7919
+        out = hash_feature_ids(ids, 12)
+        assert (out < 4096).all()
+
+
+class TestCodecLayout:
+    def test_valid_layout(self):
+        CodecLayout(
+            key_bits=16,
+            codes=(code(0, 0b0, 1, 15), code(1, 0b1, 1, 15)),
+        )
+
+    def test_bits_must_sum(self):
+        with pytest.raises(CodingError):
+            CodecLayout(key_bits=16, codes=(code(0, 0, 4, 10),))
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(CodingError):
+            CodecLayout(
+                key_bits=16,
+                codes=(code(0, 0, 1, 15), code(0, 1, 1, 15)),
+            )
+
+    def test_nested_prefixes_rejected(self):
+        # 0b0 (1 bit) is a prefix of 0b01 (2 bits): inter-table collision.
+        with pytest.raises(CodingError):
+            CodecLayout(
+                key_bits=16,
+                codes=(code(0, 0b0, 1, 15), code(1, 0b01, 2, 14)),
+            )
+
+    def test_key_bits_bounds(self):
+        with pytest.raises(CodingError):
+            CodecLayout(key_bits=4, codes=())
+        with pytest.raises(CodingError):
+            CodecLayout(key_bits=65, codes=())
+
+    def test_code_for_missing_table(self):
+        layout = CodecLayout(key_bits=16, codes=(code(0, 0, 1, 15),))
+        with pytest.raises(CodingError):
+            layout.code_for(5)
+
+    def test_collision_free_flag(self):
+        assert code(0, 0, 8, 8, corpus=256).collision_free
+        assert not code(0, 0, 8, 8, corpus=257).collision_free

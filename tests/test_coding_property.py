@@ -1,0 +1,42 @@
+"""Property-based tests for flat-key codecs (hypothesis)."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.fixed_length import FixedLengthCodec
+from repro.coding.size_aware import SizeAwareCodec
+
+corpus_lists = st.lists(
+    st.integers(min_value=1, max_value=2**30), min_size=1, max_size=24
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(sizes=corpus_lists, key_bits=st.integers(min_value=16, max_value=64))
+def test_size_aware_layout_is_always_prefix_free(sizes, key_bits):
+    """For any corpus mix, the layout satisfies Kraft and prefix-freedom."""
+    codec = SizeAwareCodec(sizes, key_bits=key_bits)
+    total = sum(
+        Fraction(1, 2 ** c.prefix_bits)
+        for c in codec.layout.codes
+        if len(sizes) > 1
+    )
+    assert total <= 1
+    # CodecLayout.__post_init__ already raises on nesting; reaching here
+    # means the property held.
+
+
+@settings(max_examples=60, deadline=None)
+@given(sizes=corpus_lists)
+def test_tables_never_share_flat_keys(sizes):
+    """Keys from different tables never collide (inter-table isolation)."""
+    codec = SizeAwareCodec(sizes, key_bits=32)
+    sample = np.arange(16, dtype=np.uint64)
+    seen = {}
+    for t, size in enumerate(sizes):
+        ids = sample % np.uint64(size)
+        for key in codec.encode(t, ids).tolist():
+            assert seen.setdefault(key, t) == t

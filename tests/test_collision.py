@@ -1,0 +1,56 @@
+"""Tests for collision statistics."""
+
+import numpy as np
+import pytest
+
+from repro.coding.collision import collision_stats
+from repro.coding.fixed_length import FixedLengthCodec
+from repro.coding.size_aware import SizeAwareCodec
+
+
+class TestCollisionStats:
+    def test_zero_collisions_with_roomy_keys(self):
+        sizes = [100, 200]
+        codec = SizeAwareCodec(sizes, key_bits=48)
+        ids = [np.arange(s, dtype=np.uint64) for s in sizes]
+        stats = collision_stats(codec, ids)
+        assert stats.intra_table_rate == 0.0
+        assert stats.inter_table_rate == 0.0
+        assert stats.total_rate == 0.0
+
+    def test_detects_intra_table_collisions(self):
+        # Large corpus hashed into a tiny budget.
+        codec = FixedLengthCodec([2**16], key_bits=16, table_bits=8)
+        ids = [np.arange(2**16, dtype=np.uint64)]
+        stats = collision_stats(codec, ids)
+        assert stats.intra_table_rate > 0.5
+
+    def test_per_table_breakdown(self):
+        sizes = [16, 2**18]
+        codec = FixedLengthCodec(sizes, key_bits=20, table_bits=4)
+        ids = [np.arange(s, dtype=np.uint64) for s in sizes]
+        stats = collision_stats(codec, ids)
+        assert stats.per_table[0] == 0.0
+        assert stats.per_table[1] > 0.0
+
+    def test_duplicates_in_input_ignored(self):
+        codec = SizeAwareCodec([100], key_bits=32)
+        ids = [np.array([1, 1, 1, 2], dtype=np.uint64)]
+        stats = collision_stats(codec, ids)
+        assert stats.intra_table_rate == 0.0
+
+    def test_size_aware_dominates_fixed_length(self):
+        sizes = [8, 32, 128, 50_000, 400_000]
+        key_bits = 21
+        ids = [np.arange(s, dtype=np.uint64) for s in sizes]
+        sa = collision_stats(SizeAwareCodec(sizes, key_bits=key_bits), ids)
+        fx = collision_stats(
+            FixedLengthCodec(sizes, key_bits=key_bits, table_bits=3), ids
+        )
+        assert sa.total_rate <= fx.total_rate
+
+    def test_prefix_free_layouts_have_no_inter_table(self):
+        sizes = [10, 1000, 100_000]
+        codec = SizeAwareCodec(sizes, key_bits=24)
+        ids = [np.arange(s, dtype=np.uint64) for s in sizes]
+        assert collision_stats(codec, ids).inter_table_rate == 0.0

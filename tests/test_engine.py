@@ -1,0 +1,96 @@
+"""Tests for the end-to-end inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.no_cache import NoCacheLayer
+from repro.core.config import FlecheConfig
+from repro.core.engine import InferenceEngine
+from repro.core.workflow import FlecheEmbeddingLayer
+from repro.gpusim.executor import Executor
+from repro.model.dcn import DeepCrossNetwork
+
+
+@pytest.fixture()
+def engine(small_store, small_dataset, hw):
+    layer = FlecheEmbeddingLayer(small_store, FlecheConfig(cache_ratio=0.1), hw)
+    model = DeepCrossNetwork(
+        num_tables=small_dataset.num_tables,
+        embedding_dim=small_dataset.dim,
+        num_cross_layers=2,
+        hidden_units=[32],
+    )
+    return InferenceEngine(layer, hw, model=model)
+
+
+class TestRun:
+    def test_produces_probabilities(self, engine, small_trace, hw):
+        result = engine.run(list(small_trace)[:4], Executor(hw), warmup=1)
+        assert result.last_probabilities is not None
+        assert ((result.last_probabilities >= 0)
+                & (result.last_probabilities <= 1)).all()
+
+    def test_counts_samples(self, engine, small_trace, hw):
+        batches = list(small_trace)[:5]
+        result = engine.run(batches, Executor(hw), warmup=2)
+        assert result.samples == sum(b.batch_size for b in batches[2:])
+
+    def test_throughput_positive(self, engine, small_trace, hw):
+        result = engine.run(list(small_trace)[:4], Executor(hw), warmup=1)
+        assert result.throughput > 0
+
+    def test_latency_percentiles_ordered(self, engine, small_trace, hw):
+        result = engine.run(list(small_trace), Executor(hw), warmup=2)
+        assert result.median_latency <= result.p99_latency
+        assert result.latency_percentile(0) <= result.median_latency
+
+    def test_embedding_latency_below_total(self, engine, small_trace, hw):
+        result = engine.run(list(small_trace)[:4], Executor(hw), warmup=1)
+        for embed, total in zip(result.embedding_latencies, result.latencies):
+            assert embed <= total
+
+    def test_warmup_excluded_from_timing(self, engine, small_trace, hw):
+        batches = list(small_trace)[:6]
+        result = engine.run(batches, Executor(hw), warmup=3)
+        assert len(result.latencies) == 3
+
+    def test_breakdown_attached(self, engine, small_trace, hw):
+        result = engine.run(list(small_trace)[:3], Executor(hw), warmup=1)
+        assert result.breakdown is not None
+        assert result.breakdown.total() > 0
+
+    def test_embedding_only_mode(self, small_store, hw, small_trace):
+        layer = FlecheEmbeddingLayer(small_store, FlecheConfig(cache_ratio=0.1), hw)
+        engine = InferenceEngine(layer, hw, model=None, include_dense=False)
+        result = engine.run(list(small_trace)[:3], Executor(hw), warmup=1)
+        assert result.last_probabilities is None
+        assert result.breakdown.seconds.get(
+            __import__("repro").Category.MLP, 0.0
+        ) == 0.0
+
+    def test_mlp_time_independent_of_cache_scheme(
+        self, small_store, small_dataset, hw, small_trace
+    ):
+        """Exp #12's premise: Fleche only changes the embedding part."""
+        from repro.gpusim.stats import Category
+
+        model = DeepCrossNetwork(
+            num_tables=small_dataset.num_tables,
+            embedding_dim=small_dataset.dim,
+            num_cross_layers=2,
+            hidden_units=[32],
+        )
+        batches = list(small_trace)[:4]
+
+        def mlp_time(layer):
+            engine = InferenceEngine(layer, hw, model=model)
+            result = engine.run(batches, Executor(hw), warmup=1)
+            return result.breakdown.seconds[Category.MLP]
+
+        fleche = FlecheEmbeddingLayer(small_store, FlecheConfig(cache_ratio=0.1), hw)
+        nocache = NoCacheLayer(small_store, hw)
+        assert mlp_time(fleche) == pytest.approx(mlp_time(nocache), rel=1e-9)
+
+    def test_hit_rate_aggregated(self, engine, small_trace, hw):
+        result = engine.run(list(small_trace), Executor(hw), warmup=2)
+        assert 0.0 <= result.hit_rate <= 1.0

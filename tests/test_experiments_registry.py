@@ -1,0 +1,37 @@
+"""Tests for the experiment registry."""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import all_experiments, registry
+
+
+class TestRegistry:
+    def test_ids_unique(self):
+        entries = all_experiments()
+        ids = [e.experiment_id for e in entries]
+        assert len(ids) == len(set(ids))
+
+    def test_registry_matches_list(self):
+        assert set(registry()) == {
+            e.experiment_id for e in all_experiments()
+        }
+
+    def test_every_bench_file_exists(self):
+        for entry in all_experiments():
+            assert os.path.exists(entry.bench_file), entry.bench_file
+
+    def test_every_paper_figure_covered(self):
+        refs = {e.paper_ref for e in all_experiments()}
+        for figure in [f"Figure {n}" for n in (3, 4)] + [
+            f"Figure {n}" for n in range(9, 21)
+        ]:
+            assert figure in refs
+        assert "Table 1" in refs and "Table 2" in refs
+
+    def test_cli_run_rejects_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "definitely-not-real"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out

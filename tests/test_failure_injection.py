@@ -1,0 +1,110 @@
+"""Failure-injection tests: degraded and timing-out remote fetches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.multitier.hierarchy import TieredParameterStore
+from repro.multitier.remote_ps import NetworkSpec, RemoteParameterServer
+from repro.tables.table_spec import make_table_specs
+
+
+@pytest.fixture()
+def specs():
+    return make_table_specs([2_000], [16])
+
+
+class TestNetworkFaults:
+    def test_defaults_are_deterministic(self, specs):
+        a = RemoteParameterServer(specs, seed=1)
+        b = RemoteParameterServer(specs, seed=2)
+        ids = np.arange(50, dtype=np.uint64)
+        assert a.fetch(0, ids).network_time == b.fetch(0, ids).network_time
+
+    def test_slow_path_multiplies_latency(self, specs):
+        always_slow = NetworkSpec(slow_probability=1.0, slow_factor=10.0)
+        healthy = NetworkSpec()
+        slow_ps = RemoteParameterServer(specs, always_slow, seed=3)
+        fast_ps = RemoteParameterServer(specs, healthy, seed=3)
+        ids = np.arange(100, dtype=np.uint64)
+        assert slow_ps.fetch(0, ids).network_time == pytest.approx(
+            10.0 * fast_ps.fetch(0, ids).network_time
+        )
+
+    def test_timeout_adds_retry_penalty(self, specs):
+        flaky = NetworkSpec(timeout_probability=1.0, timeout=5e-4)
+        ps = RemoteParameterServer(specs, flaky, seed=4)
+        ids = np.arange(10, dtype=np.uint64)
+        healthy_time = NetworkSpec().fetch_cost(ids.nbytes + 16 * 40)
+        assert ps.fetch(0, ids).network_time > 5e-4
+
+    def test_fault_rate_approximately_respected(self, specs):
+        net = NetworkSpec(slow_probability=0.3, slow_factor=50.0)
+        ps = RemoteParameterServer(specs, net, seed=5)
+        ids = np.arange(10, dtype=np.uint64)
+        base = NetworkSpec().fetch_cost(int(ids.nbytes + 8 * len(ids)))
+        slow = sum(
+            1 for _ in range(500)
+            if ps.fetch(0, ids).network_time > 5 * base
+        )
+        assert slow / 500 == pytest.approx(0.3, abs=0.07)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            NetworkSpec(slow_probability=1.5)
+        with pytest.raises(WorkloadError):
+            NetworkSpec(timeout_probability=-0.1)
+        with pytest.raises(WorkloadError):
+            NetworkSpec(slow_factor=0.5)
+        with pytest.raises(WorkloadError):
+            NetworkSpec(timeout=0.0)
+
+
+class TestFaultsThroughTheHierarchy:
+    def test_faulty_remote_inflates_tail_but_not_correctness(self, specs, hw):
+        """Degraded fetches slow the tiered store; the data stays exact."""
+        from repro.tables.embedding_table import reference_vectors
+
+        flaky = RemoteParameterServer(
+            specs,
+            NetworkSpec(slow_probability=0.5, slow_factor=20.0),
+            seed=7,
+        )
+        store = TieredParameterStore(
+            specs, hw, dram_capacity=64, remote=flaky
+        )
+        healthy_store = TieredParameterStore(specs, hw, dram_capacity=64)
+        rng = np.random.default_rng(11)
+        flaky_time = healthy_time = 0.0
+        for _ in range(20):
+            ids = rng.integers(0, 2_000, 64).astype(np.uint64)
+            r1 = store.query(0, ids)
+            r2 = healthy_store.query(0, ids)
+            np.testing.assert_array_equal(
+                r1.vectors, reference_vectors(0, ids, 16)
+            )
+            np.testing.assert_array_equal(r1.vectors, r2.vectors)
+            flaky_time += r1.cost.total
+            healthy_time += r2.cost.total
+        assert flaky_time > 1.5 * healthy_time
+
+    def test_bigger_dram_tier_shields_from_flaky_remote(self, specs, hw):
+        """The DRAM tier is the failure-isolation layer: more capacity,
+        fewer remote trips, less fault exposure."""
+        def total_time(capacity):
+            flaky = RemoteParameterServer(
+                specs,
+                NetworkSpec(slow_probability=0.5, slow_factor=20.0),
+                seed=9,
+            )
+            store = TieredParameterStore(
+                specs, hw, dram_capacity=capacity, remote=flaky
+            )
+            rng = np.random.default_rng(13)
+            total = 0.0
+            for _ in range(25):
+                ids = rng.integers(0, 500, 64).astype(np.uint64)
+                total += store.query(0, ids).cost.total
+            return total
+
+        assert total_time(600) < total_time(32)

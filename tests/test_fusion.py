@@ -1,0 +1,115 @@
+"""Tests for self-identified kernel fusion (paper §3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import (
+    FusionPlan,
+    build_fusion_plan,
+    identify_thread,
+    identify_threads,
+    round_to_warp,
+    warp_divergence_free,
+)
+from repro.errors import SimulationError
+from repro.gpusim.kernel import KernelSpec
+
+
+def specs(*thread_counts):
+    return [
+        KernelSpec(f"k{i}", threads=t, random_transactions=t)
+        for i, t in enumerate(thread_counts)
+    ]
+
+
+class TestRoundToWarp:
+    def test_exact_multiple(self):
+        assert round_to_warp(64) == 64
+
+    def test_rounds_up(self):
+        assert round_to_warp(65) == 96
+
+    def test_zero(self):
+        assert round_to_warp(0) == 0
+
+
+class TestBuildFusionPlan:
+    def test_paper_example(self):
+        """The running example of Figure 6: 960/1920/640-thread kernels
+        fuse into one 3520-thread launch."""
+        plan = build_fusion_plan(specs(960, 1920, 640))
+        assert plan.total_threads == 3520
+        assert plan.scan.tolist() == [0, 960, 2880, 3520]
+        assert plan.num_kernels == 3
+
+    def test_fused_work_is_sum(self):
+        plan = build_fusion_plan(specs(100, 200))
+        assert plan.fused_spec.random_transactions == 300
+
+    def test_thread_counts_rounded_to_warps(self):
+        plan = build_fusion_plan(specs(33, 1))
+        assert plan.scan.tolist() == [0, 64, 96]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            build_fusion_plan([])
+
+    def test_args_length_checked(self):
+        with pytest.raises(SimulationError):
+            build_fusion_plan(specs(32, 32), args=["only-one"])
+
+    def test_args_array_preserved(self):
+        plan = build_fusion_plan(specs(32, 32), args=["a", "b"])
+        assert plan.args_array == ("a", "b")
+
+    def test_metadata_bytes_small(self):
+        plan = build_fusion_plan(specs(*([32] * 60)))
+        # The scan + args metadata stays GDRCopy-sized for 60 tables.
+        assert plan.metadata_bytes < 4096
+
+
+class TestIdentification:
+    def test_paper_example_boundaries(self):
+        plan = build_fusion_plan(specs(960, 1920, 640))
+        assert identify_thread(plan, 0) == (0, 0)
+        assert identify_thread(plan, 959) == (0, 959)
+        assert identify_thread(plan, 960) == (1, 0)
+        assert identify_thread(plan, 2879) == (1, 1919)
+        assert identify_thread(plan, 2880) == (2, 0)
+        assert identify_thread(plan, 3519) == (2, 639)
+
+    def test_out_of_range_rejected(self):
+        plan = build_fusion_plan(specs(32))
+        with pytest.raises(SimulationError):
+            identify_thread(plan, 32)
+        with pytest.raises(SimulationError):
+            identify_thread(plan, -1)
+
+    def test_vectorised_matches_scalar(self):
+        plan = build_fusion_plan(specs(96, 64, 128))
+        tids = np.arange(plan.total_threads)
+        kernel_ids, locals_ = identify_threads(plan, tids)
+        for tid in range(plan.total_threads):
+            k, l = identify_thread(plan, tid)
+            assert kernel_ids[tid] == k
+            assert locals_[tid] == l
+
+    def test_every_thread_maps_into_its_kernel(self):
+        plan = build_fusion_plan(specs(960, 1920, 640))
+        tids = np.arange(plan.total_threads)
+        kernel_ids, locals_ = identify_threads(plan, tids)
+        counts = np.bincount(kernel_ids)
+        assert counts.tolist() == [960, 1920, 640]
+        assert (locals_ >= 0).all()
+
+
+class TestDivergenceFreedom:
+    def test_warp_uniform_kernel_ids(self):
+        """The paper's §3.2 property: with warp-rounded thread counts, every
+        warp's 32 threads identify the same original kernel."""
+        plan = build_fusion_plan(specs(960, 1920, 640))
+        assert warp_divergence_free(plan)
+
+    def test_holds_for_odd_sizes_after_rounding(self):
+        plan = build_fusion_plan(specs(33, 7, 100, 1))
+        assert warp_divergence_free(plan)

@@ -1,0 +1,59 @@
+"""Property-based tests for kernel fusion (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fusion import (
+    build_fusion_plan,
+    identify_threads,
+    warp_divergence_free,
+)
+from repro.gpusim.kernel import KernelSpec
+
+thread_lists = st.lists(
+    st.integers(min_value=0, max_value=4096), min_size=1, max_size=64
+)
+
+
+def _specs(threads):
+    return [KernelSpec(f"k{i}", threads=t) for i, t in enumerate(threads)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(threads=thread_lists)
+def test_identification_is_a_partition(threads):
+    """Every fused thread maps to exactly one original kernel, and each
+    kernel receives exactly its (warp-rounded) thread count."""
+    plan = build_fusion_plan(_specs(threads))
+    if plan.total_threads == 0:
+        return
+    tids = np.arange(plan.total_threads)
+    kernel_ids, locals_ = identify_threads(plan, tids)
+    rounded = np.diff(plan.scan)
+    counts = np.bincount(kernel_ids, minlength=len(threads))
+    np.testing.assert_array_equal(counts, rounded)
+    # Local ids within each kernel are 0..m-1 exactly.
+    for k in range(len(threads)):
+        mine = np.sort(locals_[kernel_ids == k])
+        np.testing.assert_array_equal(mine, np.arange(rounded[k]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(threads=thread_lists)
+def test_fusion_is_always_divergence_free(threads):
+    plan = build_fusion_plan(_specs(threads))
+    assert warp_divergence_free(plan)
+
+
+@settings(max_examples=50, deadline=None)
+@given(threads=thread_lists)
+def test_fused_work_conserved(threads):
+    """Fusing must neither lose nor duplicate device work."""
+    specs = [
+        KernelSpec(f"k{i}", threads=t, stream_bytes=t * 8, random_transactions=t)
+        for i, t in enumerate(threads)
+    ]
+    plan = build_fusion_plan(specs)
+    assert plan.fused_spec.stream_bytes == sum(t * 8 for t in threads)
+    assert plan.fused_spec.random_transactions == sum(threads)

@@ -1,0 +1,87 @@
+"""Tests for GNN feature workloads and the NLP counter-example (§5)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EmbeddingStore,
+    Executor,
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+)
+from repro.errors import WorkloadError
+from repro.workloads.gnn import (
+    gnn_feature_dataset,
+    gnn_neighbourhood_trace,
+    nlp_word_table_fits_hbm,
+)
+
+
+class TestGnnDataset:
+    def test_structure(self):
+        spec = gnn_feature_dataset(num_nodes=10_000)
+        assert spec.fields[0].corpus_size == 10_000
+        assert spec.num_tables == 1 + 6 + 4
+
+    def test_attribute_tables_shrink(self):
+        spec = gnn_feature_dataset(num_nodes=100_000)
+        sizes = [f.corpus_size for f in spec.fields]
+        assert sizes[1] < sizes[0]
+        assert sizes[-1] < sizes[1]
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(WorkloadError):
+            gnn_feature_dataset(num_nodes=0)
+
+
+class TestNeighbourhoodTrace:
+    def test_batch_shape(self):
+        spec = gnn_feature_dataset(num_nodes=5_000)
+        trace = gnn_neighbourhood_trace(spec, num_batches=4,
+                                        seeds_per_batch=32, fanout=4)
+        assert len(trace) == 4
+        batch = trace[0]
+        assert len(batch.ids_per_table[0]) == 32 * 5  # seeds + neighbours
+        assert batch.num_tables == spec.num_tables
+
+    def test_hub_nodes_recur_across_batches(self):
+        spec = gnn_feature_dataset(num_nodes=50_000, degree_alpha=-1.8)
+        trace = gnn_neighbourhood_trace(spec, num_batches=8,
+                                        seeds_per_batch=128, fanout=8)
+        first = set(np.unique(trace[0].ids_per_table[0]).tolist())
+        later = set(np.unique(trace[7].ids_per_table[0]).tolist())
+        overlap = len(first & later) / len(first)
+        assert overlap > 0.3  # hubs keep coming back
+
+    def test_parameter_validation(self):
+        spec = gnn_feature_dataset(num_nodes=100)
+        with pytest.raises(WorkloadError):
+            gnn_neighbourhood_trace(spec, 0, 8)
+
+    def test_fleche_benefits_gnn_workload(self, hw):
+        """The §5 claim: GNN feature lookups cache well under Fleche."""
+        spec = gnn_feature_dataset(num_nodes=50_000, degree_alpha=-1.6)
+        trace = gnn_neighbourhood_trace(spec, num_batches=12,
+                                        seeds_per_batch=128, fanout=8)
+        store = EmbeddingStore(spec.table_specs(), hw)
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
+        executor = Executor(hw)
+        for batch in list(trace)[:6]:
+            layer.query(batch, executor)
+        hits = misses = 0
+        for batch in list(trace)[6:]:
+            result = layer.query(batch, executor)
+            hits += result.hits
+            misses += result.misses
+        assert hits / (hits + misses) > 0.6
+
+
+class TestNlpCounterExample:
+    def test_bert_vocab_fits_hbm(self, hw):
+        # ~94 MB of word embeddings: no cache hierarchy needed (§5).
+        assert nlp_word_table_fits_hbm(hw)
+
+    def test_recommendation_scale_does_not_fit(self, hw):
+        assert not nlp_word_table_fits_hbm(
+            hw, vocabulary=1_000_000_000, dim=64
+        )

@@ -1,0 +1,52 @@
+"""Tests for the device memory allocator model."""
+
+import pytest
+
+from repro.errors import CapacityError, SimulationError
+from repro.gpusim.memory import DeviceAllocator
+
+
+class TestDeviceAllocator:
+    def test_malloc_tracks_usage(self, hw):
+        alloc = DeviceAllocator(hw)
+        a = alloc.malloc(1 << 20, "pool")
+        assert alloc.used_bytes == 1 << 20
+        alloc.free(a)
+        assert alloc.used_bytes == 0
+
+    def test_malloc_charges_cudamalloc_latency(self, hw):
+        alloc = DeviceAllocator(hw)
+        alloc.malloc(1024)
+        alloc.malloc(1024)
+        assert alloc.driver_time == pytest.approx(
+            2 * hw.kernel.cudamalloc_overhead
+        )
+        assert alloc.alloc_calls == 2
+
+    def test_oom_raises(self, hw):
+        alloc = DeviceAllocator(hw)
+        with pytest.raises(CapacityError):
+            alloc.malloc(hw.gpu.hbm_capacity + 1)
+
+    def test_free_bytes(self, hw):
+        alloc = DeviceAllocator(hw)
+        alloc.malloc(1 << 30)
+        assert alloc.free_bytes == hw.gpu.hbm_capacity - (1 << 30)
+
+    def test_double_free_raises(self, hw):
+        alloc = DeviceAllocator(hw)
+        a = alloc.malloc(64)
+        alloc.free(a)
+        with pytest.raises(SimulationError):
+            alloc.free(a)
+
+    def test_zero_size_malloc_rejected(self, hw):
+        with pytest.raises(SimulationError):
+            DeviceAllocator(hw).malloc(0)
+
+    def test_capacity_reusable_after_free(self, hw):
+        alloc = DeviceAllocator(hw)
+        half = hw.gpu.hbm_capacity // 2 + 1
+        a = alloc.malloc(half)
+        alloc.free(a)
+        alloc.malloc(half)  # would OOM if the free did not reclaim

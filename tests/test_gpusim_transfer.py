@@ -1,0 +1,54 @@
+"""Tests for the host/device copy cost model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.transfer import CopyEngine, CopyMethod
+
+
+class TestMethodResolution:
+    def test_small_copy_uses_gdrcopy(self, hw):
+        engine = CopyEngine(hw)
+        assert engine.resolve_method(64, CopyMethod.AUTO) is CopyMethod.GDRCOPY
+
+    def test_large_copy_uses_cudamemcpy(self, hw):
+        engine = CopyEngine(hw)
+        big = hw.interconnect.gdrcopy_crossover_bytes + 1
+        assert engine.resolve_method(big, CopyMethod.AUTO) is CopyMethod.CUDAMEMCPY
+
+    def test_explicit_method_wins(self, hw):
+        engine = CopyEngine(hw)
+        assert engine.resolve_method(64, CopyMethod.CUDAMEMCPY) is CopyMethod.CUDAMEMCPY
+        assert engine.resolve_method(1 << 30, CopyMethod.GDRCOPY) is CopyMethod.GDRCOPY
+
+
+class TestCost:
+    def test_small_copy_latency_is_gdr_overhead(self, hw):
+        # Paper §4: GDRCopy brings small copies to ~0.1 us.
+        cost = CopyEngine(hw).cost(16)
+        assert cost.overhead == pytest.approx(hw.interconnect.gdrcopy_overhead)
+        assert cost.total < 1e-6
+
+    def test_cudamemcpy_overhead_matches_paper(self, hw):
+        # Paper §4: vanilla cudaMemcpy costs 6-7 us per call.
+        cost = CopyEngine(hw).cost(16, CopyMethod.CUDAMEMCPY)
+        assert 6e-6 <= cost.overhead <= 7e-6
+
+    def test_wire_time_scales_with_bytes(self, hw):
+        engine = CopyEngine(hw)
+        a = engine.cost(1 << 20, CopyMethod.CUDAMEMCPY)
+        b = engine.cost(1 << 22, CopyMethod.CUDAMEMCPY)
+        assert b.wire_time == pytest.approx(4 * a.wire_time)
+
+    def test_zero_bytes_costs_only_overhead(self, hw):
+        cost = CopyEngine(hw).cost(0)
+        assert cost.wire_time == 0.0
+        assert cost.overhead > 0.0
+
+    def test_negative_bytes_rejected(self, hw):
+        with pytest.raises(SimulationError):
+            CopyEngine(hw).cost(-1)
+
+    def test_total_is_sum(self, hw):
+        cost = CopyEngine(hw).cost(1 << 16, CopyMethod.CUDAMEMCPY)
+        assert cost.total == pytest.approx(cost.overhead + cost.wire_time)

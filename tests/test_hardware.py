@@ -1,0 +1,77 @@
+"""Tests for the hardware platform specification."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import (
+    CpuSpec,
+    GpuSpec,
+    HardwareSpec,
+    InterconnectSpec,
+    default_platform,
+)
+
+
+class TestDefaultPlatform:
+    def test_matches_paper_table1_cpu(self):
+        hw = default_platform()
+        assert hw.cpu.cores == 64
+        assert hw.cpu.dram_capacity == 512 * 1024**3
+        assert hw.cpu.dram_bandwidth == 60e9
+
+    def test_matches_paper_table1_gpu(self):
+        hw = default_platform()
+        assert hw.gpu.cuda_cores == 2560
+        assert hw.gpu.hbm_capacity == 15 * 1024**3
+        assert hw.gpu.hbm_bandwidth == 300e9
+
+    def test_gdrcopy_much_cheaper_than_cudamemcpy(self):
+        # Paper §4: 6-7 us vs ~0.1 us.
+        hw = default_platform()
+        ratio = hw.interconnect.cudamemcpy_overhead / hw.interconnect.gdrcopy_overhead
+        assert ratio > 20
+
+    def test_validate_passes(self):
+        default_platform().validate()
+
+
+class TestValidation:
+    def test_rejects_zero_dram_bandwidth(self):
+        hw = HardwareSpec(cpu=CpuSpec(dram_bandwidth=0))
+        with pytest.raises(ConfigError):
+            hw.validate()
+
+    def test_rejects_bad_efficiency(self):
+        hw = HardwareSpec(gpu=GpuSpec(hbm_random_efficiency=1.5))
+        with pytest.raises(ConfigError):
+            hw.validate()
+
+    def test_rejects_negative_launch_overhead(self):
+        hw = default_platform().scaled(launch_overhead=-1.0)
+        with pytest.raises(ConfigError):
+            hw.validate()
+
+    def test_rejects_zero_pcie(self):
+        hw = HardwareSpec(interconnect=InterconnectSpec(pcie_bandwidth=0))
+        with pytest.raises(ConfigError):
+            hw.validate()
+
+
+class TestScaled:
+    def test_scaled_overrides_kernel_costs(self):
+        hw = default_platform().scaled(launch_overhead=1e-6)
+        assert hw.kernel.launch_overhead == 1e-6
+        # Everything else is untouched.
+        assert hw.gpu == default_platform().gpu
+
+    def test_scaled_returns_new_object(self):
+        base = default_platform()
+        changed = base.scaled(sync_overhead=5e-6)
+        assert base.kernel.sync_overhead != changed.kernel.sync_overhead
+
+    def test_spec_is_frozen(self):
+        hw = default_platform()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            hw.cpu.cores = 1

@@ -1,0 +1,87 @@
+"""Tests for the host hash table and DRAM cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hashindex.host_hash import HostHashTable, host_query_cost
+
+
+class TestHostHashTable:
+    def test_roundtrip(self):
+        table = HostHashTable(100)
+        keys = np.array([5, 17, 99], dtype=np.uint64)
+        rows = np.array([0, 1, 2], dtype=np.int64)
+        table.insert_many(keys, rows)
+        found, got = table.lookup_many(keys)
+        assert found.all()
+        np.testing.assert_array_equal(got, rows)
+
+    def test_missing_not_found(self):
+        table = HostHashTable(100)
+        table.insert_many(np.array([1], np.uint64), np.array([0], np.int64))
+        found, _ = table.lookup_many(np.array([2], np.uint64))
+        assert not found[0]
+
+    def test_collision_chains_resolve(self):
+        # Force heavy probing with a small table.
+        table = HostHashTable(64, load_factor=0.9)
+        keys = np.arange(50, dtype=np.uint64)
+        table.insert_many(keys, keys.astype(np.int64))
+        found, rows = table.lookup_many(keys)
+        assert found.all()
+        np.testing.assert_array_equal(rows, keys.astype(np.int64))
+
+    def test_update_existing_key(self):
+        table = HostHashTable(100)
+        table.insert_many(np.array([9], np.uint64), np.array([1], np.int64))
+        table.insert_many(np.array([9], np.uint64), np.array([2], np.int64))
+        assert len(table) == 1
+        _, rows = table.lookup_many(np.array([9], np.uint64))
+        assert rows[0] == 2
+
+    def test_overflow_raises(self):
+        table = HostHashTable(8, load_factor=0.5)
+        too_many = np.arange(table.table_size + 1, dtype=np.uint64)
+        with pytest.raises(SimulationError):
+            table.insert_many(too_many, too_many.astype(np.int64))
+
+    def test_empty_lookup(self):
+        table = HostHashTable(10)
+        found, rows = table.lookup_many(np.zeros(0, np.uint64))
+        assert len(found) == 0
+
+    def test_mismatched_shapes_rejected(self):
+        table = HostHashTable(10)
+        with pytest.raises(SimulationError):
+            table.insert_many(np.zeros(2, np.uint64), np.zeros(1, np.int64))
+
+
+class TestHostQueryCost:
+    def test_index_time_scales_with_keys(self, hw):
+        a = host_query_cost(hw, 100, 0)
+        b = host_query_cost(hw, 1000, 0)
+        assert b.index_time == pytest.approx(10 * a.index_time)
+
+    def test_copy_time_scales_with_bytes(self, hw):
+        a = host_query_cost(hw, 0, 1 << 20)
+        b = host_query_cost(hw, 0, 1 << 22)
+        assert b.copy_time == pytest.approx(4 * a.copy_time)
+
+    def test_zero_work_costs_nothing(self, hw):
+        cost = host_query_cost(hw, 0, 0)
+        assert cost.total == 0.0
+
+    def test_lookup_threads_divide_latency(self, hw):
+        import dataclasses
+
+        single = dataclasses.replace(hw, cpu=dataclasses.replace(hw.cpu, lookup_threads=1))
+        multi = dataclasses.replace(hw, cpu=dataclasses.replace(hw.cpu, lookup_threads=4))
+        assert host_query_cost(single, 1000, 0).index_time == pytest.approx(
+            4 * host_query_cost(multi, 1000, 0).index_time
+        )
+
+    def test_custom_probes(self, hw):
+        base = host_query_cost(hw, 100, 0)
+        deep = host_query_cost(hw, 100, 0, probes_per_key=2 * hw.cpu.host_hash_probes)
+        assert deep.index_time == pytest.approx(2 * base.index_time)

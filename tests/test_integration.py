@@ -1,0 +1,122 @@
+"""Cross-module integration tests: the whole system end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Category,
+    DeepCrossNetwork,
+    EmbeddingStore,
+    Executor,
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+    InferenceEngine,
+    PerTableCacheLayer,
+    PerTableConfig,
+    synthetic_dataset,
+    uniform_tables_spec,
+)
+from repro.core.cache_base import HitRateAccumulator
+from repro.tables.embedding_table import reference_vectors
+
+
+@pytest.fixture(scope="module")
+def setup(hw):
+    spec = uniform_tables_spec(
+        num_tables=5, corpus_size=3_000, alpha=-1.4, dim=32,
+    )
+    trace = synthetic_dataset(spec, num_batches=16, batch_size=128)
+    store = EmbeddingStore(spec.table_specs(), hw)
+    return spec, trace, store
+
+
+class TestFullPipeline:
+    def test_both_schemes_bitwise_agree_with_store(self, setup, hw):
+        spec, trace, store = setup
+        fleche = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.1), hw)
+        hugectr = PerTableCacheLayer(store, PerTableConfig(0.1), hw)
+        for batch in list(trace)[:6]:
+            rf = fleche.query(batch, Executor(hw))
+            rh = hugectr.query(batch, Executor(hw))
+            for t, ids in enumerate(batch.ids_per_table):
+                expect = reference_vectors(t, ids, spec.dim)
+                np.testing.assert_array_equal(rf.outputs[t], expect)
+                np.testing.assert_array_equal(rh.outputs[t], expect)
+
+    def test_schemes_produce_identical_model_outputs(self, setup, hw):
+        """Caching is transparent: final probabilities must not depend on
+        which cache scheme served the embeddings."""
+        spec, trace, store = setup
+        model = DeepCrossNetwork(spec.num_tables, spec.dim,
+                                 num_cross_layers=2, hidden_units=[64])
+        batches = list(trace)[:4]
+
+        def probabilities(layer):
+            engine = InferenceEngine(layer, hw, model=model)
+            result = engine.run(batches, Executor(hw), warmup=0)
+            return result.last_probabilities
+
+        p_fleche = probabilities(
+            FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.1), hw)
+        )
+        p_hugectr = probabilities(
+            PerTableCacheLayer(store, PerTableConfig(0.1), hw)
+        )
+        np.testing.assert_allclose(p_fleche, p_hugectr, rtol=1e-5)
+
+    def test_fleche_faster_than_baseline_when_warm(self, setup, hw):
+        spec, trace, store = setup
+        batches = list(trace)
+
+        def elapsed(layer):
+            executor = Executor(hw)
+            for b in batches[:8]:
+                layer.query(b, executor)
+            executor.reset()
+            for b in batches[8:]:
+                layer.query(b, executor)
+            return executor.drain()
+
+        t_fleche = elapsed(
+            FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.1), hw)
+        )
+        t_hugectr = elapsed(PerTableCacheLayer(store, PerTableConfig(0.1), hw))
+        assert t_fleche < t_hugectr
+
+    def test_accumulated_hit_rates_sane(self, setup, hw):
+        spec, trace, store = setup
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.1), hw)
+        acc = HitRateAccumulator()
+        executor = Executor(hw)
+        for batch in trace:
+            acc.record(layer.query(batch, executor))
+        assert 0.0 < acc.hit_rate < 1.0
+        assert len(acc.per_batch) == len(trace)
+
+    def test_breakdown_covers_all_phases(self, setup, hw):
+        spec, trace, store = setup
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.1), hw)
+        executor = Executor(hw)
+        for batch in list(trace)[:4]:
+            layer.query(batch, executor)
+        seconds = executor.stats.seconds
+        assert seconds.get(Category.MAINTENANCE, 0) > 0
+        assert seconds.get(Category.CACHE_INDEX, 0) > 0
+        assert seconds.get(Category.DRAM_INDEX, 0) > 0
+        assert seconds.get(Category.OTHER, 0) > 0
+
+    def test_long_run_stability(self, setup, hw):
+        """Many batches with churn: no crashes, pool bounded, correct data."""
+        spec, _, store = setup
+        trace = synthetic_dataset(spec, num_batches=40, batch_size=64)
+        layer = FlecheEmbeddingLayer(
+            store, FlecheConfig(cache_ratio=0.02, admission_probability=0.7), hw
+        )
+        executor = Executor(hw)
+        for i, batch in enumerate(trace):
+            result = layer.query(batch, executor)
+            if i % 10 == 0:
+                for t, ids in enumerate(batch.ids_per_table):
+                    expect = reference_vectors(t, ids, spec.dim)
+                    np.testing.assert_array_equal(result.outputs[t], expect)
+        assert layer.cache.pool.utilization <= 1.0

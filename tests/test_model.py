@@ -1,0 +1,138 @@
+"""Tests for the dense model parts: pooling, MLP, cross layers, DCN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.model.cross import CrossNetwork
+from repro.model.dcn import DeepCrossNetwork
+from repro.model.mlp import MLP
+from repro.model.pooling import max_pool, mean_pool, sum_pool
+
+
+class TestPooling:
+    def test_sum_pool_identity_for_one_hot(self, rng):
+        x = rng.standard_normal((6, 4)).astype(np.float32)
+        np.testing.assert_array_equal(sum_pool(x, 1), x)
+
+    def test_sum_pool_groups(self):
+        x = np.array([[1.0], [2.0], [3.0], [4.0]], np.float32)
+        np.testing.assert_array_equal(sum_pool(x, 2), [[3.0], [7.0]])
+
+    def test_mean_pool(self):
+        x = np.array([[2.0], [4.0]], np.float32)
+        np.testing.assert_array_equal(mean_pool(x, 2), [[3.0]])
+
+    def test_max_pool(self):
+        x = np.array([[2.0], [4.0]], np.float32)
+        np.testing.assert_array_equal(max_pool(x, 2), [[4.0]])
+
+    def test_bad_segmentation(self):
+        x = np.zeros((5, 2), np.float32)
+        with pytest.raises(WorkloadError):
+            sum_pool(x, 2)
+
+    def test_bad_rank(self):
+        with pytest.raises(WorkloadError):
+            sum_pool(np.zeros(3, np.float32), 1)
+
+
+class TestMlp:
+    def test_output_shape_and_range(self, rng):
+        mlp = MLP(input_dim=8, hidden_units=[16, 16])
+        x = rng.standard_normal((5, 8)).astype(np.float32)
+        p = mlp.forward(x)
+        assert p.shape == (5,)
+        assert ((p >= 0) & (p <= 1)).all()
+
+    def test_layer_count(self):
+        assert MLP(8, [16, 16]).num_layers == 3  # 2 hidden + output
+
+    def test_flops_scale_with_batch(self):
+        mlp = MLP(8, [16])
+        assert mlp.flops(10) == pytest.approx(10 * mlp.flops(1))
+
+    def test_kernels_one_per_layer(self):
+        mlp = MLP(8, [16, 16])
+        assert len(mlp.kernels(4)) == 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigError):
+            MLP(0, [8])
+        with pytest.raises(ConfigError):
+            MLP(8, [0])
+
+    def test_deterministic_for_seed(self, rng):
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        a = MLP(8, [4], seed=3).forward(x)
+        b = MLP(8, [4], seed=3).forward(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCrossNetwork:
+    def test_zero_layers_is_identity(self, rng):
+        net = CrossNetwork(8, 0)
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        np.testing.assert_array_equal(net.forward(x), x)
+
+    def test_cross_formula_one_layer(self, rng):
+        net = CrossNetwork(4, 1, seed=7)
+        x0 = rng.standard_normal((3, 4)).astype(np.float32)
+        expected = x0 * (x0 @ net.weights[0])[:, None] + net.biases[0] + x0
+        np.testing.assert_allclose(net.forward(x0), expected, rtol=1e-5)
+
+    def test_kernels_one_per_layer(self):
+        assert len(CrossNetwork(8, 6).kernels(4)) == 6
+
+    def test_flops_linear_in_layers(self):
+        assert CrossNetwork(8, 4).flops(10) == pytest.approx(
+            2 * CrossNetwork(8, 2).flops(10)
+        )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            CrossNetwork(0, 2)
+        with pytest.raises(ConfigError):
+            CrossNetwork(8, -1)
+
+
+class TestDeepCrossNetwork:
+    def test_paper_configuration(self):
+        # §6.1: 6 multi-cross layers, (1024, 1024) MLP.
+        dcn = DeepCrossNetwork(num_tables=26, embedding_dim=32)
+        assert dcn.cross.num_layers == 6
+        assert dcn.mlp.hidden_units == [1024, 1024]
+
+    def test_concat_shape(self, rng):
+        dcn = DeepCrossNetwork(num_tables=3, embedding_dim=4, dense_dim=2)
+        pooled = [rng.standard_normal((5, 4)).astype(np.float32) for _ in range(3)]
+        x = dcn.concat_inputs(pooled)
+        assert x.shape == (5, 14)
+
+    def test_forward_produces_probabilities(self, rng):
+        dcn = DeepCrossNetwork(num_tables=2, embedding_dim=4, dense_dim=0,
+                               num_cross_layers=2, hidden_units=[8])
+        pooled = [rng.standard_normal((4, 4)).astype(np.float32) for _ in range(2)]
+        out = dcn.forward(dcn.concat_inputs(pooled))
+        assert out.probabilities.shape == (4,)
+        assert out.flops > 0
+
+    def test_wrong_table_count_rejected(self, rng):
+        dcn = DeepCrossNetwork(num_tables=3, embedding_dim=4)
+        with pytest.raises(ConfigError):
+            dcn.concat_inputs([np.zeros((2, 4), np.float32)])
+
+    def test_wrong_input_dim_rejected(self):
+        dcn = DeepCrossNetwork(num_tables=2, embedding_dim=4, dense_dim=0)
+        with pytest.raises(ConfigError):
+            dcn.forward(np.zeros((2, 5), np.float32))
+
+    def test_kernels_cover_cross_and_mlp(self):
+        dcn = DeepCrossNetwork(num_tables=2, embedding_dim=4,
+                               num_cross_layers=3, hidden_units=[8, 8])
+        assert len(dcn.kernels(16)) == 3 + 3  # 3 cross + 2 hidden + output
+
+    def test_deeper_mlp_more_flops(self):
+        shallow = DeepCrossNetwork(2, 4, hidden_units=[64] * 2)
+        deep = DeepCrossNetwork(2, 4, hidden_units=[64] * 5)
+        assert deep.flops(32) > shallow.flops(32)

@@ -1,0 +1,136 @@
+"""Tests for the additional model families (DeepFM, self-attention)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.attention import SelfAttentionInteraction
+from repro.model.deepfm import DeepFM
+
+
+@pytest.fixture()
+def pooled(rng):
+    return [rng.standard_normal((8, 16)).astype(np.float32) for _ in range(4)]
+
+
+class TestDeepFM:
+    def test_forward_shape_and_range(self, pooled):
+        model = DeepFM(num_tables=4, embedding_dim=16, hidden_units=[32])
+        out = model.forward(model.concat_inputs(pooled))
+        assert out.probabilities.shape == (8,)
+        assert ((out.probabilities > 0) & (out.probabilities < 1)).all()
+
+    def test_fm_pairwise_identity(self, rng):
+        """The O(T*D) FM computation equals the explicit pairwise sum."""
+        model = DeepFM(num_tables=3, embedding_dim=4, hidden_units=[8])
+        fields = rng.standard_normal((5, 3, 4)).astype(np.float32)
+        x = np.concatenate([fields[:, t, :] for t in range(3)], axis=1)
+        got = model._fm_terms(x)
+        explicit = np.zeros(5)
+        for i in range(3):
+            explicit += fields[:, i, :].mean(axis=1) * model.first_order[i]
+        pair = np.zeros(5)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                pair += (fields[:, i, :] * fields[:, j, :]).sum(axis=1)
+        explicit += pair / 4
+        np.testing.assert_allclose(got, explicit, rtol=1e-4, atol=1e-5)
+
+    def test_needs_two_tables(self):
+        with pytest.raises(ConfigError):
+            DeepFM(num_tables=1, embedding_dim=8)
+
+    def test_kernels_include_fm_and_mlp(self):
+        model = DeepFM(num_tables=4, embedding_dim=16, hidden_units=[32, 32])
+        kernels = model.kernels(batch_size=8)
+        assert kernels[0].name == "fm_interaction"
+        assert len(kernels) == 1 + 3
+
+    def test_flops_scale_with_batch(self):
+        model = DeepFM(num_tables=4, embedding_dim=16)
+        assert model.flops(20) == pytest.approx(20 * model.flops(1), rel=1e-6)
+
+    def test_wrong_input_dim_rejected(self, pooled):
+        model = DeepFM(num_tables=4, embedding_dim=16)
+        with pytest.raises(ConfigError):
+            model.forward(np.zeros((2, 7), np.float32))
+
+
+class TestSelfAttention:
+    def test_forward_shape_and_range(self, pooled):
+        model = SelfAttentionInteraction(num_tables=4, embedding_dim=16)
+        out = model.forward(model.concat_inputs(pooled))
+        assert out.probabilities.shape == (8,)
+        assert ((out.probabilities >= 0) & (out.probabilities <= 1)).all()
+
+    def test_attention_mixes_tokens(self, rng):
+        """Perturbing one table's embedding changes other tokens' outputs —
+        the non-decomposability that rules out reduction caching (§5)."""
+        model = SelfAttentionInteraction(
+            num_tables=3, embedding_dim=8, num_layers=1, seed=3
+        )
+        base = [rng.standard_normal((1, 8)).astype(np.float32)
+                for _ in range(3)]
+        x = model.concat_inputs(base)
+        tokens = x.reshape(1, 3, 8)
+        out_before = model._attend(tokens, 0)
+        perturbed = [row.copy() for row in base]
+        perturbed[0] = perturbed[0] + 1.0
+        tokens2 = model.concat_inputs(perturbed).reshape(1, 3, 8)
+        out_after = model._attend(tokens2, 0)
+        # Token 2's output changed even though only table 0's input moved.
+        assert not np.allclose(out_before[0, 2], out_after[0, 2])
+
+    def test_heads_must_divide_dim(self):
+        with pytest.raises(ConfigError):
+            SelfAttentionInteraction(num_tables=4, embedding_dim=10,
+                                     num_heads=3)
+
+    def test_kernels_one_attention_per_layer(self):
+        model = SelfAttentionInteraction(
+            num_tables=4, embedding_dim=16, num_layers=3, hidden_units=[8]
+        )
+        names = [k.name for k in model.kernels(4)]
+        assert sum(n.startswith("attention_") for n in names) == 3
+
+    def test_deterministic(self, pooled):
+        a = SelfAttentionInteraction(4, 16, seed=7)
+        b = SelfAttentionInteraction(4, 16, seed=7)
+        x = a.concat_inputs(pooled)
+        np.testing.assert_array_equal(
+            a.forward(x).probabilities, b.forward(x).probabilities
+        )
+
+
+class TestEngineCompatibility:
+    @pytest.mark.parametrize("factory", [
+        lambda n, d: DeepFM(num_tables=n, embedding_dim=d, hidden_units=[32]),
+        lambda n, d: SelfAttentionInteraction(
+            num_tables=n, embedding_dim=d, hidden_units=[32]),
+    ])
+    def test_engine_runs_each_family(self, factory, small_store,
+                                     small_dataset, small_trace, hw):
+        from repro.core.config import FlecheConfig
+        from repro.core.engine import InferenceEngine
+        from repro.core.workflow import FlecheEmbeddingLayer
+        from repro.gpusim.executor import Executor
+
+        model = factory(small_dataset.num_tables, small_dataset.dim)
+        layer = FlecheEmbeddingLayer(
+            small_store, FlecheConfig(cache_ratio=0.2), hw
+        )
+        engine = InferenceEngine(layer, hw, model=model)
+        result = engine.run(list(small_trace)[:4], Executor(hw), warmup=1)
+        assert result.last_probabilities is not None
+        assert result.throughput > 0
+
+    def test_model_families_cost_differently(self, hw):
+        """The Exp #12 discussion: dense-part families differ in cost."""
+        from repro.model.dcn import DeepCrossNetwork
+
+        n, d, batch = 26, 32, 1024
+        dcn = DeepCrossNetwork(n, d)
+        fm = DeepFM(n, d, hidden_units=[1024, 1024])
+        attn = SelfAttentionInteraction(n, d, hidden_units=[1024, 1024])
+        flops = {m.__class__.__name__: m.flops(batch) for m in (dcn, fm, attn)}
+        assert len(set(flops.values())) == 3

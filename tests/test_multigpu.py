@@ -1,0 +1,157 @@
+"""Tests for multi-GPU flat caching (paper §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FlecheConfig
+from repro.errors import ConfigError
+from repro.multigpu.cluster import InterconnectCost, MultiGpuFlatCache
+from repro.multigpu.partition import HashPartitioner, TablePartitioner
+from repro.tables.embedding_table import reference_vectors
+from repro.tables.table_spec import make_table_specs
+
+
+@pytest.fixture()
+def specs():
+    return make_table_specs([2000, 3000], [16, 16])
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        p = HashPartitioner(4)
+        keys = np.arange(100, dtype=np.uint64)
+        np.testing.assert_array_equal(p.owner_of(keys), p.owner_of(keys))
+
+    def test_owners_in_range(self):
+        p = HashPartitioner(3)
+        owners = p.owner_of(np.arange(1000, dtype=np.uint64))
+        assert owners.min() >= 0 and owners.max() < 3
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(4)
+        owners = p.owner_of(np.arange(40_000, dtype=np.uint64))
+        counts = np.bincount(owners, minlength=4)
+        assert counts.max() / counts.min() < 1.1
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ConfigError):
+            HashPartitioner(0)
+
+
+class TestTablePartitioner:
+    def test_round_robin_default(self):
+        p = TablePartitioner(num_gpus=2, num_tables=5)
+        np.testing.assert_array_equal(
+            p.owner_of_tables(np.arange(5)), [0, 1, 0, 1, 0]
+        )
+
+    def test_custom_assignment(self):
+        p = TablePartitioner(2, 3, assignment=[1, 1, 0])
+        assert p.owner_of_tables(np.array([0]))[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TablePartitioner(2, 3, assignment=[0, 1])
+        with pytest.raises(ConfigError):
+            TablePartitioner(2, 3, assignment=[0, 1, 5])
+
+
+class TestInterconnectCost:
+    def test_latency_floor(self):
+        ic = InterconnectCost()
+        assert ic.transfer_time(1) >= ic.latency
+
+    def test_zero_bytes_free(self):
+        assert InterconnectCost().transfer_time(0) == 0.0
+
+    def test_bandwidth_scaling(self):
+        ic = InterconnectCost()
+        assert ic.transfer_time(1 << 24) > ic.transfer_time(1 << 20)
+
+
+class TestMultiGpuFlatCache:
+    def _cluster(self, specs, num_gpus, ratio=0.1):
+        return MultiGpuFlatCache(
+            specs,
+            FlecheConfig(cache_ratio=ratio, use_unified_index=False),
+            hw=__import__("repro").default_platform(),
+            num_gpus=num_gpus,
+        )
+
+    def test_capacity_scales_with_gpus(self, specs):
+        one = self._cluster(specs, 1)
+        four = self._cluster(specs, 4)
+        assert four.total_capacity_slots == pytest.approx(
+            4 * one.total_capacity_slots, rel=0.01
+        )
+
+    def test_no_duplication_across_shards(self, specs):
+        cluster = self._cluster(specs, 3)
+        cluster.tick()
+        keys = cluster.codec.encode(0, np.arange(60, dtype=np.uint64))
+        rows = reference_vectors(0, np.arange(60, dtype=np.uint64), 16)
+        cluster.insert_unique(keys, rows, dim=16)
+        resident = sum(len(shard.index) for shard in cluster.shards)
+        assert resident == 60  # each key lives on exactly one GPU
+
+    def test_query_returns_correct_vectors(self, specs):
+        cluster = self._cluster(specs, 2)
+        cluster.tick()
+        ids = np.arange(40, dtype=np.uint64)
+        keys = cluster.codec.encode(1, ids)
+        rows = reference_vectors(1, ids, 16)
+        cluster.insert_unique(keys, rows, dim=16)
+        outcome = cluster.query_unique(
+            np.full(40, 1), keys, dim=16
+        )
+        assert outcome.hit_mask.all()
+        for pos, row in outcome.vectors.items():
+            np.testing.assert_array_equal(row, rows[pos])
+
+    def test_remote_hits_pay_interconnect(self, specs):
+        cluster = self._cluster(specs, 4)
+        cluster.tick()
+        ids = np.arange(200, dtype=np.uint64)
+        keys = cluster.codec.encode(0, ids)
+        rows = reference_vectors(0, ids, 16)
+        cluster.insert_unique(keys, rows, dim=16)
+        outcome = cluster.query_unique(np.zeros(200), keys, dim=16)
+        assert outcome.gather_time > 0
+
+    def test_single_gpu_pays_no_gather(self, specs):
+        cluster = self._cluster(specs, 1)
+        cluster.tick()
+        ids = np.arange(50, dtype=np.uint64)
+        keys = cluster.codec.encode(0, ids)
+        cluster.insert_unique(keys, reference_vectors(0, ids, 16), dim=16)
+        outcome = cluster.query_unique(np.zeros(50), keys, dim=16)
+        assert outcome.gather_time == 0.0
+
+    def test_shard_step_bounded_by_slowest(self, specs):
+        cluster = self._cluster(specs, 2)
+        cluster.tick()
+        keys = cluster.codec.encode(0, np.arange(100, dtype=np.uint64))
+        outcome = cluster.query_unique(np.zeros(100), keys, dim=16)
+        assert outcome.shard_time >= 0
+        assert sum(outcome.per_gpu_keys) == 100
+
+    def test_load_imbalance_near_one_for_hash(self, specs):
+        cluster = self._cluster(specs, 4)
+        keys = cluster.codec.encode(0, np.arange(2000, dtype=np.uint64) % 2000)
+        assert cluster.load_imbalance(keys) < 1.3
+
+    def test_bigger_cluster_holds_bigger_hot_set(self, specs):
+        """The §5 motivation: N GPUs cache ~N x the embeddings."""
+        small = self._cluster(specs, 1, ratio=0.02)
+        large = self._cluster(specs, 4, ratio=0.02)
+        small.tick(); large.tick()
+        ids = np.arange(400, dtype=np.uint64)
+        keys = small.codec.encode(1, ids)
+        rows = reference_vectors(1, ids, 16)
+        inserted_small = small.insert_unique(keys, rows, dim=16)
+        inserted_large = large.insert_unique(keys, rows, dim=16)
+        assert inserted_large > inserted_small
+
+    def test_validation(self, specs):
+        with pytest.raises(ConfigError):
+            self._cluster(specs, 0)

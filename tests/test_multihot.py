@@ -1,0 +1,117 @@
+"""Multi-hot end-to-end tests: fields contributing several IDs per sample.
+
+Real DLRM inputs include multi-hot fields ("list of favorite videos",
+paper §2.1); the pipeline must pool each sample's group correctly and the
+caches must stay bit-exact under the heavier duplicate load.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DeepCrossNetwork,
+    EmbeddingStore,
+    Executor,
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+    InferenceEngine,
+    PerTableCacheLayer,
+    PerTableConfig,
+)
+from repro.model.pooling import sum_pool
+from repro.tables.embedding_table import reference_vectors
+from repro.workloads.spec import DatasetSpec, FieldSpec
+from repro.workloads.synthetic import synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def multihot_dataset():
+    return DatasetSpec(
+        name="multihot",
+        fields=tuple(FieldSpec(corpus_size=1_000, alpha=-1.2)
+                     for _ in range(4)),
+        num_samples=10_000,
+        dim=16,
+        ids_per_field=3,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def multihot_trace(multihot_dataset):
+    return synthetic_dataset(multihot_dataset, num_batches=8, batch_size=32)
+
+
+class TestMultiHotTraces:
+    def test_batch_carries_k_ids_per_sample(self, multihot_trace):
+        batch = multihot_trace[0]
+        assert len(batch.ids_per_table[0]) == 32 * 3
+
+    def test_cache_outputs_bit_exact(self, multihot_dataset, multihot_trace, hw):
+        store = EmbeddingStore(multihot_dataset.table_specs(), hw)
+        for layer in (
+            FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.3), hw),
+            PerTableCacheLayer(store, PerTableConfig(0.3), hw),
+        ):
+            for batch in list(multihot_trace)[:3]:
+                result = layer.query(batch, Executor(hw))
+                for t, ids in enumerate(batch.ids_per_table):
+                    expect = reference_vectors(t, ids, 16)
+                    np.testing.assert_array_equal(result.outputs[t], expect)
+
+    def test_pooling_groups_by_sample(self, multihot_dataset, multihot_trace, hw):
+        store = EmbeddingStore(multihot_dataset.table_specs(), hw)
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.3), hw)
+        batch = multihot_trace[0]
+        result = layer.query(batch, Executor(hw))
+        pooled = sum_pool(result.outputs[0], 3)
+        assert pooled.shape == (32, 16)
+        # Sample 0's pooled row = sum of its own 3 ID rows.
+        ids = batch.ids_per_table[0][:3]
+        expect = reference_vectors(0, ids, 16).sum(axis=0)
+        np.testing.assert_allclose(pooled[0], expect, rtol=1e-6)
+
+    def test_engine_end_to_end(self, multihot_dataset, multihot_trace, hw):
+        store = EmbeddingStore(multihot_dataset.table_specs(), hw)
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.3), hw)
+        model = DeepCrossNetwork(
+            num_tables=4, embedding_dim=16, num_cross_layers=2,
+            hidden_units=[32],
+        )
+        engine = InferenceEngine(layer, hw, model=model, ids_per_field=3)
+        result = engine.run(list(multihot_trace)[:4], Executor(hw), warmup=1)
+        assert result.last_probabilities.shape == (32,)
+        assert ((result.last_probabilities >= 0)
+                & (result.last_probabilities <= 1)).all()
+
+    def test_multihot_raises_duplicate_pressure(self, multihot_dataset, hw):
+        """K IDs per sample inflate in-batch duplicates, which dedup absorbs:
+        unique keys grow far slower than total keys."""
+        store = EmbeddingStore(multihot_dataset.table_specs(), hw)
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.3), hw)
+        trace = synthetic_dataset(multihot_dataset, num_batches=1,
+                                  batch_size=256)
+        result = layer.query(trace[0], Executor(hw))
+        assert result.total_keys == 256 * 3 * 4
+        assert result.unique_keys < result.total_keys * 0.8
+
+    def test_schemes_agree_on_model_output(self, multihot_dataset,
+                                           multihot_trace, hw):
+        store = EmbeddingStore(multihot_dataset.table_specs(), hw)
+        model = DeepCrossNetwork(
+            num_tables=4, embedding_dim=16, num_cross_layers=2,
+            hidden_units=[32],
+        )
+        batches = list(multihot_trace)[:3]
+
+        def probabilities(layer):
+            engine = InferenceEngine(layer, hw, model=model, ids_per_field=3)
+            return engine.run(batches, Executor(hw), warmup=0).last_probabilities
+
+        p_fleche = probabilities(
+            FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.3), hw)
+        )
+        p_hugectr = probabilities(
+            PerTableCacheLayer(store, PerTableConfig(0.3), hw)
+        )
+        np.testing.assert_allclose(p_fleche, p_hugectr, rtol=1e-5)

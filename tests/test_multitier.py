@@ -1,0 +1,171 @@
+"""Tests for the giant-model three-tier hierarchy (paper §5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FlecheConfig
+from repro.core.workflow import FlecheEmbeddingLayer
+from repro.errors import ConfigError, WorkloadError
+from repro.gpusim.executor import Executor
+from repro.multitier.dram_cache import DramCacheLayer, pack_global_key
+from repro.multitier.hierarchy import TieredParameterStore
+from repro.multitier.remote_ps import NetworkSpec, RemoteParameterServer
+from repro.tables.embedding_table import reference_vectors
+from repro.tables.table_spec import make_table_specs
+from repro.workloads.trace import TraceBatch
+
+
+@pytest.fixture()
+def specs():
+    return make_table_specs([800, 1200], [16, 16])
+
+
+class TestRemoteParameterServer:
+    def test_fetch_returns_ground_truth(self, specs):
+        ps = RemoteParameterServer(specs)
+        ids = np.array([3, 7], np.uint64)
+        result = ps.fetch(1, ids)
+        np.testing.assert_array_equal(
+            result.vectors, reference_vectors(1, ids, 16)
+        )
+
+    def test_network_cost_has_rtt_floor(self, specs):
+        ps = RemoteParameterServer(specs)
+        result = ps.fetch(0, np.array([1], np.uint64))
+        assert result.network_time >= ps.network.round_trip
+
+    def test_payload_scales_cost(self, specs):
+        ps = RemoteParameterServer(specs)
+        small = ps.fetch(0, np.arange(2, dtype=np.uint64)).network_time
+        large = ps.fetch(0, np.arange(500, dtype=np.uint64)).network_time
+        assert large > small
+
+    def test_sharding_divides_streaming(self, specs):
+        one = RemoteParameterServer(specs, NetworkSpec(num_shards=1))
+        four = RemoteParameterServer(specs, NetworkSpec(num_shards=4))
+        ids = np.arange(700, dtype=np.uint64)
+        assert four.fetch(0, ids).network_time < one.fetch(0, ids).network_time
+
+    def test_out_of_corpus_rejected(self, specs):
+        ps = RemoteParameterServer(specs)
+        with pytest.raises(WorkloadError):
+            ps.fetch(0, np.array([800], np.uint64))
+
+    def test_counters(self, specs):
+        ps = RemoteParameterServer(specs)
+        ps.fetch(0, np.arange(5, dtype=np.uint64))
+        assert ps.fetches == 1 and ps.keys_served == 5
+
+
+class TestDramCacheLayer:
+    def _fetch(self, specs):
+        def fetch(table_id, ids):
+            return reference_vectors(table_id, ids, 16), 1e-5
+        return fetch
+
+    def test_miss_then_hit(self, specs):
+        cache = DramCacheLayer(specs, capacity=100, fetch=self._fetch(specs))
+        ids = np.array([1, 2], np.uint64)
+        v1, cost1 = cache.lookup(0, ids)
+        assert cost1 > 0
+        v2, cost2 = cache.lookup(0, ids)
+        assert cost2 == 0.0
+        np.testing.assert_array_equal(v1, v2)
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_returns_ground_truth(self, specs):
+        cache = DramCacheLayer(specs, capacity=100, fetch=self._fetch(specs))
+        ids = np.array([5, 5, 9], np.uint64)
+        vectors, _ = cache.lookup(1, ids)
+        np.testing.assert_array_equal(vectors, reference_vectors(1, ids, 16))
+
+    def test_lru_eviction_with_notification(self, specs):
+        cache = DramCacheLayer(specs, capacity=3, fetch=self._fetch(specs))
+        evicted = []
+        cache.on_eviction(lambda keys: evicted.extend(keys.tolist()))
+        cache.lookup(0, np.array([1, 2, 3], np.uint64))
+        cache.lookup(0, np.array([4], np.uint64))  # evicts key 1
+        assert evicted == [pack_global_key(0, 1)]
+        assert not cache.resident(0, 1)
+        assert cache.resident(0, 4)
+
+    def test_touch_refreshes_lru(self, specs):
+        cache = DramCacheLayer(specs, capacity=2, fetch=self._fetch(specs))
+        cache.lookup(0, np.array([1], np.uint64))
+        cache.lookup(0, np.array([2], np.uint64))
+        cache.lookup(0, np.array([1], np.uint64))  # refresh 1
+        cache.lookup(0, np.array([3], np.uint64))  # evicts 2
+        assert cache.resident(0, 1)
+        assert not cache.resident(0, 2)
+
+    def test_capacity_validation(self, specs):
+        with pytest.raises(ConfigError):
+            DramCacheLayer(specs, capacity=0, fetch=self._fetch(specs))
+
+
+class TestTieredParameterStore:
+    def test_query_matches_ground_truth(self, specs, hw):
+        store = TieredParameterStore(specs, hw, dram_capacity=500)
+        ids = np.array([10, 20, 10], np.uint64)
+        result = store.query(0, ids)
+        np.testing.assert_array_equal(
+            result.vectors, reference_vectors(0, ids, 16)
+        )
+
+    def test_remote_cost_appears_only_on_dram_miss(self, specs, hw):
+        store = TieredParameterStore(specs, hw, dram_capacity=500)
+        ids = np.array([1, 2, 3], np.uint64)
+        cold = store.query(0, ids)
+        warm = store.query(0, ids)
+        assert cold.cost.copy_time > warm.cost.copy_time
+        assert store.stats.dram_hit_rate > 0
+
+    def test_query_many(self, specs, hw):
+        store = TieredParameterStore(specs, hw, dram_capacity=500)
+        tables = np.array([0, 1, 0])
+        features = np.array([1, 2, 3], np.uint64)
+        result = store.query_many(tables, features)
+        assert result.vectors.shape == (3, 16)
+
+    def test_eviction_invalidates_unified_pointers(self, specs, hw):
+        """§5's corner case end to end: DRAM eviction erases the GPU-side
+        pointer so it can never be trusted while dangling."""
+        store = TieredParameterStore(specs, hw, dram_capacity=4)
+        layer = FlecheEmbeddingLayer(
+            store,
+            FlecheConfig(cache_ratio=0.05, unified_index_fraction=1.0),
+            hw,
+        )
+        layer.tuner = None
+        layer.cache.set_unified_capacity(50)
+        # Plant a unified pointer for (table 0, id 1).
+        layer.cache.tick()
+        flat = layer.cache.encode(0, np.array([1], np.uint64))
+        layer.cache.publish_dram_pointers(flat, np.array([1], np.uint64))
+        assert layer.cache.unified_entries == 1
+        # Fill the DRAM tier with (table 0, id 1) then flood it out.
+        store.query(0, np.array([1], np.uint64))
+        store.query(0, np.array([2, 3, 4, 5, 6], np.uint64))
+        assert not store.dram.resident(0, 1)
+        # The dangling pointer is gone from the flat cache's index.
+        outcome = layer.cache.index_lookup(flat)
+        assert not outcome.dram_hit.any()
+        assert layer.cache.unified_entries == 0
+        assert store.stats.pointer_invalidations > 0
+
+    def test_full_inference_through_tiers(self, specs, hw, rng):
+        """Fleche runs unchanged on the tiered store (§5's claim)."""
+        store = TieredParameterStore(specs, hw, dram_capacity=400)
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.1), hw)
+        for _ in range(4):
+            ids = [
+                rng.integers(0, s.corpus_size, 32).astype(np.uint64)
+                for s in specs
+            ]
+            batch = TraceBatch(ids_per_table=ids, batch_size=32)
+            result = layer.query(batch, Executor(hw))
+            for t, table_ids in enumerate(batch.ids_per_table):
+                np.testing.assert_array_equal(
+                    result.outputs[t],
+                    reference_vectors(t, table_ids, 16),
+                )

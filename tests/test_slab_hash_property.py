@@ -1,0 +1,80 @@
+"""Property-based tests for the slab hash index (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashindex.slab_hash import SlabHashIndex
+
+key_lists = st.lists(
+    st.integers(min_value=0, max_value=2**48 - 1), min_size=0, max_size=60
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=key_lists)
+def test_inserted_keys_are_always_found(keys):
+    """Every inserted key is retrievable while capacity is not exceeded."""
+    idx = SlabHashIndex(capacity=4096)
+    arr = np.array(sorted(set(keys)), dtype=np.uint64)
+    idx.insert(arr, arr, stamp=1)
+    found, values, _ = idx.lookup(arr)
+    assert found.all()
+    np.testing.assert_array_equal(values, arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=key_lists, probes=key_lists)
+def test_lookup_matches_dict_semantics(keys, probes):
+    """The index behaves exactly like a Python dict (no false hits)."""
+    idx = SlabHashIndex(capacity=4096)
+    reference = {}
+    arr = np.array(keys, dtype=np.uint64)
+    vals = np.arange(len(arr), dtype=np.uint64)
+    idx.insert(arr, vals, stamp=1)
+    for k, v in zip(arr.tolist(), vals.tolist()):
+        reference.setdefault(k, v)  # first occurrence wins on duplicates
+    probe_arr = np.array(probes, dtype=np.uint64)
+    found, values, _ = idx.lookup(probe_arr)
+    for i, k in enumerate(probe_arr.tolist()):
+        assert found[i] == (k in reference)
+        if found[i]:
+            assert values[i] == reference[k]
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=key_lists)
+def test_erase_then_lookup_misses(keys):
+    idx = SlabHashIndex(capacity=4096)
+    arr = np.unique(np.array(keys, dtype=np.uint64))
+    idx.insert(arr, arr, stamp=1)
+    idx.erase(arr)
+    found, _, _ = idx.lookup(arr)
+    assert not found.any()
+    assert len(idx) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=2**20), min_size=1, max_size=200
+    ),
+    stamps=st.integers(min_value=0, max_value=100),
+)
+def test_size_never_exceeds_slots(keys, stamps):
+    """Bucket-local eviction keeps occupancy bounded by physical slots."""
+    idx = SlabHashIndex(capacity=32, load_factor=1.0)
+    arr = np.array(keys, dtype=np.uint64)
+    idx.insert(arr, arr, stamp=stamps)
+    assert len(idx) <= idx.slots
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=key_lists)
+def test_scan_agrees_with_size(keys):
+    idx = SlabHashIndex(capacity=4096)
+    arr = np.array(keys, dtype=np.uint64)
+    idx.insert(arr, arr, stamp=3)
+    scanned, _, _ = idx.scan()
+    assert len(scanned) == len(idx)
+    assert set(scanned.tolist()) == set(np.unique(arr).tolist())

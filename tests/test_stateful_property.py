@@ -1,0 +1,202 @@
+"""Stateful property-based tests (hypothesis rule-based state machines).
+
+Two long-running invariant suites:
+
+* :class:`FlatCacheMachine` — drives a FlatCache through random encode /
+  lookup / insert / demote / invalidate sequences against a Python-dict
+  model; any hit must return the exact ground-truth vector, and pool
+  accounting must never leak or overflow.
+* :class:`PoolMachine` — random allocate / release / write / read on the
+  slab pool; live-slot accounting and data integrity must always hold.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.config import FlecheConfig
+from repro.core.flat_cache import FlatCache
+from repro.mempool.slab_pool import SlabMemoryPool
+from repro.tables.embedding_table import reference_vectors
+from repro.tables.table_spec import make_table_specs
+
+DIM = 8
+CORPUS = 64
+
+
+class FlatCacheMachine(RuleBasedStateMachine):
+    """FlatCache vs an oracle: hits are always bit-exact ground truth."""
+
+    def __init__(self):
+        super().__init__()
+        specs = make_table_specs([CORPUS, CORPUS], [DIM, DIM])
+        self.cache = FlatCache(
+            specs,
+            FlecheConfig(
+                cache_ratio=0.5,
+                use_unified_index=True,
+                unified_index_fraction=1.0,
+            ),
+        )
+        self.cache.set_unified_capacity(16)
+        self.cache.tick()
+        #: flat key -> (table, feature) the oracle knows was inserted.
+        self.oracle = {}
+
+    ids = st.lists(
+        st.integers(min_value=0, max_value=CORPUS - 1), min_size=1, max_size=8
+    )
+    table = st.integers(min_value=0, max_value=1)
+
+    @rule()
+    def tick(self):
+        self.cache.tick()
+
+    @rule(table=table, ids=ids)
+    def insert(self, table, ids):
+        features = np.array(sorted(set(ids)), dtype=np.uint64)
+        keys = self.cache.encode(table, features)
+        vectors = reference_vectors(table, features, DIM)
+        inserted, _ = self.cache.admit_and_insert(keys, vectors, DIM)
+        for key, feature, ok in zip(keys, features, inserted):
+            if ok:
+                self.oracle[int(key)] = (table, int(feature))
+
+    @rule(table=table, ids=ids)
+    def lookup(self, table, ids):
+        features = np.array(sorted(set(ids)), dtype=np.uint64)
+        keys = self.cache.encode(table, features)
+        outcome = self.cache.index_lookup(keys)
+        if outcome.cache_hit.any():
+            got = self.cache.gather(outcome.locations[outcome.cache_hit])
+            expect = reference_vectors(
+                table, features[outcome.cache_hit], DIM
+            )
+            np.testing.assert_array_equal(got, expect)
+
+    @rule(table=table, ids=ids)
+    def publish_pointers(self, table, ids):
+        features = np.array(sorted(set(ids)), dtype=np.uint64)
+        keys = self.cache.encode(table, features)
+        self.cache.publish_dram_pointers(keys, features)
+
+    @rule(table=table, ids=ids)
+    def invalidate(self, table, ids):
+        features = np.array(sorted(set(ids)), dtype=np.uint64)
+        keys = self.cache.encode(table, features)
+        self.cache.invalidate_dram_pointers(keys)
+        outcome = self.cache.index_lookup(keys)
+        assert not outcome.dram_hit.any()
+
+    @precondition(lambda self: self.oracle)
+    @rule()
+    def clear_pointers(self):
+        self.cache.clear_unified_index()
+        assert self.cache.unified_entries == 0
+
+    @invariant()
+    def pool_never_overflows(self):
+        assert 0.0 <= self.cache.pool.utilization <= 1.0
+
+    @invariant()
+    def unified_entries_bounded(self):
+        assert 0 <= self.cache.unified_entries
+        # Scan-derived truth matches the counter.
+        _, values, _ = self.cache.index.scan()
+        from repro.core.unified_index import is_dram_pointer
+
+        assert int(is_dram_pointer(values).sum()) == self.cache.unified_entries
+
+    @invariant()
+    def live_entries_match_pool(self):
+        live = self.cache.live_entries()
+        pool_live = sum(
+            self.cache.pool.capacity_of(d) - self.cache.pool.free_of(d)
+            for d in self.cache.pool.dims()
+        )
+        # Pool may hold retired-but-not-yet-collected slots.
+        assert live <= pool_live
+
+
+FlatCacheMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestFlatCacheStateMachine = FlatCacheMachine.TestCase
+
+
+class PoolMachine(RuleBasedStateMachine):
+    """Slab pool: accounting and data integrity under random traffic."""
+
+    def __init__(self):
+        super().__init__()
+        self.pool = SlabMemoryPool({4: 32, 8: 16})
+        #: location -> stored row (float32 tuple)
+        self.model = {}
+
+    dims = st.sampled_from([4, 8])
+    counts = st.integers(min_value=0, max_value=8)
+
+    @rule(dim=dims, count=counts)
+    def allocate_and_write(self, dim, count):
+        count = min(count, self.pool.free_of(dim))
+        if count == 0:
+            return
+        locations = self.pool.allocate(dim, count)
+        rows = np.arange(count * dim, dtype=np.float32).reshape(count, dim)
+        rows += len(self.model)  # make content unique-ish
+        self.pool.write(locations, rows)
+        for loc, row in zip(locations, rows):
+            self.model[int(loc)] = row.copy()
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def read_back(self, data):
+        keys = data.draw(
+            st.lists(
+                st.sampled_from(sorted(self.model)), min_size=1, max_size=5,
+                unique=True,
+            )
+        )
+        dims = self.pool.dim_of_locations(np.array(keys, np.uint64))
+        for dim in np.unique(dims):
+            subset = [k for k, d in zip(keys, dims) if d == dim]
+            got = self.pool.read(np.array(subset, np.uint64))
+            for k, row in zip(subset, got):
+                np.testing.assert_array_equal(row, self.model[k])
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def release_some(self, data):
+        keys = data.draw(
+            st.lists(
+                st.sampled_from(sorted(self.model)), min_size=1, max_size=5,
+                unique=True,
+            )
+        )
+        self.pool.release(np.array(keys, np.uint64))
+        for key in keys:
+            del self.model[key]
+
+    @invariant()
+    def accounting_consistent(self):
+        live = sum(
+            self.pool.capacity_of(d) - self.pool.free_of(d)
+            for d in self.pool.dims()
+        )
+        assert live == len(self.model)
+
+    @invariant()
+    def utilization_in_range(self):
+        assert 0.0 <= self.pool.utilization <= 1.0
+
+
+PoolMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestPoolStateMachine = PoolMachine.TestCase

@@ -1,0 +1,148 @@
+"""Tests for table specs, embedding tables, and the host store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.tables.embedding_table import (
+    EmbeddingTable,
+    reference_vector,
+    reference_vectors,
+)
+from repro.tables.store import EmbeddingStore
+from repro.tables.table_spec import TableSpec, make_table_specs, total_param_bytes
+
+
+class TestTableSpec:
+    def test_value_and_param_bytes(self):
+        spec = TableSpec(0, corpus_size=1000, dim=32)
+        assert spec.value_bytes == 128
+        assert spec.param_bytes == 128_000
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            TableSpec(0, corpus_size=0, dim=32)
+        with pytest.raises(ConfigError):
+            TableSpec(0, corpus_size=10, dim=0)
+
+    def test_make_table_specs(self):
+        specs = make_table_specs([10, 20], [8, 16])
+        assert [s.table_id for s in specs] == [0, 1]
+        assert specs[1].dim == 16
+
+    def test_make_table_specs_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            make_table_specs([10], [8, 16])
+
+    def test_total_param_bytes(self):
+        specs = make_table_specs([10, 20], [8, 8])
+        assert total_param_bytes(specs) == (10 + 20) * 32
+
+
+class TestReferenceVectors:
+    def test_deterministic(self):
+        a = reference_vectors(3, np.array([7, 8], np.uint64), 16)
+        b = reference_vectors(3, np.array([7, 8], np.uint64), 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_across_tables(self):
+        a = reference_vector(0, 5, 16)
+        b = reference_vector(1, 5, 16)
+        assert not np.allclose(a, b)
+
+    def test_distinct_across_ids(self):
+        a = reference_vector(0, 5, 16)
+        b = reference_vector(0, 6, 16)
+        assert not np.allclose(a, b)
+
+    def test_bounded_values(self):
+        v = reference_vectors(2, np.arange(100, dtype=np.uint64), 32)
+        assert (v >= -0.5).all() and (v < 0.5).all()
+
+    def test_scalar_matches_vector(self):
+        batch = reference_vectors(1, np.array([42], np.uint64), 8)
+        np.testing.assert_array_equal(reference_vector(1, 42, 8), batch[0])
+
+
+class TestEmbeddingTable:
+    def test_lookup_matches_reference(self):
+        table = EmbeddingTable(TableSpec(2, corpus_size=100, dim=8))
+        ids = np.array([3, 50, 3], dtype=np.uint64)
+        got = table.lookup(ids)
+        expect = reference_vectors(2, ids, 8)
+        np.testing.assert_array_equal(got, expect)
+
+    def test_lazy_materialisation(self):
+        table = EmbeddingTable(TableSpec(0, corpus_size=1000, dim=4))
+        assert len(table) == 0
+        table.lookup(np.array([1, 2, 3], np.uint64))
+        assert len(table) == 3
+
+    def test_repeated_lookup_is_stable(self):
+        table = EmbeddingTable(TableSpec(0, corpus_size=100, dim=4))
+        ids = np.array([7], np.uint64)
+        first = table.lookup(ids).copy()
+        table.lookup(np.arange(50, dtype=np.uint64))  # growth happens
+        np.testing.assert_array_equal(table.lookup(ids), first)
+
+    def test_out_of_corpus_rejected(self):
+        table = EmbeddingTable(TableSpec(0, corpus_size=10, dim=4))
+        with pytest.raises(WorkloadError):
+            table.lookup(np.array([10], np.uint64))
+
+    def test_empty_lookup(self):
+        table = EmbeddingTable(TableSpec(0, corpus_size=10, dim=4))
+        assert table.lookup(np.zeros(0, np.uint64)).shape == (0, 4)
+
+
+class TestEmbeddingStore:
+    def test_param_bytes(self, hw, mixed_dim_specs):
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        assert store.param_bytes == sum(s.param_bytes for s in mixed_dim_specs)
+
+    def test_query_returns_vectors_and_cost(self, hw, mixed_dim_specs):
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        result = store.query(0, np.array([1, 2], np.uint64))
+        assert result.vectors.shape == (2, 16)
+        assert result.cost.total > 0
+
+    def test_unified_index_fraction_reduces_index_time(self, hw, mixed_dim_specs):
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        ids = np.arange(100, dtype=np.uint64)
+        full = store.query(0, ids, indexed_fraction=0.0)
+        half = store.query(0, ids, indexed_fraction=0.5)
+        assert half.cost.index_time == pytest.approx(0.5 * full.cost.index_time, rel=0.05)
+        assert half.cost.copy_time == pytest.approx(full.cost.copy_time)
+
+    def test_query_many_mixed_tables(self, hw, mixed_dim_specs):
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        tables = np.array([0, 1, 0])
+        features = np.array([5, 6, 7], np.uint64)
+        result = store.query_many(tables, features)
+        assert result.vectors.shape == (3, 16)
+        expect0 = reference_vectors(0, np.array([5, 7], np.uint64), 16)
+        np.testing.assert_array_equal(result.vectors[[0, 2]], expect0)
+
+    def test_query_many_rejects_mixed_dims(self, hw, mixed_dim_specs):
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        with pytest.raises(WorkloadError):
+            store.query_many(np.array([0, 2]), np.array([1, 1], np.uint64))
+
+    def test_query_many_indexed_mask(self, hw, mixed_dim_specs):
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        tables = np.zeros(10, dtype=np.int64)
+        features = np.arange(10, dtype=np.uint64)
+        all_indexed = store.query_many(tables, features, indexed_mask=np.ones(10, bool))
+        none_indexed = store.query_many(tables, features, indexed_mask=np.zeros(10, bool))
+        assert all_indexed.cost.index_time == 0.0
+        assert none_indexed.cost.index_time > 0.0
+
+    def test_bad_fraction_rejected(self, hw, mixed_dim_specs):
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        with pytest.raises(WorkloadError):
+            store.query(0, np.array([1], np.uint64), indexed_fraction=2.0)
+
+    def test_dense_numbering_enforced(self, hw):
+        bad = [TableSpec(1, 10, 4)]
+        with pytest.raises(WorkloadError):
+            EmbeddingStore(bad, hw)

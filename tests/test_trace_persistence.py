@@ -1,0 +1,73 @@
+"""Tests for trace save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.persistence import load_trace, save_trace
+from repro.workloads.synthetic import synthetic_dataset, uniform_tables_spec
+
+
+@pytest.fixture()
+def trace():
+    spec = uniform_tables_spec(num_tables=3, corpus_size=500, dim=8, seed=2)
+    return synthetic_dataset(spec, num_batches=5, batch_size=16)
+
+
+class TestTracePersistence:
+    def test_roundtrip_is_exact(self, trace, tmp_path):
+        path = save_trace(trace, str(tmp_path / "t.npz"))
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.num_tables == trace.num_tables
+        assert loaded.name == trace.name
+        for original, restored in zip(trace, loaded):
+            assert restored.batch_size == original.batch_size
+            for a, b in zip(original.ids_per_table, restored.ids_per_table):
+                np.testing.assert_array_equal(a, b)
+
+    def test_loaded_trace_drives_the_cache_identically(self, trace, tmp_path, hw):
+        from repro.core.cache_base import HitRateAccumulator
+        from repro.core.config import FlecheConfig
+        from repro.core.workflow import FlecheEmbeddingLayer
+        from repro.gpusim.executor import Executor
+        from repro.tables.store import EmbeddingStore
+
+        spec = uniform_tables_spec(num_tables=3, corpus_size=500, dim=8, seed=2)
+        loaded = load_trace(save_trace(trace, str(tmp_path / "t.npz")))
+
+        def hit_rate(source):
+            store = EmbeddingStore(spec.table_specs(), hw)
+            layer = FlecheEmbeddingLayer(
+                store, FlecheConfig(cache_ratio=0.1, use_unified_index=False),
+                hw,
+            )
+            executor = Executor(hw)
+            acc = HitRateAccumulator()
+            for batch in source:
+                acc.record(layer.query(batch, executor))
+            return acc.hit_rate
+
+        assert hit_rate(trace) == hit_rate(loaded)
+
+    def test_rejects_non_trace_npz(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_rejects_future_version(self, trace, tmp_path):
+        path = save_trace(trace, str(tmp_path / "t.npz"))
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["__version__"] = np.array([99])
+        np.savez(path, **arrays)
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_compression_keeps_files_small(self, trace, tmp_path):
+        import os
+
+        path = save_trace(trace, str(tmp_path / "t.npz"))
+        raw_bytes = trace.total_ids * 8
+        assert os.path.getsize(path) < 4 * raw_bytes

@@ -1,0 +1,80 @@
+"""Tests for the synthetic CTR task and collision-AUC study."""
+
+import numpy as np
+import pytest
+
+from repro.coding.fixed_length import FixedLengthCodec
+from repro.coding.size_aware import SizeAwareCodec
+from repro.errors import WorkloadError
+from repro.model.trainer import CollisionAucStudy, SyntheticCtrTask
+
+
+@pytest.fixture(scope="module")
+def task():
+    # Mild skew so tail IDs carry signal: collision damage then registers
+    # in AUC, as in the paper's Figure 13.
+    return SyntheticCtrTask(
+        corpus_sizes=[64, 256, 1024],
+        num_train=12000,
+        num_test=3000,
+        alpha=-0.8,
+        seed=3,
+    )
+
+
+class TestSyntheticCtrTask:
+    def test_shapes(self, task):
+        assert task.train_features.shape == (12000, 3)
+        assert task.test_labels.shape == (3000,)
+
+    def test_features_within_corpus(self, task):
+        for t, size in enumerate(task.corpus_sizes):
+            assert (task.train_features[:, t] < size).all()
+
+    def test_labels_are_binary_and_mixed(self, task):
+        labels = task.train_labels
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_needs_tables(self):
+        with pytest.raises(WorkloadError):
+            SyntheticCtrTask(corpus_sizes=[])
+
+    def test_deterministic(self):
+        a = SyntheticCtrTask([32], num_train=100, num_test=50, seed=9)
+        b = SyntheticCtrTask([32], num_train=100, num_test=50, seed=9)
+        np.testing.assert_array_equal(a.train_features, b.train_features)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+
+class TestCollisionAucStudy:
+    def test_upper_bound_is_learnable(self, task):
+        study = CollisionAucStudy(task, epochs=4)
+        assert study.upper_bound_auc() > 0.7
+
+    def test_collision_free_codec_matches_upper_bound(self, task):
+        study = CollisionAucStudy(task, epochs=4)
+        roomy = SizeAwareCodec(list(task.corpus_sizes), key_bits=32)
+        assert study.auc_with_codec(roomy) == pytest.approx(
+            study.upper_bound_auc(), abs=0.03
+        )
+
+    def test_heavy_collisions_hurt_auc(self, task):
+        study = CollisionAucStudy(task, epochs=4)
+        tight = FixedLengthCodec(
+            list(task.corpus_sizes), key_bits=9, table_bits=2
+        )
+        roomy = SizeAwareCodec(list(task.corpus_sizes), key_bits=32)
+        assert study.auc_with_codec(tight) < study.auc_with_codec(roomy) - 0.01
+
+    def test_size_aware_beats_fixed_at_tight_budget(self, task):
+        """The core claim of Experiment #5 on the synthetic task: at the
+        same bit budget, size-aware coding preserves more AUC."""
+        study = CollisionAucStudy(task, epochs=4)
+        bits = 9
+        sa = study.auc_with_codec(
+            SizeAwareCodec(list(task.corpus_sizes), key_bits=bits)
+        )
+        fx = study.auc_with_codec(
+            FixedLengthCodec(list(task.corpus_sizes), key_bits=bits, table_bits=2)
+        )
+        assert sa > fx + 0.005

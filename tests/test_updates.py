@@ -1,0 +1,123 @@
+"""Tests for parameter-update propagation (cache coherence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FlecheConfig
+from repro.core.flat_cache import FlatCache
+from repro.core.updates import UpdateApplier
+from repro.errors import WorkloadError
+from repro.gpusim.executor import Executor
+from repro.tables.embedding_table import reference_vectors
+from repro.tables.table_spec import make_table_specs
+
+
+@pytest.fixture()
+def cache():
+    specs = make_table_specs([500, 500], [16, 16])
+    c = FlatCache(
+        specs,
+        FlecheConfig(cache_ratio=0.5, unified_index_fraction=1.0),
+    )
+    c.set_unified_capacity(50)
+    c.tick()
+    return c
+
+
+def _fill(cache, table, ids):
+    features = np.asarray(ids, dtype=np.uint64)
+    keys = cache.encode(table, features)
+    cache.admit_and_insert(
+        keys, reference_vectors(table, features, 16), 16
+    )
+    return keys
+
+
+class TestUpdateApplier:
+    def test_refreshes_cached_entries_in_place(self, cache):
+        keys = _fill(cache, 0, [1, 2, 3])
+        applier = UpdateApplier(cache)
+        new_rows = np.full((3, 16), 7.0, dtype=np.float32)
+        outcome = applier.apply(0, np.array([1, 2, 3], np.uint64), new_rows)
+        assert outcome.refreshed == 3
+        got = cache.gather(cache.index_lookup(keys).locations)
+        np.testing.assert_array_equal(got, new_rows)
+
+    def test_untracked_keys_cost_nothing(self, cache):
+        applier = UpdateApplier(cache)
+        outcome = applier.apply(
+            0, np.array([9], np.uint64), np.zeros((1, 16), np.float32)
+        )
+        assert outcome.refreshed == 0
+        assert outcome.untracked == 1
+
+    def test_mixed_batch(self, cache):
+        _fill(cache, 0, [1])
+        applier = UpdateApplier(cache)
+        outcome = applier.apply(
+            0, np.array([1, 2], np.uint64), np.ones((2, 16), np.float32)
+        )
+        assert outcome.refreshed == 1
+        assert outcome.untracked == 1
+        assert outcome.total == 2
+
+    def test_invalidates_dram_pointers(self, cache):
+        features = np.array([10, 11], np.uint64)
+        keys = cache.encode(1, features)
+        cache.publish_dram_pointers(keys, features)
+        applier = UpdateApplier(cache)
+        outcome = applier.apply(1, features, np.zeros((2, 16), np.float32))
+        assert outcome.pointers_invalidated == 2
+        assert not cache.index_lookup(keys).dram_hit.any()
+
+    def test_pointer_invalidation_optional(self, cache):
+        features = np.array([10], np.uint64)
+        keys = cache.encode(1, features)
+        cache.publish_dram_pointers(keys, features)
+        applier = UpdateApplier(cache, invalidate_pointers=False)
+        applier.apply(1, features, np.zeros((1, 16), np.float32))
+        assert cache.index_lookup(keys).dram_hit.all()
+
+    def test_version_stamp_bumped(self, cache):
+        _fill(cache, 0, [5])
+        cache.tick()
+        cache.tick()
+        key = int(cache.encode(0, np.array([5], np.uint64))[0])
+        before = cache.index.stamp_of(key)
+        UpdateApplier(cache).apply(
+            0, np.array([5], np.uint64), np.ones((1, 16), np.float32)
+        )
+        assert cache.index.stamp_of(key) >= before
+
+    def test_kernel_accounting_when_executor_given(self, cache, hw):
+        _fill(cache, 0, [1, 2])
+        executor = Executor(hw)
+        UpdateApplier(cache).apply(
+            0, np.array([1, 2], np.uint64),
+            np.zeros((2, 16), np.float32), executor=executor,
+        )
+        assert executor.stats.counters.get("kernel:update_copy", 0) == 1
+        assert executor.stats.counters.get("kernel:update_index", 0) == 1
+
+    def test_shape_validation(self, cache):
+        applier = UpdateApplier(cache)
+        with pytest.raises(WorkloadError):
+            applier.apply(0, np.array([1], np.uint64),
+                          np.zeros((2, 16), np.float32))
+        with pytest.raises(WorkloadError):
+            applier.apply(0, np.array([1], np.uint64),
+                          np.zeros((1, 8), np.float32))
+
+    def test_subsequent_queries_serve_fresh_values(self, cache):
+        """Coherence end to end: after an update, hits return new rows."""
+        features = np.arange(10, dtype=np.uint64)
+        keys = _fill(cache, 0, features)
+        fresh = np.tile(
+            np.arange(16, dtype=np.float32) * -1.0, (10, 1)
+        )
+        UpdateApplier(cache).apply(0, features, fresh)
+        outcome = cache.index_lookup(keys)
+        assert outcome.cache_hit.all()
+        np.testing.assert_array_equal(
+            cache.gather(outcome.locations), fresh
+        )

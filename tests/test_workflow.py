@@ -1,0 +1,172 @@
+"""Tests for the Fleche embedding-layer workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FlecheConfig
+from repro.core.workflow import FlecheEmbeddingLayer
+from repro.errors import ConfigError
+from repro.gpusim.executor import Executor
+from repro.tables.embedding_table import reference_vectors
+from repro.workloads.trace import TraceBatch
+
+
+def batch_for(store, rng, n=48):
+    ids = [
+        rng.integers(0, spec.corpus_size, size=n).astype(np.uint64)
+        for spec in store.specs
+    ]
+    return TraceBatch(ids_per_table=ids, batch_size=n)
+
+
+@pytest.fixture()
+def layer(small_store, hw):
+    # Roomy ratio so repeated batches fit fully (hit-rate assertions).
+    return FlecheEmbeddingLayer(
+        small_store, FlecheConfig(cache_ratio=0.4), hw
+    )
+
+
+class TestCorrectness:
+    def test_outputs_match_ground_truth_cold_and_warm(self, layer, small_store, hw, rng):
+        for _ in range(5):
+            batch = batch_for(small_store, rng)
+            result = layer.query(batch, Executor(hw))
+            for t, ids in enumerate(batch.ids_per_table):
+                expect = reference_vectors(t, ids, small_store.specs[t].dim)
+                np.testing.assert_array_equal(result.outputs[t], expect)
+
+    def test_duplicates_within_batch(self, layer, small_store, hw):
+        ids = [np.array([3, 3, 3, 7], np.uint64) for _ in small_store.specs]
+        batch = TraceBatch(ids_per_table=ids, batch_size=4)
+        result = layer.query(batch, Executor(hw))
+        for t in range(small_store.num_tables):
+            np.testing.assert_array_equal(
+                result.outputs[t][0], result.outputs[t][1]
+            )
+
+    def test_mixed_dims(self, hw, mixed_dim_specs, rng):
+        from repro.tables.store import EmbeddingStore
+
+        store = EmbeddingStore(mixed_dim_specs, hw)
+        layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.2), hw)
+        for _ in range(3):
+            batch = batch_for(store, rng, n=32)
+            result = layer.query(batch, Executor(hw))
+            for t, ids in enumerate(batch.ids_per_table):
+                expect = reference_vectors(t, ids, store.specs[t].dim)
+                np.testing.assert_array_equal(result.outputs[t], expect)
+
+    def test_wrong_table_count_rejected(self, layer, hw):
+        bad = TraceBatch([np.zeros(1, np.uint64)], batch_size=1)
+        with pytest.raises(ConfigError):
+            layer.query(bad, Executor(hw))
+
+
+class TestStatistics:
+    def test_second_query_hits(self, layer, small_store, hw, rng):
+        batch = batch_for(small_store, rng)
+        first = layer.query(batch, Executor(hw))
+        second = layer.query(batch, Executor(hw))
+        assert first.hit_rate < second.hit_rate
+        assert second.hit_rate > 0.9
+
+    def test_dedup_counts(self, layer, small_store, hw):
+        ids = [np.array([1, 1, 2], np.uint64) for _ in small_store.specs]
+        batch = TraceBatch(ids_per_table=ids, batch_size=3)
+        result = layer.query(batch, Executor(hw))
+        assert result.total_keys == 3 * small_store.num_tables
+        assert result.unique_keys == 2 * small_store.num_tables
+
+    def test_hit_plus_miss_covers_accesses(self, layer, small_store, hw, rng):
+        batch = batch_for(small_store, rng)
+        result = layer.query(batch, Executor(hw))
+        assert result.hits + result.misses == batch.total_ids
+
+
+class TestKernelAccounting:
+    def test_fusion_uses_one_index_kernel(self, small_store, hw, rng):
+        layer = FlecheEmbeddingLayer(
+            small_store,
+            FlecheConfig(cache_ratio=0.1, use_unified_index=False),
+            hw,
+        )
+        executor = Executor(hw)
+        layer.query(batch_for(small_store, rng), executor)
+        fused = executor.stats.counters.get("kernel:fc_index_fused", 0)
+        assert fused == 1
+
+    def test_unfused_uses_one_kernel_per_table(self, small_store, hw, rng):
+        layer = FlecheEmbeddingLayer(
+            small_store,
+            FlecheConfig(cache_ratio=0.1, use_fusion=False,
+                         use_unified_index=False),
+            hw,
+        )
+        executor = Executor(hw)
+        layer.query(batch_for(small_store, rng), executor)
+        per_table = sum(
+            c for name, c in executor.stats.counters.items()
+            if name.startswith("kernel:fc_index_t")
+        )
+        assert per_table == small_store.num_tables
+
+    def test_fusion_reduces_maintenance(self, small_store, hw, rng):
+        batch = batch_for(small_store, rng, n=64)
+
+        def maintenance(use_fusion):
+            layer = FlecheEmbeddingLayer(
+                small_store,
+                FlecheConfig(cache_ratio=0.1, use_fusion=use_fusion,
+                             use_unified_index=False),
+                hw,
+            )
+            executor = Executor(hw)
+            layer.query(batch, executor)  # warm
+            executor.reset()
+            layer.query(batch, executor)
+            return executor.stats.maintenance_time
+
+        assert maintenance(True) < maintenance(False)
+
+    def test_decoupled_launches_copy_kernels(self, small_store, hw, rng):
+        layer = FlecheEmbeddingLayer(
+            small_store, FlecheConfig(cache_ratio=0.1), hw
+        )
+        executor = Executor(hw)
+        batch = batch_for(small_store, rng)
+        layer.query(batch, executor)
+        executor.reset()
+        layer.query(batch, executor)
+        copies = sum(
+            c for name, c in executor.stats.counters.items()
+            if name.startswith("kernel:fc_copy_d")
+        )
+        assert copies >= 1
+
+
+class TestAblations:
+    def test_all_variants_remain_correct(self, small_store, hw, rng):
+        batch = batch_for(small_store, rng)
+        for fusion in (True, False):
+            for decouple in (True, False):
+                for unified in (True, False):
+                    layer = FlecheEmbeddingLayer(
+                        small_store,
+                        FlecheConfig(
+                            cache_ratio=0.1,
+                            use_fusion=fusion,
+                            decouple_copy=decouple,
+                            use_unified_index=unified,
+                        ),
+                        hw,
+                    )
+                    layer.query(batch, Executor(hw))
+                    result = layer.query(batch, Executor(hw))
+                    for t, ids in enumerate(batch.ids_per_table):
+                        expect = reference_vectors(
+                            t, ids, small_store.specs[t].dim
+                        )
+                        np.testing.assert_array_equal(
+                            result.outputs[t], expect
+                        )

@@ -1,0 +1,185 @@
+"""Deep tests of the query workflow's timing choreography (§3.3).
+
+These verify the *mechanisms* behind Figures 7, 8, and 15 — overlap,
+kernel counts per variant, and where each technique's time goes — by
+inspecting the executor's accounting rather than end results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FlecheConfig
+from repro.core.workflow import FlecheEmbeddingLayer, coupled_query_kernel_spec
+from repro.gpusim.executor import Executor
+from repro.gpusim.kernel import kernel_execution_time
+from repro.gpusim.stats import Category
+from repro.tables.store import EmbeddingStore
+from repro.tables.table_spec import make_table_specs
+from repro.workloads.trace import TraceBatch
+
+
+@pytest.fixture()
+def store(hw):
+    return EmbeddingStore(make_table_specs([5_000] * 6, [32] * 6), hw)
+
+
+def batch_of(store, rng, n=512):
+    return TraceBatch(
+        [rng.integers(0, 5_000, n).astype(np.uint64) for _ in store.specs],
+        batch_size=n,
+    )
+
+
+def run_warm(layer, batch, hw, warm_rounds=3):
+    executor = Executor(hw)
+    for _ in range(warm_rounds):
+        layer.query(batch, executor)
+    executor.reset()
+    layer.query(batch, executor)
+    executor.drain()
+    return executor
+
+
+class TestDecouplingMechanism:
+    def test_decoupled_overlaps_dram_with_copy(self, store, hw, rng):
+        """In the decoupled path, DRAM host work proceeds while the copy
+        stream is busy: wall time < sum of parts."""
+        layer = FlecheEmbeddingLayer(
+            store,
+            FlecheConfig(cache_ratio=0.02, decouple_copy=True,
+                         use_unified_index=False),
+            hw,
+        )
+        batch = batch_of(store, rng)
+        executor = run_warm(layer, batch, hw)
+        wall = executor.elapsed()
+        serial_sum = executor.stats.total()
+        assert wall < serial_sum  # overlap existed
+
+    def test_coupled_kernel_carries_copy_costs(self, hw):
+        """Figure 7a: the coupled spec embeds gather + lock-retry traffic."""
+        plain = coupled_query_kernel_spec(
+            "q", num_keys=1000, hit_rows=0, output_rows=1000, dim=32, hw=hw
+        )
+        with_hits = coupled_query_kernel_spec(
+            "q", num_keys=1000, hit_rows=900, output_rows=1000, dim=32, hw=hw
+        )
+        assert (kernel_execution_time(with_hits, hw)
+                > kernel_execution_time(plain, hw))
+
+    def test_larger_dims_extend_lock_hold(self, hw):
+        narrow = coupled_query_kernel_spec(
+            "q", num_keys=100, hit_rows=90, output_rows=100, dim=32, hw=hw
+        )
+        wide = coupled_query_kernel_spec(
+            "q", num_keys=100, hit_rows=90, output_rows=100, dim=128, hw=hw
+        )
+        assert wide.dependent_hops > narrow.dependent_hops
+
+    def test_spin_window_shared_across_tables(self, hw):
+        solo = coupled_query_kernel_spec(
+            "q", num_keys=10_000, hit_rows=10_000, output_rows=10_000,
+            dim=32, hw=hw, concurrent_tables=1,
+        )
+        crowded = coupled_query_kernel_spec(
+            "q", num_keys=10_000, hit_rows=10_000, output_rows=10_000,
+            dim=32, hw=hw, concurrent_tables=40,
+        )
+        assert crowded.random_transactions < solo.random_transactions
+
+
+class TestKernelCountsPerVariant:
+    def _kernel_count(self, executor, prefix):
+        return sum(
+            c for name, c in executor.stats.counters.items()
+            if name.startswith(f"kernel:{prefix}")
+        )
+
+    def test_fused_decoupled_launches_minimum(self, store, hw, rng):
+        layer = FlecheEmbeddingLayer(
+            store,
+            FlecheConfig(cache_ratio=0.3, use_unified_index=False),
+            hw,
+        )
+        executor = run_warm(layer, batch_of(store, rng), hw)
+        assert self._kernel_count(executor, "fc_index_fused") == 1
+        # Fully warm: no replacement kernels needed.
+        launches = executor.stats.counters["kernel_launches"]
+        assert launches <= 6  # dedup, index, copy, restore (+ slack)
+
+    def test_unfused_scales_launches_with_tables(self, hw, rng):
+        def launches(num_tables):
+            specs = make_table_specs([2_000] * num_tables, [16] * num_tables)
+            store = EmbeddingStore(specs, hw)
+            layer = FlecheEmbeddingLayer(
+                store,
+                FlecheConfig(cache_ratio=0.3, use_fusion=False,
+                             use_unified_index=False),
+                hw,
+            )
+            batch = TraceBatch(
+                [rng.integers(0, 2_000, 64).astype(np.uint64)
+                 for _ in range(num_tables)],
+                batch_size=64,
+            )
+            executor = run_warm(layer, batch, hw)
+            return executor.stats.counters["kernel_launches"]
+
+        assert launches(12) - launches(3) >= 8
+
+    def test_maintenance_share_shrinks_with_fusion(self, store, hw, rng):
+        batch = batch_of(store, rng, n=64)
+
+        def maintenance_share(fusion):
+            layer = FlecheEmbeddingLayer(
+                store,
+                FlecheConfig(cache_ratio=0.3, use_fusion=fusion,
+                             use_unified_index=False),
+                hw,
+            )
+            executor = run_warm(layer, batch, hw)
+            return executor.stats.maintenance_time / executor.elapsed()
+
+        assert maintenance_share(True) < maintenance_share(False)
+
+
+class TestUnifiedIndexMechanism:
+    def test_pointer_hits_cut_dram_index_time(self, store, hw, rng):
+        batch = batch_of(store, rng)
+
+        def dram_index_time(enabled):
+            config = FlecheConfig(
+                cache_ratio=0.005,
+                use_unified_index=enabled,
+                unified_index_fraction=2.0,
+            )
+            layer = FlecheEmbeddingLayer(store, config, hw)
+            if enabled:
+                layer.tuner = None
+                layer.cache.set_unified_capacity(
+                    int(layer.cache.capacity_slots * 2.0)
+                )
+            executor = Executor(hw)
+            for _ in range(12):  # deep churn so eviction/demotion happens
+                layer.query(batch, executor)
+            local_rng = np.random.default_rng(3)
+            executor.reset()
+            for _ in range(4):
+                layer.query(batch_of(store, local_rng), executor)
+            return executor.stats.seconds.get(Category.DRAM_INDEX, 0.0)
+
+        assert dram_index_time(True) < dram_index_time(False)
+
+    def test_unified_hits_counted(self, store, hw, rng):
+        config = FlecheConfig(cache_ratio=0.005, unified_index_fraction=2.0)
+        layer = FlecheEmbeddingLayer(store, config, hw)
+        layer.tuner = None
+        layer.cache.set_unified_capacity(
+            int(layer.cache.capacity_slots * 2.0)
+        )
+        executor = Executor(hw)
+        total_unified = 0
+        for _ in range(16):
+            result = layer.query(batch_of(store, rng), executor)
+            total_unified += result.unified_hits
+        assert total_unified > 0
