@@ -78,6 +78,17 @@ class EmbeddingCacheScheme(abc.ABC):
     def query(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
         """Serve one batch, advancing ``executor``'s simulated timeline."""
 
+    def advance_clock(self, now: float) -> None:
+        """Propagate the simulated wall-clock to a fault-aware backing.
+
+        Schemes over a :class:`~repro.multitier.hierarchy.TieredParameterStore`
+        forward ``now`` so fault windows (shard outages, DRAM failures)
+        line up with request time; everything else is a no-op.
+        """
+        advance = getattr(getattr(self, "store", None), "advance_to", None)
+        if advance is not None:
+            advance(now)
+
     @abc.abstractmethod
     def memory_usage(self) -> Dict[str, int]:
         """HBM bytes consumed, keyed by component (pool, index, ...)."""

@@ -107,8 +107,20 @@ class InferenceEngine:
         executor.synchronize(dense_stream)
         return self.model.forward(x).probabilities
 
-    def run_batch(self, batch: TraceBatch, executor: Executor) -> tuple:
-        """Run one batch; returns (query result, probabilities or None)."""
+    def run_batch(
+        self,
+        batch: TraceBatch,
+        executor: Executor,
+        now: Optional[float] = None,
+    ) -> tuple:
+        """Run one batch; returns (query result, probabilities or None).
+
+        ``now`` is the batch's simulated dispatch time; when given it is
+        forwarded to the cache scheme so a fault-aware backing store can
+        align outage windows with wall-clock (no-op otherwise).
+        """
+        if now is not None:
+            self.scheme.advance_clock(now)
         t0 = executor.elapsed()
         query = self.scheme.query(batch, executor)
         t_embed = executor.elapsed()

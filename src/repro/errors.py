@@ -29,3 +29,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload / dataset specification is invalid."""
+
+
+class DegradedServiceError(ReproError):
+    """The remote tier was unavailable and the degradation policy is
+    ``fail``: the affected keys cannot be served."""

@@ -1,0 +1,120 @@
+"""Graceful degradation when the remote tier is unavailable.
+
+When a fetch exhausts its retry budget (or the breaker fails it fast),
+the hierarchy still owes the model *some* vector for every key.  The
+policy decides which:
+
+* ``stale`` — serve the last authoritative value this node ever fetched
+  (a shadow copy kept outside the LRU so eviction does not erase it);
+  keys never seen fall back to the default vector.
+* ``default-vector`` — serve a configurable constant (zeros by default),
+  the classic "missing embedding" fallback.
+* ``fail`` — raise :class:`~repro.errors.DegradedServiceError`; for
+  deployments where a wrong score is worse than no score.
+
+Degraded keys are recorded per batch so the accuracy impact (AUC delta
+from degraded embeddings) is measurable rather than hand-waved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, DegradedServiceError
+
+STALE = "stale"
+DEFAULT_VECTOR = "default-vector"
+FAIL = "fail"
+_POLICIES = (STALE, DEFAULT_VECTOR, FAIL)
+
+
+@dataclass(frozen=True)
+class DegradeConfig:
+    """What to serve when the remote tier cannot answer in time."""
+
+    policy: str = STALE
+    #: Fill value for keys with no stale copy (``default-vector`` and
+    #: the ``stale`` fallback).
+    fill_value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in _POLICIES:
+            raise ConfigError(
+                f"degrade policy must be one of {_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+
+
+class StaleStore:
+    """Shadow of the last authoritative value fetched per key.
+
+    Kept separate from the DRAM LRU so that eviction (a capacity
+    decision) does not destroy the fallback (a resilience decision).
+    Bounded by ``capacity`` with FIFO replacement; ``None`` = unbounded
+    (fine at simulation scale).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ConfigError("stale store capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def update(
+        self, table_id: int, feature_ids: np.ndarray, vectors: np.ndarray
+    ) -> None:
+        """Record authoritative ``vectors`` for ``feature_ids``."""
+        for fid, row in zip(feature_ids, vectors):
+            key = (table_id, int(fid))
+            if (
+                self.capacity is not None
+                and key not in self._entries
+                and len(self._entries) >= self.capacity
+            ):
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = np.array(row, copy=True)
+
+    def get(
+        self, table_id: int, feature_ids: np.ndarray, dim: int,
+        fill_value: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Best-effort vectors plus a mask of which keys had stale copies."""
+        vectors = np.full((len(feature_ids), dim), fill_value, np.float32)
+        found = np.zeros(len(feature_ids), dtype=bool)
+        for i, fid in enumerate(feature_ids):
+            row = self._entries.get((table_id, int(fid)))
+            if row is not None:
+                vectors[i] = row
+                found[i] = True
+        return vectors, found
+
+
+def degraded_vectors(
+    config: DegradeConfig,
+    stale: Optional[StaleStore],
+    table_id: int,
+    feature_ids: np.ndarray,
+    dim: int,
+    reason: str = "remote unavailable",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply the degradation policy to one failed fetch.
+
+    Returns ``(vectors, stale_mask)``; raises on the ``fail`` policy.
+    """
+    if config.policy == FAIL:
+        raise DegradedServiceError(
+            f"table {table_id}: {len(feature_ids)} keys undeliverable "
+            f"({reason}) and degradation policy is 'fail'"
+        )
+    if config.policy == STALE and stale is not None:
+        return stale.get(table_id, feature_ids, dim, config.fill_value)
+    vectors = np.full(
+        (len(feature_ids), dim), config.fill_value, np.float32
+    )
+    return vectors, np.zeros(len(feature_ids), dtype=bool)

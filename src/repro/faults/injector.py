@@ -1,0 +1,60 @@
+"""The fault injector: schedule + seeded RNG -> per-attempt outcomes.
+
+The injector is the single source of nondeterminism in a faulted run.
+Every network attempt asks it for an outcome; the answer combines the
+schedule's deterministic windows (outages, degraded links) with one RNG
+draw for transient timeouts.  Re-running with the same ``(schedule,
+seed)`` therefore reproduces every outcome exactly, while a different
+seed perturbs only *which* attempts hit transient faults — never the
+data served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schedule import FaultSchedule
+
+#: Attempt outcome reasons.
+OK = "ok"
+TIMEOUT = "timeout"
+SHARD_OUTAGE = "shard-outage"
+
+
+@dataclass(frozen=True)
+class AttemptOutcome:
+    """What happened to one network attempt."""
+
+    ok: bool
+    #: Latency multiplier on the base cost (1.0 on a healthy path).
+    latency_factor: float
+    reason: str
+
+
+class FaultInjector:
+    """Rolls attempt outcomes against a schedule with a seeded RNG."""
+
+    def __init__(self, schedule: FaultSchedule, seed: int = 0):
+        self.schedule = schedule
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Rewind the RNG so the same run can be replayed exactly."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def attempt(self, shard: int, now: float) -> AttemptOutcome:
+        """Outcome of one request to ``shard`` issued at ``now``."""
+        if self.schedule.shard_down(shard, now):
+            return AttemptOutcome(False, 1.0, SHARD_OUTAGE)
+        factor = self.schedule.link_factor(now)
+        probability = self.schedule.timeout_probability(now)
+        if probability > 0.0 and self._rng.random() < probability:
+            return AttemptOutcome(False, factor, TIMEOUT)
+        return AttemptOutcome(True, factor, OK)
+
+    def dram_down(self, now: float) -> bool:
+        """Whether the DRAM tier is failed at ``now``."""
+        return self.schedule.dram_down(now)

@@ -1,0 +1,148 @@
+"""Deterministic fault schedules over simulated time.
+
+A :class:`FaultSchedule` is an immutable set of typed fault events, each
+active over a ``[start, start + duration)`` window of the simulated
+clock.  The schedule itself is pure — it answers "what is broken at time
+``t``?" — while the stochastic part (does *this* attempt hit the
+transient-timeout probability?) lives in
+:class:`~repro.faults.injector.FaultInjector`, whose RNG is seeded.  A
+run is therefore replayable from ``(schedule, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+_FOREVER = float("inf")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one fault active over a window of simulated time."""
+
+    start: float = 0.0
+    duration: float = _FOREVER
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError("fault start must be >= 0")
+        if self.duration <= 0:
+            raise ConfigError("fault duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class TransientTimeout(FaultEvent):
+    """Each attempt inside the window times out with ``probability``."""
+
+    probability: float = 0.05
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError("timeout probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DegradedLink(FaultEvent):
+    """The network path runs ``factor`` times slower inside the window."""
+
+    factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor < 1.0:
+            raise ConfigError("degraded-link factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class ShardOutage(FaultEvent):
+    """Parameter-server shard ``shard`` is down for the whole window."""
+
+    shard: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shard < 0:
+            raise ConfigError("shard index must be >= 0")
+
+
+@dataclass(frozen=True)
+class DramTierFailure(FaultEvent):
+    """The CPU-DRAM cache tier is unavailable for the whole window.
+
+    Resident entries are lost (their GPU unified-index pointers must be
+    invalidated) and lookups go straight to the remote tier until the
+    window closes.
+    """
+
+
+class FaultSchedule:
+    """An immutable, queryable collection of fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigError(f"not a fault event: {event!r}")
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({list(self.events)!r})"
+
+    # ------------------------------------------------------------ queries
+
+    def timeout_probability(self, now: float) -> float:
+        """Per-attempt transient-timeout probability at ``now``."""
+        active = [
+            e.probability for e in self.events
+            if isinstance(e, TransientTimeout) and e.active(now)
+        ]
+        return max(active) if active else 0.0
+
+    def link_factor(self, now: float) -> float:
+        """Latency multiplier on the network path at ``now``."""
+        active = [
+            e.factor for e in self.events
+            if isinstance(e, DegradedLink) and e.active(now)
+        ]
+        return max(active) if active else 1.0
+
+    def shard_down(self, shard: int, now: float) -> bool:
+        """Whether PS shard ``shard`` is inside an outage window."""
+        return any(
+            e.shard == shard and e.active(now)
+            for e in self.events if isinstance(e, ShardOutage)
+        )
+
+    def dram_down(self, now: float) -> bool:
+        """Whether the DRAM tier is inside a failure window."""
+        return any(
+            e.active(now)
+            for e in self.events if isinstance(e, DramTierFailure)
+        )
+
+    def fault_windows(self) -> List[Tuple[float, float]]:
+        """Merged ``(start, end)`` intervals during which any fault is live.
+
+        Used to split SLA attainment into healthy vs fault windows.
+        """
+        spans = sorted((e.start, e.end) for e in self.events)
+        merged: List[Tuple[float, float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged

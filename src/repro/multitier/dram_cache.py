@@ -31,7 +31,10 @@ class DramCacheLayer:
         specs: the model's table specs.
         capacity: embeddings the DRAM layer can hold.
         fetch: callback ``(table_id, feature_ids) -> (vectors, cost)`` used
-            on DRAM misses (typically the remote parameter server).
+            on DRAM misses (typically the remote parameter server).  The
+            callback may instead return ``(vectors, cost, cacheable)``;
+            with ``cacheable=False`` the vectors are served but *not*
+            inserted (degraded fallbacks must never pollute the cache).
     """
 
     def __init__(
@@ -74,6 +77,24 @@ class DramCacheLayer:
             for listener in self._invalidation_listeners:
                 listener(keys)
 
+    def flush(self) -> int:
+        """Drop every resident entry, notifying invalidation listeners.
+
+        Models the DRAM tier losing its contents (process restart, a
+        :class:`~repro.faults.schedule.DramTierFailure` window): every
+        GPU-side unified-index pointer into the tier is now dangling and
+        each key's invalidation fires exactly once.  Returns the number
+        of entries dropped.
+        """
+        if not self._entries:
+            return 0
+        keys = np.asarray(list(self._entries.keys()), dtype=np.uint64)
+        self._entries.clear()
+        self.evictions += len(keys)
+        for listener in self._invalidation_listeners:
+            listener(keys)
+        return len(keys)
+
     # ------------------------------------------------------------------ query
 
     def lookup(
@@ -104,13 +125,19 @@ class DramCacheLayer:
             positions = np.asarray(missing_positions)
             missing_ids = feature_ids[positions]
             unique_missing, inverse = np.unique(missing_ids, return_inverse=True)
-            fetched, backing_time = self._fetch(table_id, unique_missing)
+            result = self._fetch(table_id, unique_missing)
+            if len(result) == 3:
+                fetched, backing_time, cacheable = result
+            else:
+                fetched, backing_time = result
+                cacheable = True
             if fetched.shape != (len(unique_missing), spec.dim):
                 raise WorkloadError("backing fetch returned wrong shape")
             vectors[positions] = fetched[inverse]
-            for fid, row in zip(unique_missing, fetched):
-                self._entries[pack_global_key(table_id, int(fid))] = row
-            self._evict_to_capacity()
+            if cacheable:
+                for fid, row in zip(unique_missing, fetched):
+                    self._entries[pack_global_key(table_id, int(fid))] = row
+                self._evict_to_capacity()
         return vectors, backing_time
 
     def resident(self, table_id: int, feature_id: int) -> bool:

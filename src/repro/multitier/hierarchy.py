@@ -20,11 +20,12 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import WorkloadError
+from ..faults.degrade import DegradeConfig, StaleStore, degraded_vectors
 from ..hashindex.host_hash import HostQueryCost, host_query_cost
 from ..hardware import HardwareSpec
 from ..tables.store import StoreQueryResult
 from ..tables.table_spec import TableSpec
-from .dram_cache import DramCacheLayer
+from .dram_cache import DramCacheLayer, pack_global_key
 from .remote_ps import RemoteParameterServer
 
 
@@ -38,6 +39,14 @@ class TierStats:
     remote_keys: int = 0
     remote_time: float = 0.0
     pointer_invalidations: int = 0
+    #: Remote fetches that exhausted their retry budget (or were failed
+    #: fast by an open breaker) and fell back to the degrade policy.
+    remote_failures: int = 0
+    #: Keys served a degraded (stale or default) vector.
+    degraded_keys: int = 0
+    #: Queries routed straight to the remote tier because the DRAM tier
+    #: was inside a failure window.
+    dram_bypass_queries: int = 0
 
     @property
     def dram_hit_rate(self) -> float:
@@ -53,7 +62,10 @@ class TieredParameterStore:
         hw: the platform (for DRAM cost modelling).
         dram_capacity: embeddings the local DRAM tier can hold.
         remote: the remote parameter server (default configuration if
-            omitted).
+            omitted).  Give it a fault injector to exercise the
+            resilient fetch path.
+        degrade: what to serve when the remote tier cannot answer within
+            its retry budget (default: stale values with zero fallback).
     """
 
     def __init__(
@@ -62,24 +74,53 @@ class TieredParameterStore:
         hw: HardwareSpec,
         dram_capacity: int,
         remote: Optional[RemoteParameterServer] = None,
+        degrade: Optional[DegradeConfig] = None,
     ):
         if not specs:
             raise WorkloadError("tiered store needs at least one table")
         self.specs = list(specs)
         self.hw = hw
         self.remote = remote or RemoteParameterServer(specs)
+        self.degrade = degrade or DegradeConfig()
         self.stats = TierStats()
         self._invalidators: List[Callable[[np.ndarray], None]] = []
+        #: Simulated wall-clock of the current query (drives fault windows).
+        self._now = 0.0
+        self._dram_flushed = False
+        self._degraded_log: List[int] = []
+        # The stale shadow is only maintained on the fault-aware path;
+        # fault-free runs skip the bookkeeping entirely.
+        self._stale: Optional[StaleStore] = (
+            StaleStore() if self.remote.injector is not None else None
+        )
 
-        def backing_fetch(table_id: int, feature_ids: np.ndarray):
-            result = self.remote.fetch(table_id, feature_ids)
-            self.stats.remote_fetches += 1
-            self.stats.remote_keys += len(feature_ids)
-            self.stats.remote_time += result.network_time
-            return result.vectors, result.network_time
-
-        self.dram = DramCacheLayer(specs, dram_capacity, backing_fetch)
+        self.dram = DramCacheLayer(specs, dram_capacity, self._backing_fetch)
         self.dram.on_eviction(self._forward_invalidation)
+
+    def _backing_fetch(self, table_id: int, feature_ids: np.ndarray):
+        """Remote fetch with degradation; feeds the DRAM layer on miss.
+
+        Returns ``(vectors, network_time, cacheable)`` — degraded
+        fallbacks are served but never inserted into the DRAM cache.
+        """
+        result = self.remote.fetch(table_id, feature_ids, now=self._now)
+        self.stats.remote_fetches += 1
+        self.stats.remote_keys += len(feature_ids)
+        self.stats.remote_time += result.network_time
+        if result.success:
+            if self._stale is not None:
+                self._stale.update(table_id, feature_ids, result.vectors)
+            return result.vectors, result.network_time, True
+        self.stats.remote_failures += 1
+        self.stats.degraded_keys += len(feature_ids)
+        self._degraded_log.extend(
+            pack_global_key(table_id, int(fid)) for fid in feature_ids
+        )
+        vectors, _ = degraded_vectors(
+            self.degrade, self._stale, table_id, feature_ids,
+            self.specs[table_id].dim,
+        )
+        return vectors, result.network_time, False
 
     # ------------------------------------------------------------------ info
 
@@ -107,6 +148,86 @@ class TieredParameterStore:
         for invalidator in self._invalidators:
             invalidator(global_keys)
 
+    # ------------------------------------------------------------------ faults
+
+    def advance_to(self, now: float) -> None:
+        """Set the simulated wall-clock for subsequent queries.
+
+        The serving loop calls this per batch so fault windows (shard
+        outages, DRAM-tier failures) line up with request timestamps.
+        """
+        self._now = float(now)
+
+    def take_degraded_keys(self) -> np.ndarray:
+        """Global keys degraded since the last call (clears the log).
+
+        Feed these to the AUC machinery to quantify accuracy impact.
+        """
+        keys = np.asarray(self._degraded_log, dtype=np.uint64)
+        self._degraded_log = []
+        return keys
+
+    def fault_stats(self) -> dict:
+        """Snapshot of resilience counters (all zero on fault-free runs)."""
+        client = self.remote.client
+        stats = {
+            "retries": 0,
+            "hedges_fired": 0,
+            "hedge_wins": 0,
+            "breaker_fast_fails": 0,
+            "breaker_open_time": 0.0,
+            "remote_failures": self.stats.remote_failures,
+            "degraded_keys": self.stats.degraded_keys,
+            "dram_bypass_queries": self.stats.dram_bypass_queries,
+        }
+        if client is not None:
+            stats.update(
+                retries=client.stats.retries,
+                hedges_fired=client.stats.hedges_fired,
+                hedge_wins=client.stats.hedge_wins,
+                breaker_fast_fails=client.stats.breaker_fast_fails,
+                breaker_open_time=client.breaker_open_time(self._now),
+            )
+        return stats
+
+    def fault_windows(self) -> List[tuple]:
+        """Merged fault windows of the installed schedule (may be empty)."""
+        injector = self.remote.injector
+        return injector.schedule.fault_windows() if injector else []
+
+    def _dram_unavailable(self) -> bool:
+        """Whether the DRAM tier is inside a failure window right now.
+
+        On first sight of a window the tier's contents are flushed —
+        firing each key's pointer invalidation exactly once — and
+        lookups bypass DRAM until the window closes.
+        """
+        injector = self.remote.injector
+        if injector is None or not injector.dram_down(self._now):
+            self._dram_flushed = False
+            return False
+        if not self._dram_flushed:
+            self.dram.flush()
+            self._dram_flushed = True
+        return True
+
+    def _tier_lookup(self, table_id: int, feature_ids: np.ndarray):
+        """DRAM-or-remote lookup for one table; updates tier stats."""
+        if self._dram_unavailable():
+            self.stats.dram_bypass_queries += 1
+            self.stats.dram_misses += len(feature_ids)
+            if not len(feature_ids):
+                dim = self.specs[table_id].dim
+                return np.zeros((0, dim), np.float32), 0.0
+            unique, inverse = np.unique(feature_ids, return_inverse=True)
+            vectors, fetch_time, _ = self._backing_fetch(table_id, unique)
+            return vectors[inverse], fetch_time
+        before_h, before_m = self.dram.hits, self.dram.misses
+        vectors, fetch_time = self.dram.lookup(table_id, feature_ids)
+        self.stats.dram_hits += self.dram.hits - before_h
+        self.stats.dram_misses += self.dram.misses - before_m
+        return vectors, fetch_time
+
     # ------------------------------------------------------------------ query
 
     def query(
@@ -118,10 +239,7 @@ class TieredParameterStore:
         """Fetch one table's embeddings through the hierarchy."""
         if not 0.0 <= indexed_fraction <= 1.0:
             raise WorkloadError("indexed_fraction must be in [0, 1]")
-        before_h, before_m = self.dram.hits, self.dram.misses
-        vectors, remote_time = self.dram.lookup(table_id, feature_ids)
-        self.stats.dram_hits += self.dram.hits - before_h
-        self.stats.dram_misses += self.dram.misses - before_m
+        vectors, remote_time = self._tier_lookup(table_id, feature_ids)
 
         spec = self.specs[table_id]
         keys_to_index = int(round(len(feature_ids) * (1.0 - indexed_fraction)))
@@ -140,7 +258,7 @@ class TieredParameterStore:
         self,
         table_ids: np.ndarray,
         feature_ids: np.ndarray,
-        indexed_mask: np.ndarray = None,
+        indexed_mask: Optional[np.ndarray] = None,
     ) -> StoreQueryResult:
         """Mixed-table batched query (same contract as EmbeddingStore)."""
         table_ids = np.asarray(table_ids)
@@ -159,15 +277,14 @@ class TieredParameterStore:
         vectors = np.zeros((len(table_ids), dim), dtype=np.float32)
         remote_time = 0.0
         payload = 0
-        before_h, before_m = self.dram.hits, self.dram.misses
         for table_id in np.unique(table_ids):
             mask = table_ids == table_id
-            got, fetch_time = self.dram.lookup(int(table_id), feature_ids[mask])
+            got, fetch_time = self._tier_lookup(
+                int(table_id), feature_ids[mask]
+            )
             vectors[mask] = got
             remote_time += fetch_time
             payload += int(mask.sum()) * self.specs[int(table_id)].value_bytes
-        self.stats.dram_hits += self.dram.hits - before_h
-        self.stats.dram_misses += self.dram.misses - before_m
 
         if indexed_mask is None:
             keys_to_index = len(table_ids)

@@ -9,11 +9,13 @@ generator as the local store, so correctness stays verifiable end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import WorkloadError
+from ..faults.injector import FaultInjector
+from ..faults.retry import BreakerConfig, ResilientFetchClient, RetryPolicy
 from ..tables.embedding_table import reference_vectors
 from ..tables.table_spec import TableSpec
 
@@ -57,14 +59,20 @@ class NetworkSpec:
         if self.timeout <= 0:
             raise WorkloadError("timeout must be positive")
 
-    def fetch_cost(
-        self, payload_bytes: int, rng: "np.random.Generator" = None
-    ) -> float:
-        """Time to fetch ``payload_bytes`` with one batched request."""
+    def base_cost(self, payload_bytes: int) -> float:
+        """Fault-free time to fetch ``payload_bytes`` in one request."""
         if payload_bytes < 0:
             raise WorkloadError("negative payload")
         streaming = payload_bytes / (self.bandwidth * self.num_shards)
-        base = self.round_trip + streaming
+        return self.round_trip + streaming
+
+    def fetch_cost(
+        self,
+        payload_bytes: int,
+        rng: Optional["np.random.Generator"] = None,
+    ) -> float:
+        """Time to fetch ``payload_bytes`` with one batched request."""
+        base = self.base_cost(payload_bytes)
         if rng is None or (
             self.slow_probability == 0.0 and self.timeout_probability == 0.0
         ):
@@ -83,16 +91,33 @@ class RemoteFetchResult:
 
     vectors: np.ndarray
     network_time: float
+    #: False when the resilient client exhausted its retry budget (or the
+    #: breaker failed fast); the vectors must then not be trusted.
+    success: bool = True
+    attempts: int = 1
+    hedges_fired: int = 0
 
 
 class RemoteParameterServer:
-    """Authoritative remote store for all embedding tables."""
+    """Authoritative remote store for all embedding tables.
+
+    With ``injector=None`` (the default) fetch timing follows the seed's
+    ``NetworkSpec`` model exactly.  Supplying a
+    :class:`~repro.faults.injector.FaultInjector` switches the network
+    path to the resilient client: schedule-driven faults, per-attempt
+    timeouts, backoff, optional hedging, and per-shard circuit breakers
+    (``retry_policy`` / ``breaker``).  Each batched per-table request is
+    routed to shard ``table_id % num_shards``.
+    """
 
     def __init__(
         self,
         specs: Sequence[TableSpec],
-        network: NetworkSpec = None,
+        network: Optional[NetworkSpec] = None,
         seed: int = 0,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
     ):
         if not specs:
             raise WorkloadError("remote PS needs at least one table")
@@ -101,9 +126,29 @@ class RemoteParameterServer:
         self.fetches = 0
         self.keys_served = 0
         self._rng = np.random.default_rng(seed)
+        self.injector = injector
+        self.client: Optional[ResilientFetchClient] = None
+        if injector is not None:
+            self.client = ResilientFetchClient(
+                injector,
+                retry_policy or RetryPolicy(),
+                num_shards=self.network.num_shards,
+                breaker=breaker,
+                seed=seed,
+            )
 
-    def fetch(self, table_id: int, feature_ids: np.ndarray) -> RemoteFetchResult:
-        """Fetch one table's embeddings in a single batched request."""
+    def shard_for(self, table_id: int) -> int:
+        """The PS shard serving ``table_id``'s batched requests."""
+        return table_id % self.network.num_shards
+
+    def fetch(
+        self, table_id: int, feature_ids: np.ndarray, now: float = 0.0
+    ) -> RemoteFetchResult:
+        """Fetch one table's embeddings in a single batched request.
+
+        ``now`` is the simulated issue time; it only matters on the
+        resilient path, where fault windows are time-driven.
+        """
         spec = self.specs[table_id]
         feature_ids = np.ascontiguousarray(feature_ids, dtype=np.uint64)
         if feature_ids.size and int(feature_ids.max()) >= spec.corpus_size:
@@ -114,8 +159,20 @@ class RemoteParameterServer:
         payload = vectors.nbytes + 8 * len(feature_ids)
         self.fetches += 1
         self.keys_served += len(feature_ids)
-        network_time = (
-            self.network.fetch_cost(payload, rng=self._rng)
-            if len(feature_ids) else 0.0
+        if not len(feature_ids):
+            return RemoteFetchResult(vectors=vectors, network_time=0.0)
+        if self.client is None:
+            network_time = self.network.fetch_cost(payload, rng=self._rng)
+            return RemoteFetchResult(
+                vectors=vectors, network_time=network_time
+            )
+        outcome = self.client.fetch(
+            self.network.base_cost(payload), self.shard_for(table_id), now
         )
-        return RemoteFetchResult(vectors=vectors, network_time=network_time)
+        return RemoteFetchResult(
+            vectors=vectors,
+            network_time=outcome.elapsed,
+            success=outcome.success,
+            attempts=outcome.attempts,
+            hedges_fired=outcome.hedges_fired,
+        )

@@ -64,6 +64,30 @@ class PoissonArrivals:
             for i in range(count)
         ]
 
+    def generate_until(
+        self, horizon: float, max_count: int = 1_000_000
+    ) -> List[Request]:
+        """All requests arriving before ``horizon`` seconds.
+
+        Unlike :meth:`generate`, the run's span is known up front, which
+        lets fault schedules place outage windows covering an exact
+        fraction of the run (``max_count`` is a runaway guard).
+        """
+        if horizon <= 0:
+            raise WorkloadError("horizon must be positive")
+        requests: List[Request] = []
+        now = 0.0
+        while len(requests) < max_count:
+            now += float(self._rng.exponential(1.0 / self.rate))
+            if now >= horizon:
+                break
+            requests.append(
+                Request(len(requests), now, self._features.draw())
+            )
+        if not requests:
+            raise WorkloadError("horizon too short: no arrivals")
+        return requests
+
 
 class BurstyArrivals:
     """Markov-modulated arrivals: quiet/burst phases with distinct rates.

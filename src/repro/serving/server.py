@@ -16,7 +16,7 @@ paper's framing of why embedding speed matters — directly answerable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,12 +34,31 @@ from .batcher import BatchingPolicy, FormedBatch, form_batches
 
 @dataclass
 class ServingReport:
-    """Outcome of one serving run."""
+    """Outcome of one serving run.
+
+    The resilience fields stay zero / empty on fault-free runs; they are
+    populated when the scheme's backing store is fault-aware (a
+    :class:`~repro.multitier.hierarchy.TieredParameterStore` with a
+    fault injector installed).
+    """
 
     latencies: np.ndarray
     batch_sizes: List[int] = field(default_factory=list)
     served: int = 0
     span: float = 0.0
+    #: Requests whose batch served at least one degraded (stale/default)
+    #: embedding because the remote tier missed its retry budget.
+    degraded_requests: int = 0
+    #: Remote-fetch retries beyond each first attempt.
+    retries: int = 0
+    #: Hedged second requests fired after the hedge delay.
+    hedges_fired: int = 0
+    #: Total simulated time per-shard circuit breakers spent open.
+    breaker_open_time: float = 0.0
+    #: Merged ``(start, end)`` fault windows of the installed schedule.
+    fault_windows: List[Tuple[float, float]] = field(default_factory=list)
+    #: Per-request arrival times, aligned with ``latencies``.
+    arrival_times: Optional[np.ndarray] = None
 
     @property
     def throughput(self) -> float:
@@ -60,11 +79,34 @@ class ServingReport:
     def p99_latency(self) -> float:
         return self.percentile(99.0)
 
-    def sla_attainment(self, budget: float) -> float:
-        """Fraction of requests served within the latency ``budget``."""
+    def sla_attainment(self, budget: float, window: str = "all") -> float:
+        """Fraction of requests served within the latency ``budget``.
+
+        ``window`` restricts the population: ``"all"`` (default),
+        ``"healthy"`` — requests arriving outside every fault window —
+        or ``"faulty"`` — requests arriving inside one.  An empty
+        population yields ``nan``.
+        """
         if budget <= 0:
             raise WorkloadError("SLA budget must be positive")
-        return float((self.latencies <= budget).mean())
+        ok = self.latencies <= budget
+        if window == "all":
+            return float(ok.mean())
+        if window not in ("healthy", "faulty"):
+            raise WorkloadError(
+                "window must be 'all', 'healthy', or 'faulty'"
+            )
+        if self.arrival_times is None:
+            raise WorkloadError(
+                "windowed SLA needs per-request arrival times"
+            )
+        in_fault = np.zeros(len(self.latencies), dtype=bool)
+        for start, end in self.fault_windows:
+            in_fault |= (self.arrival_times >= start) & (
+                self.arrival_times < end
+            )
+        mask = in_fault if window == "faulty" else ~in_fault
+        return float(ok[mask].mean()) if mask.any() else float("nan")
 
 
 class InferenceServer:
@@ -110,26 +152,51 @@ class InferenceServer:
         executor = Executor(self.hw)
         gpu_free_at = 0.0
         latencies: List[float] = []
+        arrivals: List[float] = []
         sizes: List[int] = []
+        store = getattr(self.scheme, "store", None)
+        fault_aware = store is not None and hasattr(store, "fault_stats")
+        stats_before = store.fault_stats() if fault_aware else None
+        degraded_requests = 0
         for batch in batches:
             start = max(batch.formed_at, gpu_free_at)
+            degraded_before = (
+                store.stats.degraded_keys if fault_aware else 0
+            )
             executor.reset()
             _, _, _, service_time = self.engine.run_batch(
-                self._to_trace_batch(batch), executor
+                self._to_trace_batch(batch), executor, now=start
             )
             executor.drain()
             finish = start + service_time
             gpu_free_at = finish
             sizes.append(batch.size)
+            if fault_aware and store.stats.degraded_keys > degraded_before:
+                degraded_requests += batch.size
             for request in batch.requests:
                 latencies.append(finish - request.arrival_time)
+                arrivals.append(request.arrival_time)
         arr = np.asarray(latencies)
         span = max(r.arrival_time for r in requests) - min(
             r.arrival_time for r in requests
         )
-        return ServingReport(
+        report = ServingReport(
             latencies=arr,
             batch_sizes=sizes,
             served=len(requests),
             span=max(span, 1e-12),
+            arrival_times=np.asarray(arrivals),
         )
+        if fault_aware:
+            stats_after = store.fault_stats()
+            report.degraded_requests = degraded_requests
+            report.retries = stats_after["retries"] - stats_before["retries"]
+            report.hedges_fired = (
+                stats_after["hedges_fired"] - stats_before["hedges_fired"]
+            )
+            report.breaker_open_time = (
+                stats_after["breaker_open_time"]
+                - stats_before["breaker_open_time"]
+            )
+            report.fault_windows = store.fault_windows()
+        return report

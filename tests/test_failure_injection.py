@@ -36,7 +36,11 @@ class TestNetworkFaults:
         ps = RemoteParameterServer(specs, flaky, seed=4)
         ids = np.arange(10, dtype=np.uint64)
         healthy_time = NetworkSpec().fetch_cost(ids.nbytes + 16 * 40)
-        assert ps.fetch(0, ids).network_time > 5e-4
+        flaky_time = ps.fetch(0, ids).network_time
+        assert flaky_time > 5e-4
+        # The naive model is exactly "wait out the timeout, the retry
+        # wins at the healthy cost".
+        assert flaky_time == pytest.approx(healthy_time + 5e-4)
 
     def test_fault_rate_approximately_respected(self, specs):
         net = NetworkSpec(slow_probability=0.3, slow_factor=50.0)

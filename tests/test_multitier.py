@@ -153,6 +153,49 @@ class TestTieredParameterStore:
         assert layer.cache.unified_entries == 0
         assert store.stats.pointer_invalidations > 0
 
+    def test_dram_fault_invalidates_pointers_exactly_once(self, specs, hw):
+        """A DRAM-tier failure window drops every resident entry; the
+        registered GPU unified-index invalidator fires exactly once per
+        key, and caching resumes once the window closes."""
+        from collections import Counter
+
+        from repro.faults import DramTierFailure, FaultInjector, FaultSchedule
+
+        schedule = FaultSchedule([DramTierFailure(start=1.0, duration=1.0)])
+        remote = RemoteParameterServer(
+            specs, injector=FaultInjector(schedule, seed=0)
+        )
+        store = TieredParameterStore(
+            specs, hw, dram_capacity=64, remote=remote
+        )
+        fired = Counter()
+        store.register_pointer_invalidator(
+            lambda keys: fired.update(keys.tolist())
+        )
+        ids = np.array([1, 2, 3], np.uint64)
+        store.query(0, ids)  # healthy: populates the DRAM tier
+        assert store.dram.resident(0, 1)
+
+        store.advance_to(1.2)  # inside the failure window
+        result = store.query(0, ids)
+        np.testing.assert_array_equal(
+            result.vectors, reference_vectors(0, ids, 16)
+        )
+        expected = {pack_global_key(0, int(i)) for i in ids}
+        assert set(fired) == expected
+        assert all(count == 1 for count in fired.values())
+        assert not store.dram.resident(0, 1)
+
+        # Still down: queries bypass DRAM and fire nothing new.
+        store.query(0, np.array([4], np.uint64))
+        assert all(count == 1 for count in fired.values())
+        assert store.stats.dram_bypass_queries == 2
+
+        store.advance_to(2.5)  # window closed: caching resumes
+        store.query(0, ids)
+        assert store.dram.resident(0, 1)
+        assert all(count == 1 for count in fired.values())
+
     def test_full_inference_through_tiers(self, specs, hw, rng):
         """Fleche runs unchanged on the tiered store (§5's claim)."""
         store = TieredParameterStore(specs, hw, dram_capacity=400)
