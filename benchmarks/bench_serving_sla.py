@@ -5,14 +5,27 @@ performance recommendation system can examine more candidate items."
 This benchmark drives open-loop Poisson traffic through both cache
 schemes behind a dynamic batcher and measures what offered load each can
 sustain within a latency SLA.
+
+The pipelined-serving study sweeps the pipeline depth of
+:class:`~repro.serving.pipeline.PipelinedInferenceServer` under a
+saturating load on two dataset replicas: depth 1 must reproduce the
+sequential loop bit-for-bit, and depth >= 2 must buy throughput-at-SLA
+and/or tail latency through inter-batch overlap.  Machine-readable
+results land in ``benchmarks/results/BENCH_serving.json``.
+
+Runs standalone too: ``python benchmarks/bench_serving_sla.py --smoke``
+executes a reduced sweep with the same invariant checks (the CI smoke).
 """
+
+import numpy as np
 
 from repro import FlecheConfig
 from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
-from repro.bench.reporting import emit, format_table, format_time
+from repro.bench.reporting import emit, emit_json, format_table, format_time
 from repro.core.workflow import FlecheEmbeddingLayer
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import BatchingPolicy
+from repro.serving.pipeline import PipelinedInferenceServer
 from repro.serving.server import InferenceServer
 from repro.tables.store import EmbeddingStore
 from repro.workloads.synthetic import uniform_tables_spec
@@ -20,6 +33,18 @@ from repro.workloads.synthetic import uniform_tables_spec
 SLA_BUDGET = 2e-3  # 2 ms end-of-queue latency budget
 RATES = (200_000, 800_000, 2_400_000)
 NUM_REQUESTS = 6_000
+
+#: Two dataset replicas for the pipelined-depth sweep: different table
+#: counts, corpus sizes, and skew, so the overlap win is not an artifact
+#: of one workload shape.
+REPLICAS = (
+    ("replica_a", dict(num_tables=12, corpus_size=50_000, alpha=-1.3, dim=32)),
+    ("replica_b", dict(num_tables=8, corpus_size=80_000, alpha=-1.1, dim=64)),
+)
+#: Offered load for the depth sweep — past the sequential loop's service
+#: capacity, so the pipeline (not the arrival process) is the bottleneck.
+SATURATING_RATE = 2_400_000.0
+SWEEP_DEPTHS = (1, 2, 4)
 
 
 def test_serving_sla_attainment(hw, run_once):
@@ -81,3 +106,177 @@ def test_serving_sla_attainment(hw, run_once):
         assert table[("fleche", rate)][0] >= table[("hugectr", rate)][0] - 0.02
     top = RATES[-1]
     assert table[("fleche", top)][0] > table[("hugectr", top)][0]
+
+
+# ---------------------------------------------------------------------------
+# Pipelined serving: depth sweep
+# ---------------------------------------------------------------------------
+
+
+def _summarise(report, depth):
+    """Collapse a ServingReport to the JSON-friendly depth-sweep metrics."""
+    within = int((report.latencies <= SLA_BUDGET).sum())
+    return {
+        "depth": depth,
+        "span_s": report.span,
+        "throughput_rps": report.throughput,
+        "throughput_at_sla_rps": within / report.span,
+        "sla_attainment": report.sla_attainment(SLA_BUDGET),
+        "p50_s": report.median_latency,
+        "p99_s": report.p99_latency,
+        "hits": report.hits,
+        "misses": report.misses,
+        "unified_hits": report.unified_hits,
+        "coalesced_keys": report.coalesced_keys,
+    }
+
+
+def run_depth_sweep(hw, replicas=REPLICAS, depths=SWEEP_DEPTHS,
+                    num_requests=4_000, rate=SATURATING_RATE):
+    """Sequential loop vs pipelined depths on each dataset replica.
+
+    Returns ``(summaries, checks)``: per-(replica, label) metric dicts,
+    and the byte-identity comparison of depth 1 against the sequential
+    loop (computed here because it needs the raw reports).
+    """
+    summaries = {}
+    checks = {}
+    for rname, spec_kwargs in replicas:
+        dataset = uniform_tables_spec(**spec_kwargs)
+        model = __import__("repro").DeepCrossNetwork(
+            num_tables=dataset.num_tables, embedding_dim=dataset.dim
+        )
+        policy = BatchingPolicy(max_batch_size=512, max_delay=5e-4)
+        warm = PoissonArrivals(dataset, 200_000.0, seed=1).generate(800)
+        reqs = PoissonArrivals(dataset, float(rate), seed=2).generate(
+            num_requests
+        )
+
+        def make_server(cls, **kwargs):
+            store = EmbeddingStore(dataset.table_specs(), hw)
+            layer = FlecheEmbeddingLayer(
+                store, FlecheConfig(cache_ratio=0.05), hw
+            )
+            server = cls(
+                dataset, layer, hw, policy=policy, model=model,
+                include_dense=True, **kwargs,
+            )
+            server.serve(warm)
+            return server
+
+        seq_report = make_server(InferenceServer).serve(reqs)
+        summaries[(rname, "sequential")] = _summarise(seq_report, 0)
+        for depth in depths:
+            report = make_server(
+                PipelinedInferenceServer, depth=depth
+            ).serve(reqs)
+            summaries[(rname, f"depth{depth}")] = _summarise(report, depth)
+            if depth == 1:
+                checks[rname] = {
+                    "latencies_equal": bool(np.array_equal(
+                        seq_report.latencies, report.latencies)),
+                    "probabilities_equal": bool(np.array_equal(
+                        seq_report.probabilities, report.probabilities)),
+                    "hits_equal": seq_report.hits == report.hits
+                    and seq_report.misses == report.misses
+                    and seq_report.unified_hits == report.unified_hits,
+                }
+    return summaries, checks
+
+
+def check_depth_sweep(summaries, checks, depths=SWEEP_DEPTHS):
+    """The depth-sweep invariants (shared by pytest and --smoke)."""
+    replicas = sorted({rname for rname, _ in summaries})
+    for rname in replicas:
+        # Depth 1 reproduces the sequential loop bit-for-bit.
+        assert checks[rname]["latencies_equal"], rname
+        assert checks[rname]["probabilities_equal"], rname
+        assert checks[rname]["hits_equal"], rname
+        # Depth >= 2 buys throughput-at-SLA and/or tail latency.
+        seq = summaries[(rname, "sequential")]
+        overlapped = [
+            summaries[(rname, f"depth{d}")] for d in depths if d >= 2
+        ]
+        assert overlapped, "sweep needs at least one depth >= 2"
+        best = max(overlapped, key=lambda s: s["throughput_at_sla_rps"])
+        assert (
+            best["throughput_at_sla_rps"]
+            > 1.05 * seq["throughput_at_sla_rps"]
+            or best["p99_s"] < 0.95 * seq["p99_s"]
+        ), (rname, best, seq)
+    # The in-flight miss table fires somewhere in the sweep.
+    total_coalesced = sum(
+        s["coalesced_keys"] for s in summaries.values()
+    )
+    assert total_coalesced > 0
+
+
+def emit_depth_sweep(summaries, depths=SWEEP_DEPTHS):
+    """Text table + BENCH_serving.json from depth-sweep summaries."""
+    rows = []
+    payload = {}
+    for (rname, label), s in sorted(summaries.items()):
+        payload.setdefault(rname, {})[label] = s
+        rows.append([
+            rname, label, f"{s['throughput_at_sla_rps'] / 1e3:.0f} K/s",
+            f"{s['sla_attainment']:.1%}", format_time(s["p50_s"]),
+            format_time(s["p99_s"]), s["coalesced_keys"],
+        ])
+    report = format_table(
+        ["replica", "server", f"tput@{SLA_BUDGET * 1e3:.0f}ms SLA",
+         "SLA", "P50", "P99", "coalesced"],
+        rows,
+        title=(
+            "Pipelined serving: depth sweep under saturating load "
+            f"({SATURATING_RATE / 1e6:.1f} M req/s offered)"
+        ),
+    )
+    emit("serving_pipeline_depth", report)
+    emit_json("BENCH_serving", {
+        "sla_budget_s": SLA_BUDGET,
+        "offered_rate_rps": SATURATING_RATE,
+        "depths": list(depths),
+        "replicas": payload,
+    })
+
+
+def test_serving_pipeline_depth_sweep(hw, run_once):
+    summaries, checks = run_once(run_depth_sweep, hw)
+    emit_depth_sweep(summaries)
+    check_depth_sweep(summaries, checks)
+
+
+# ---------------------------------------------------------------------------
+# Standalone smoke mode (CI)
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced depth sweep with the same invariant checks",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import default_platform
+
+    hw = default_platform()
+    if args.smoke:
+        depths = (1, 2)
+        summaries, checks = run_depth_sweep(
+            hw, depths=depths, num_requests=1_500
+        )
+    else:
+        depths = SWEEP_DEPTHS
+        summaries, checks = run_depth_sweep(hw, depths=depths)
+    emit_depth_sweep(summaries, depths=depths)
+    check_depth_sweep(summaries, checks, depths=depths)
+    print("\nserving depth sweep OK "
+          f"({'smoke' if args.smoke else 'full'} mode)")
+
+
+if __name__ == "__main__":
+    main()

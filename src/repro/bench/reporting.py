@@ -6,6 +6,7 @@ report; these helpers keep the formatting consistent and dependency-free.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Sequence
 
@@ -67,4 +68,20 @@ def emit(name: str, text: str) -> str:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
+    return path
+
+
+def emit_json(name: str, payload: object) -> str:
+    """Persist a machine-readable benchmark result under ``RESULTS_DIR``.
+
+    ``payload`` must be JSON-serialisable (dicts/lists of plain numbers
+    and strings).  Written as ``<name>.json`` next to the text reports so
+    downstream tooling (CI trend tracking, plotting) can consume the same
+    numbers the text tables show.  Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
     return path

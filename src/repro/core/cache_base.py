@@ -17,6 +17,31 @@ import numpy as np
 from ..gpusim.executor import Executor
 from ..workloads.trace import TraceBatch
 
+#: Canonical stage names of a staged embedding query.  ``STAGE_INDEX``
+#: covers encode/dedup plus cache indexing (host-driven), ``STAGE_FETCH``
+#: the CPU-DRAM miss fetch (host thread + PCIe link), and ``STAGE_COPY``
+#: the copy/restore/assemble tail (device streams).  The inference engine
+#: appends its own ``STAGE_DENSE`` for the MLP.
+STAGE_INDEX = "index"
+STAGE_FETCH = "fetch"
+STAGE_COPY = "copy"
+STAGE_DENSE = "dense"
+
+
+def drain_stages(stages):
+    """Run a staged-query generator to completion; return its result.
+
+    Stage generators follow the protocol ``yield <stage-name>`` *before*
+    performing that stage's work, then ``return result`` — so a driver can
+    schedule each stage before it executes.  Draining with no scheduling
+    in between reproduces the plain sequential query exactly.
+    """
+    try:
+        while True:
+            next(stages)
+    except StopIteration as stop:
+        return stop.value
+
 
 @dataclass
 class CacheQueryResult:
@@ -31,6 +56,11 @@ class CacheQueryResult:
             unified index (bypassing host indexing, §3.3).
         unique_keys: deduplicated key count of the batch.
         total_keys: raw key count of the batch.
+        coalesced_keys: missed keys served from another in-flight batch's
+            pending fetch instead of a fresh DRAM/remote query (pipelined
+            serving only; always 0 on the sequential path).
+        coalesced_degraded: coalesced keys whose shared fetch had served a
+            degraded (stale/default) vector.
     """
 
     outputs: List[np.ndarray]
@@ -39,6 +69,8 @@ class CacheQueryResult:
     unified_hits: int = 0
     unique_keys: int = 0
     total_keys: int = 0
+    coalesced_keys: int = 0
+    coalesced_degraded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -77,6 +109,26 @@ class EmbeddingCacheScheme(abc.ABC):
     @abc.abstractmethod
     def query(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
         """Serve one batch, advancing ``executor``'s simulated timeline."""
+
+    def query_stages(
+        self, batch: TraceBatch, executor: Executor, coalescer=None
+    ):
+        """Staged variant of :meth:`query` for pipelined serving.
+
+        A generator following the :func:`drain_stages` protocol: it yields
+        the name of the *next* stage before performing it, so a scheduler
+        can interleave stages of concurrent batches, and returns the
+        :class:`CacheQueryResult`.  ``coalescer`` (an in-flight miss table
+        with ``match``/``publish`` methods, or ``None``) lets overlapping
+        batches share DRAM fetches for the same flat key; schemes that do
+        not support it simply ignore the argument.
+
+        The default implementation exposes the whole query as one
+        host-driven ``STAGE_INDEX`` stage, which is always correct —
+        just pipelined at batch granularity only.
+        """
+        yield STAGE_INDEX
+        return self.query(batch, executor)
 
     def advance_clock(self, now: float) -> None:
         """Propagate the simulated wall-clock to a fault-aware backing.

@@ -27,7 +27,7 @@ from ..hardware import HardwareSpec
 from ..model.dcn import DeepCrossNetwork
 from ..model.pooling import sum_pool
 from ..workloads.trace import TraceBatch
-from .cache_base import CacheQueryResult, EmbeddingCacheScheme
+from .cache_base import STAGE_DENSE, CacheQueryResult, EmbeddingCacheScheme
 
 
 @dataclass
@@ -107,6 +107,40 @@ class InferenceEngine:
         executor.synchronize(dense_stream)
         return self.model.forward(x).probabilities
 
+    def run_batch_stages(
+        self,
+        batch: TraceBatch,
+        executor: Executor,
+        now: Optional[float] = None,
+        coalescer=None,
+    ):
+        """Staged variant of :meth:`run_batch` for pipelined serving.
+
+        A generator following the stage protocol of
+        :func:`~repro.core.cache_base.drain_stages`: it yields the name of
+        each stage *before* performing it — the scheme's embedding stages
+        first, then ``STAGE_DENSE`` when a dense model is attached — and
+        returns ``(query result, probabilities or None)``.  Driving it to
+        exhaustion with no scheduling in between performs exactly the
+        sequential batch.
+        """
+        if now is not None:
+            self.scheme.advance_clock(now)
+        stages = self.scheme.query_stages(batch, executor, coalescer=coalescer)
+        query = None
+        try:
+            stage = next(stages)
+            while True:
+                yield stage
+                stage = stages.send(None)
+        except StopIteration as stop:
+            query = stop.value
+        probabilities = None
+        if self.include_dense:
+            yield STAGE_DENSE
+            probabilities = self._run_dense(batch, query, executor)
+        return query, probabilities
+
     def run_batch(
         self,
         batch: TraceBatch,
@@ -119,15 +153,20 @@ class InferenceEngine:
         forwarded to the cache scheme so a fault-aware backing store can
         align outage windows with wall-clock (no-op otherwise).
         """
-        if now is not None:
-            self.scheme.advance_clock(now)
         t0 = executor.elapsed()
-        query = self.scheme.query(batch, executor)
-        t_embed = executor.elapsed()
-        probabilities = None
-        if self.include_dense:
-            probabilities = self._run_dense(batch, query, executor)
+        t_embed: Optional[float] = None
+        stages = self.run_batch_stages(batch, executor, now=now)
+        try:
+            stage = next(stages)
+            while True:
+                if stage == STAGE_DENSE:
+                    t_embed = executor.elapsed()
+                stage = stages.send(None)
+        except StopIteration as stop:
+            query, probabilities = stop.value
         t1 = executor.elapsed()
+        if t_embed is None:
+            t_embed = t1
         return query, probabilities, t_embed - t0, t1 - t0
 
     # ------------------------------------------------------------------ runs

@@ -155,6 +155,17 @@ class FlatCache:
             cache_hit=cache_hit, dram_hit=dram, locations=locations, stats=stats
         )
 
+    def contains_cached(self, flat_keys: np.ndarray) -> np.ndarray:
+        """Mask of keys currently holding a *cache* location (not a pointer).
+
+        A pure metadata probe — no LRU stamp refresh.  The replacement path
+        of a pipelined batch uses it to skip keys that a concurrently
+        in-flight batch already inserted: re-inserting would overwrite the
+        index entry in place and leak the existing pool slot.
+        """
+        found, pointers, _ = self.index.lookup(flat_keys)
+        return found & ~is_dram_pointer(pointers)
+
     # ------------------------------------------------------------------ read
 
     def gather(self, locations: np.ndarray) -> np.ndarray:

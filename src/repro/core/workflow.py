@@ -37,7 +37,14 @@ from ..gpusim.stats import Category
 from ..hardware import HardwareSpec
 from ..tables.store import EmbeddingStore
 from ..workloads.trace import TraceBatch
-from .cache_base import CacheQueryResult, EmbeddingCacheScheme
+from .cache_base import (
+    STAGE_COPY,
+    STAGE_FETCH,
+    STAGE_INDEX,
+    CacheQueryResult,
+    EmbeddingCacheScheme,
+    drain_stages,
+)
 from .config import FlecheConfig
 from .dedup import dedup_kernel_spec, restore_kernel_spec
 from .flat_cache import FlatCache
@@ -189,14 +196,29 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
         return self.cache.memory_usage()
 
     def query(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
+        return drain_stages(self.query_stages(batch, executor))
+
+    def query_stages(
+        self, batch: TraceBatch, executor: Executor, coalescer=None
+    ):
+        """Staged query (see :func:`~repro.core.cache_base.drain_stages`).
+
+        Yields ``STAGE_INDEX`` (encode/dedup/index + miss readback),
+        ``STAGE_FETCH`` (decoupled hit-copy kernels overlapping the
+        CPU-DRAM miss fetch), and ``STAGE_COPY`` (replacement kernels,
+        restore, final synchronisation, output assembly); drained
+        back-to-back it performs exactly the operations of the sequential
+        query, in the same order.
+        """
         if batch.num_tables != self.store.num_tables:
             raise ConfigError(
                 f"batch covers {batch.num_tables} tables, store has "
                 f"{self.store.num_tables}"
             )
+        yield STAGE_INDEX
         start = executor.elapsed()
         self.cache.tick()
-        result = self._query_once(batch, executor)
+        result = yield from self._query_stages(batch, executor, coalescer)
         if self.tuner is not None:
             latency = executor.elapsed() - start
             decision = self.tuner.observe(latency)
@@ -257,9 +279,16 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             )
         return groups
 
+    def _degraded_count(self) -> int:
+        """Degraded-key counter of a fault-aware backing store (else 0)."""
+        stats = getattr(self.store, "stats", None)
+        return int(getattr(stats, "degraded_keys", 0)) if stats else 0
+
     # ------------------------------------------------------------------ query
 
-    def _query_once(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:
+    def _query_stages(
+        self, batch: TraceBatch, executor: Executor, coalescer=None
+    ):
         config = self.config
         main_stream = executor.stream("main")
         copy_stream = executor.stream("copy")
@@ -277,6 +306,12 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
         # decoupling decides whether the copy rides inside it (coupled) or
         # in separate gather kernels (phase 4a).
         outcome = self.cache.index_lookup(unique_keys)
+        # Pin the reclamation epoch for the resolve -> gather window: the
+        # locations just read from the index must stay readable through
+        # phase 4a even if a concurrently pipelined batch's replacement
+        # evicts them in between (read-after-delete safety, §3.1).  The
+        # sequential path never contends, so this is free there.
+        read_epoch = self.cache.reclaimer.pin()
         per_table_specs = []
         for t in range(batch.num_tables):
             of_table = rep_tables == t
@@ -324,6 +359,11 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
         miss_mask = outcome.miss
         executor.copy(max(1, int(miss_mask.sum())) * 8, Category.MAINTENANCE)
 
+        # Stage boundary: the miss list is on the host; everything past
+        # this point is the fetch/replacement phase a pipelined server may
+        # overlap with another batch's indexing.
+        yield STAGE_FETCH
+
         groups = self._dim_groups(unique_keys, rep_tables, rep_features)
         unique_vectors: Dict[int, np.ndarray] = {}
         for group in groups:
@@ -346,11 +386,18 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
                 )
             if len(locations):
                 unique_vectors[group.dim][hit_here] = self.cache.gather(locations)
+        self.cache.reclaimer.unpin(read_epoch)
 
         # --- Phase 4b/5: DRAM query for the misses (overlaps with copies
         # when decoupled; with the coupled ablation the sync above already
-        # serialised everything).
+        # serialised everything).  Keys another in-flight batch has already
+        # fetched but not yet published to the index are taken from the
+        # coalescer instead of re-querying DRAM/remote (issued-once
+        # semantics; the leading batch alone inserts them).
         total_unified = 0
+        coalesced_keys = 0
+        coalesced_degraded = 0
+        pending_replacements = []
         for group in groups:
             miss_here = outcome.miss[group.positions]
             if not miss_here.any():
@@ -358,30 +405,115 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             dram_hit_here = outcome.dram_hit[group.positions][miss_here]
             miss_tables = group.rep_tables[miss_here]
             miss_features = group.rep_features[miss_here]
-            indexed_mask = dram_hit_here if config.use_unified_index else None
-            store_result = self.store.query_many(
-                miss_tables, miss_features, indexed_mask=indexed_mask
-            )
-            executor.host_work(store_result.cost.index_time, Category.DRAM_INDEX)
-            executor.host_work(store_result.cost.copy_time, Category.DRAM_COPY)
-            payload = store_result.vectors.nbytes
-            executor.copy(payload, Category.DRAM_COPY, async_stream=copy_stream)
-            unique_vectors[group.dim][miss_here] = store_result.vectors
-            total_unified += int(dram_hit_here.sum())
-
-            # --- Phase 6: replacement (copy kernel, then indexing kernel).
             miss_keys = group.unique_keys[miss_here]
+            degraded_before = self._degraded_count()
+
+            shared = None
+            if coalescer is not None:
+                shared, shared_rows, shared_degraded = coalescer.match(
+                    miss_keys, group.dim
+                )
+                if not shared.any():
+                    shared = None
+            if shared is None:
+                # No in-flight overlap: this batch leads on every miss.
+                lead = np.ones(len(miss_keys), dtype=bool)
+                indexed_mask = (
+                    dram_hit_here if config.use_unified_index else None
+                )
+                store_result = self.store.query_many(
+                    miss_tables, miss_features, indexed_mask=indexed_mask
+                )
+                vectors = store_result.vectors
+                lead_vectors = vectors
+            else:
+                lead = ~shared
+                coalesced_keys += int(shared.sum())
+                coalesced_degraded += int(shared_degraded)
+                vectors = np.zeros((len(miss_keys), group.dim), np.float32)
+                vectors[shared] = shared_rows
+                store_result = None
+                lead_vectors = np.zeros((0, group.dim), np.float32)
+                if lead.any():
+                    indexed_mask = (
+                        dram_hit_here[lead]
+                        if config.use_unified_index else None
+                    )
+                    store_result = self.store.query_many(
+                        miss_tables[lead],
+                        miss_features[lead],
+                        indexed_mask=indexed_mask,
+                    )
+                    lead_vectors = store_result.vectors
+                    vectors[lead] = lead_vectors
+            if store_result is not None:
+                executor.host_work(
+                    store_result.cost.index_time, Category.DRAM_INDEX
+                )
+                executor.host_work(
+                    store_result.cost.copy_time, Category.DRAM_COPY
+                )
+                payload = store_result.vectors.nbytes
+                executor.copy(
+                    payload, Category.DRAM_COPY, async_stream=copy_stream
+                )
+            unique_vectors[group.dim][miss_here] = vectors
+            lead_keys = miss_keys[lead]
+            lead_dram = dram_hit_here[lead]
+            total_unified += int(lead_dram.sum())
+            if coalescer is not None and len(lead_keys):
+                coalescer.publish(
+                    lead_keys,
+                    lead_vectors,
+                    degraded=self._degraded_count() > degraded_before,
+                )
+
+            # Phase 6 (replacement) is deferred to the copy stage: the
+            # paper's replacement copy/indexing kernels run on device
+            # streams, so the new key -> location mappings only become
+            # visible once that device work executes (§3.3) — not while
+            # the CPU is still mid-fetch.  Only the leading keys replace;
+            # coalesced followers must not insert a second time.
+            if len(lead_keys):
+                pending_replacements.append((
+                    group.dim, lead_keys, lead_vectors, lead_dram,
+                    miss_tables[lead], miss_features[lead],
+                ))
+
+        # Stage boundary: misses are fetched; the remaining work —
+        # replacement kernels, restore, output assembly — is device-side.
+        # A pipelined batch indexing between this batch's fetch and copy
+        # stages misses the keys fetched above and takes them from the
+        # in-flight table instead of re-querying DRAM.
+        yield STAGE_COPY
+
+        # --- Phase 6: replacement (copy kernel, then indexing kernel) for
+        # the leading keys only.  Keys a concurrently in-flight batch has
+        # published since this batch's fetch are skipped — the insertion
+        # happens exactly once per key, never overwriting a live slot.
+        for (dim, lead_keys, lead_vectors, lead_dram,
+             lead_tables, lead_features) in pending_replacements:
+            already = self.cache.contains_cached(lead_keys)
+            if already.any():
+                keep = ~already
+                lead_keys = lead_keys[keep]
+                lead_vectors = lead_vectors[keep]
+                lead_dram = lead_dram[keep]
+                lead_tables = lead_tables[keep]
+                lead_features = lead_features[keep]
+                if not len(lead_keys):
+                    continue
             inserted_mask, _ = self.cache.admit_and_insert(
-                miss_keys,
-                store_result.vectors,
-                group.dim,
-                dram_mask=dram_hit_here,
+                lead_keys,
+                lead_vectors,
+                dim,
+                dram_mask=lead_dram,
             )
             executor.launch(
                 _copy_kernel_spec(
-                    f"fc_replace_copy_d{group.dim}",
+                    f"fc_replace_copy_d{dim}",
                     int(inserted_mask.sum()),
-                    group.dim,
+                    dim,
                     self.hw,
                 ),
                 stream=copy_stream,
@@ -389,7 +521,7 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             )
             executor.launch(
                 _index_kernel_spec(
-                    f"fc_replace_index_d{group.dim}",
+                    f"fc_replace_index_d{dim}",
                     int(inserted_mask.sum()),
                     hops=2.0,
                 ),
@@ -398,14 +530,14 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             )
             # Denied, not-yet-tracked keys may enter the unified index.
             if config.use_unified_index:
-                candidates = ~inserted_mask & ~dram_hit_here
+                candidates = ~inserted_mask & ~lead_dram
                 if candidates.any():
                     rows = (
-                        miss_tables[candidates].astype(np.uint64)
+                        lead_tables[candidates].astype(np.uint64)
                         << np.uint64(40)
-                    ) | miss_features[candidates]
+                    ) | lead_features[candidates]
                     self.cache.publish_dram_pointers(
-                        miss_keys[candidates], rows
+                        lead_keys[candidates], rows
                     )
 
         # --- Phase 7: restore the full output matrices from unique rows
@@ -437,6 +569,8 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             unified_hits=total_unified,
             unique_keys=len(unique_keys),
             total_keys=len(flat_keys),
+            coalesced_keys=coalesced_keys,
+            coalesced_degraded=coalesced_degraded,
         )
 
     # ------------------------------------------------------------------ output

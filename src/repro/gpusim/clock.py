@@ -12,18 +12,31 @@ from ..errors import SimulationError
 
 
 class Timeline:
-    """A monotonic clock measured in seconds."""
+    """A monotonic clock measured in seconds.
 
-    __slots__ = ("name", "_now")
+    Besides the instant itself, the timeline distinguishes *active* time
+    (explicit :meth:`advance` calls — the thread doing work) from waiting
+    (:meth:`advance_to` — the thread blocked on another timeline).  The
+    pipelined serving scheduler uses the active share to decide how long a
+    stage really occupies the single host thread.
+    """
+
+    __slots__ = ("name", "_now", "_active")
 
     def __init__(self, name: str, start: float = 0.0):
         self.name = name
         self._now = float(start)
+        self._active = 0.0
 
     @property
     def now(self) -> float:
         """Current time on this timeline."""
         return self._now
+
+    @property
+    def active(self) -> float:
+        """Cumulative time spent actively working (vs. waiting)."""
+        return self._active
 
     def advance(self, duration: float) -> float:
         """Move the clock forward by ``duration`` seconds and return the new time."""
@@ -32,6 +45,7 @@ class Timeline:
                 f"timeline {self.name!r}: cannot advance by negative duration {duration}"
             )
         self._now += duration
+        self._active += duration
         return self._now
 
     def advance_to(self, instant: float) -> float:
@@ -43,6 +57,7 @@ class Timeline:
     def reset(self, start: float = 0.0) -> None:
         """Rewind the clock (only meaningful between independent experiments)."""
         self._now = float(start)
+        self._active = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Timeline({self.name!r}, now={self._now:.9f})"

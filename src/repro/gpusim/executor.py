@@ -41,6 +41,80 @@ class Stream:
         return f"Stream({self.name!r}, ready={self.ready_time:.9f})"
 
 
+class Event:
+    """A recorded cross-stream timestamp (the ``cudaEvent`` analogue).
+
+    Events express dependencies *between* executors and streams without
+    blocking the CPU: record one after some work, and make other work wait
+    on it.  The pipelined serving engine uses them to order batch ``i+1``'s
+    stages after batch ``i``'s without serialising the whole batches.
+    """
+
+    __slots__ = ("name", "timestamp")
+
+    def __init__(self, name: str = "event", timestamp: float = 0.0):
+        self.name = name
+        #: Simulated instant at which the recorded work completes.
+        self.timestamp = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Event({self.name!r}, t={self.timestamp:.9f})"
+
+
+class SharedResource:
+    """An exclusive serial resource shared by concurrent execution contexts.
+
+    The platform has exactly one PCIe link and the serving loop exactly one
+    host thread; when several in-flight batches want the same one, their
+    occupancies must serialise.  A :class:`SharedResource` is the global
+    timeline of one such resource: ``occupy`` grants a contiguous interval
+    no earlier than both the caller's ready instant and the instant the
+    resource frees up.
+    """
+
+    __slots__ = ("name", "free_at", "busy_time", "grants")
+
+    def __init__(self, name: str):
+        self.name = name
+        #: Instant at which the last granted interval ends.
+        self.free_at = 0.0
+        #: Total granted occupancy (for utilisation reporting).
+        self.busy_time = 0.0
+        #: Number of granted intervals.
+        self.grants = 0
+
+    def next_start(self, earliest: float) -> float:
+        """Earliest instant an occupancy could start from ``earliest``."""
+        return max(earliest, self.free_at)
+
+    def occupy(self, start: float, end: float) -> float:
+        """Occupy the resource for ``[start, end)``.
+
+        ``start`` must not precede ``free_at`` (callers reserve via
+        :meth:`next_start` first).  The interval is end-anchored — callers
+        pass the exact completion instant they computed, so downstream
+        ``next_start`` comparisons against batch finish times stay
+        bit-exact.  Returns ``end``.
+        """
+        if end < start - 1e-15:
+            raise SimulationError(
+                f"resource {self.name!r}: occupancy ends at {end} before "
+                f"its start {start}"
+            )
+        if start < self.free_at - 1e-15:
+            raise SimulationError(
+                f"resource {self.name!r}: occupancy at {start} precedes "
+                f"free_at {self.free_at}"
+            )
+        self.free_at = max(self.free_at, end)
+        self.busy_time += max(0.0, end - start)
+        self.grants += 1
+        return end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SharedResource({self.name!r}, free_at={self.free_at:.9f})"
+
+
 class Executor:
     """Simulated execution context for one inference worker.
 
@@ -103,6 +177,29 @@ class Executor:
         target.ready_time = start + exec_time
         self.stats.add(category, exec_time)
         return target.ready_time
+
+    # ------------------------------------------------------------------ events
+
+    def record_event(
+        self, stream: Optional[Stream] = None, name: str = "event"
+    ) -> Event:
+        """Record an event capturing ``stream``'s current drain instant.
+
+        With no stream, the event captures the executor-wide wall-clock
+        (CPU joined with every stream) — the analogue of recording on the
+        legacy default stream after a device-wide barrier.
+        """
+        timestamp = stream.ready_time if stream is not None else self.elapsed()
+        return Event(name=name, timestamp=timestamp)
+
+    def wait_event(self, stream: Stream, event: Event) -> None:
+        """Make ``stream``'s future work wait for ``event`` (non-blocking).
+
+        Unlike :meth:`synchronize`, the CPU does not stall: only the
+        stream's queue is held back, exactly like ``cudaStreamWaitEvent``.
+        """
+        if event.timestamp > stream.ready_time:
+            stream.ready_time = event.timestamp
 
     def synchronize(self, stream: Optional[Stream] = None) -> None:
         """Block the CPU until ``stream`` (or all streams) drains."""

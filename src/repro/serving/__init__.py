@@ -12,11 +12,20 @@ This package closes that loop:
   batches form, the engine serves them on the simulated platform, and
   per-request latencies (queueing + batching + compute) come out, so
   SLA-attainment curves under offered load can be measured for any cache
-  scheme.
+  scheme;
+* :mod:`repro.serving.pipeline` — the pipelined serving engine: up to
+  ``depth`` batches in flight on separate simulated streams, stages
+  overlapped across batches with the host thread and PCIe link serialized,
+  plus cross-batch in-flight miss coalescing.
 """
 
 from .arrivals import PoissonArrivals, BurstyArrivals, Request
 from .batcher import BatchingPolicy, FormedBatch
+from .pipeline import (
+    CoalescingStats,
+    InFlightMissTable,
+    PipelinedInferenceServer,
+)
 from .server import InferenceServer, ServingReport
 
 __all__ = [
@@ -27,4 +36,7 @@ __all__ = [
     "FormedBatch",
     "InferenceServer",
     "ServingReport",
+    "PipelinedInferenceServer",
+    "InFlightMissTable",
+    "CoalescingStats",
 ]

@@ -1,0 +1,372 @@
+"""Pipelined multi-stream serving: inter-batch overlap + miss coalescing.
+
+Fleche's §3.3 decoupling overlaps work *inside* one batch (the copy
+kernels run while the CPU queries DRAM).  This module applies the same
+idea at batch scale: the engine's staged batch — ``index`` (encode/dedup
++ cache indexing), ``fetch`` (CPU-DRAM miss query + replacement),
+``copy`` (restore/assemble) and ``dense`` (MLP) — is scheduled across up
+to ``depth`` concurrently in-flight batches, so batch ``i+1``'s
+cache-index and DRAM-miss stages overlap batch ``i``'s copy and MLP
+stages, the way production parameter-server stacks pipeline hierarchical
+fetches against compute (HugeCTR HPS, arXiv:2210.08804).
+
+Two physical resources stay strictly serial across batches and bound the
+overlap (modelled as :class:`~repro.gpusim.executor.SharedResource`
+timelines):
+
+* the **single host thread** that drives encoding, deduplication, hash
+  probing, and the DRAM query — occupied for the full ``index`` and
+  ``fetch`` stages;
+* the **single PCIe link** — co-held through the ``fetch`` stage, whose
+  miss payloads stream over the wire;
+* the **GPU** — held by the ``copy`` and ``dense`` stages (their few
+  sub-microsecond kernel-launch slices are assumed to interleave freely:
+  the pipelined loop is event-driven, never blocking the host thread on a
+  stream the way the sequential loop's synchronize does).
+
+Cross-batch **in-flight miss coalescing** rides on the overlap window:
+when consecutive in-flight batches miss the same flat key, only the first
+(leading) batch issues the DRAM/remote fetch and inserts into the cache;
+followers take the vectors from the :class:`InFlightMissTable` — the
+thundering-herd suppression for hot new keys.  Entries retire when their
+owning batch leaves the pipeline.
+
+At ``depth=1`` the scheduler degenerates to the sequential loop exactly:
+one batch in flight, stages back-to-back, an empty in-flight table — the
+same operations in the same order as :class:`InferenceServer.serve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.cache_base import (
+    STAGE_COPY,
+    STAGE_DENSE,
+    STAGE_FETCH,
+    STAGE_INDEX,
+)
+from ..errors import ConfigError, WorkloadError
+from ..gpusim.executor import Executor, SharedResource
+from .arrivals import Request
+from .batcher import FormedBatch, form_batches
+from .server import InferenceServer, ServingReport
+
+#: Which serial resources each stage occupies for its whole duration.
+STAGE_RESOURCES: Dict[str, tuple] = {
+    STAGE_INDEX: ("host",),
+    STAGE_FETCH: ("host", "pcie"),
+    STAGE_COPY: ("gpu",),
+    STAGE_DENSE: ("gpu",),
+}
+
+#: Resource set charged to stages a scheme invents beyond the canonical
+#: four: host-driven by assumption (the conservative choice).
+_DEFAULT_RESOURCES = ("host",)
+
+
+# --------------------------------------------------------------------------
+# In-flight miss coalescing
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CoalescingStats:
+    """Counters of the in-flight miss table."""
+
+    #: Keys published by leading batches (fetched once, shareable).
+    published_keys: int = 0
+    #: Keys follower batches took from the table instead of re-fetching.
+    coalesced_keys: int = 0
+    #: Entries dropped when their owning batch left the pipeline.
+    retired_keys: int = 0
+
+
+class InFlightMissTable:
+    """Pending-fetch table shared by concurrently in-flight batches.
+
+    The leading batch publishes ``flat key -> vector`` right after its
+    DRAM/remote fetch returns; the entry lives until every batch that
+    could have indexed before the leader's replacement kernels ran — any
+    batch concurrently in flight with the leader — has completed.  (Later
+    batches index after the insertion and simply hit the cache.)  A
+    follower whose indexing ran before the leader's insertion — and
+    therefore missed — matches the table in its fetch stage and shares
+    the result: the fetch is issued exactly once, and so is the cache
+    insertion.
+    """
+
+    def __init__(self):
+        #: flat key -> (owner batch tag, vector, served-degraded flag)
+        self._entries: Dict[int, tuple] = {}
+        self._owner = None
+        self.stats = CoalescingStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def set_owner(self, tag) -> None:
+        """Tag subsequent :meth:`publish` calls with the executing batch."""
+        self._owner = tag
+
+    def match(self, flat_keys: np.ndarray, dim: int):
+        """Split a miss list against the in-flight table.
+
+        Returns ``(mask, rows, degraded)``: which of ``flat_keys`` are
+        already in flight, their vectors (``mask.sum() x dim``), and how
+        many of those carried a degraded vector.
+        """
+        n = len(flat_keys)
+        mask = np.zeros(n, dtype=bool)
+        rows = np.zeros((n, dim), dtype=np.float32)
+        degraded = 0
+        if self._entries:
+            for i in range(n):
+                entry = self._entries.get(int(flat_keys[i]))
+                if entry is None:
+                    continue
+                mask[i] = True
+                rows[i] = entry[1]
+                degraded += int(entry[2])
+        shared_rows = rows[mask]
+        self.stats.coalesced_keys += int(mask.sum())
+        return mask, shared_rows, degraded
+
+    def publish(
+        self, flat_keys: np.ndarray, vectors: np.ndarray, degraded: bool = False
+    ) -> None:
+        """Record a leading batch's freshly fetched keys."""
+        owner = self._owner
+        flag = bool(degraded)
+        for i in range(len(flat_keys)):
+            self._entries[int(flat_keys[i])] = (owner, vectors[i], flag)
+        self.stats.published_keys += len(flat_keys)
+
+    def retire(self, owner) -> int:
+        """Drop every entry owned by ``owner`` (its batch completed)."""
+        dead = [k for k, e in self._entries.items() if e[0] == owner]
+        for key in dead:
+            del self._entries[key]
+        self.stats.retired_keys += len(dead)
+        return len(dead)
+
+
+# --------------------------------------------------------------------------
+# The pipelined server
+# --------------------------------------------------------------------------
+
+
+class _InFlightBatch:
+    """Book-keeping of one batch moving through the stage pipeline."""
+
+    __slots__ = (
+        "index", "formed", "stages", "executor", "next_stage",
+        "ready_at", "start", "stall", "degraded",
+    )
+
+    def __init__(self, index: int, formed: FormedBatch, stages, executor,
+                 next_stage: str, ready_at: float):
+        self.index = index
+        self.formed = formed
+        self.stages = stages
+        self.executor = executor
+        self.next_stage = next_stage
+        self.ready_at = ready_at
+        #: Dispatch instant (actual start of the first stage).
+        self.start: Optional[float] = None
+        #: Accumulated time spent waiting on busy shared resources.  Stage
+        #: ends are computed as ``start + (stall + executor elapsed)`` so
+        #: an uncontended batch's finish is bit-for-bit the sequential
+        #: loop's ``start + service_time`` (stall stays exactly 0.0).
+        self.stall = 0.0
+        self.degraded = False
+
+
+@dataclass
+class PipelineRunInfo:
+    """Introspection of the last pipelined run (resources + coalescing)."""
+
+    #: per-resource (busy seconds, grants) over the run.
+    resource_busy: Dict[str, tuple] = field(default_factory=dict)
+    coalescing: Optional[CoalescingStats] = None
+    depth: int = 1
+
+
+class PipelinedInferenceServer(InferenceServer):
+    """Serving loop executing up to ``depth`` batches concurrently.
+
+    ``depth=1`` reproduces :class:`InferenceServer.serve` exactly (same
+    operations, same order, same simulated instants).  ``coalesce``
+    enables the cross-batch in-flight miss table (inert at depth 1, where
+    no two batches are ever in flight together).
+    """
+
+    def __init__(self, *args, depth: int = 2, coalesce: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        if depth < 1:
+            raise ConfigError("pipeline depth must be >= 1")
+        self.depth = depth
+        self.coalesce = coalesce
+        self.last_run: Optional[PipelineRunInfo] = None
+
+    # ------------------------------------------------------------------ serve
+
+    def serve(self, requests: Sequence[Request]) -> ServingReport:
+        if not requests:
+            raise WorkloadError("no requests to serve")
+        batches = form_batches(requests, self.policy)
+        resources = {
+            name: SharedResource(name) for name in ("host", "pcie", "gpu")
+        }
+        coalescer = InFlightMissTable() if self.coalesce else None
+        store = self._fault_store
+        stats_before = store.fault_stats() if store is not None else None
+
+        n = len(batches)
+        finish_times = [0.0] * n
+        queries = [None] * n
+        probabilities: List[Optional[np.ndarray]] = [None] * n
+        degraded_requests = 0
+        in_flight: List[_InFlightBatch] = []
+        next_index = 0
+        completed = [False] * n
+        frontier = 0  # smallest batch index not yet completed
+        unretired: List[int] = []  # owners whose table entries are live
+
+        def admit() -> int:
+            """Admit batches while the in-flight window has room."""
+            nonlocal next_index
+            admitted = 0
+            while next_index < n and len(in_flight) < self.depth:
+                i = next_index
+                formed = batches[i]
+                # Depth gate: batch i may not dispatch before batch
+                # i-depth has fully finished (depth=1 == sequential).
+                floor = finish_times[i - self.depth] if i >= self.depth else 0.0
+                executor = Executor(self.hw)
+                stages = self.engine.run_batch_stages(
+                    self._to_trace_batch(formed), executor,
+                    coalescer=coalescer,
+                )
+                first_stage = next(stages)  # announce only; no work yet
+                in_flight.append(_InFlightBatch(
+                    index=i, formed=formed, stages=stages, executor=executor,
+                    next_stage=first_stage,
+                    ready_at=max(formed.formed_at, floor),
+                ))
+                next_index += 1
+                admitted += 1
+            return admitted
+
+        admit()
+        while in_flight:
+            # Pick the in-flight batch whose announced stage can start
+            # earliest: event-driven dispatch over the shared resource
+            # timelines.  At equal instants, host-driven stages execute
+            # (in simulation order) before device stages: host code reads
+            # cache state at its stage *start*, while a device stage's
+            # mutations (the deferred replacement kernels) land at its
+            # stage *end* — the reader must observe pre-mutation state.
+            # Within a tier, the older batch goes first.
+            chosen = None
+            chosen_key = None
+            chosen_start = 0.0
+            for flight in in_flight:
+                needs = STAGE_RESOURCES.get(
+                    flight.next_stage, _DEFAULT_RESOURCES
+                )
+                candidate = flight.ready_at
+                for name in needs:
+                    candidate = resources[name].next_start(candidate)
+                tier = 0 if "host" in needs else 1
+                key = (candidate, tier, flight.index)
+                if chosen is None or key < chosen_key:
+                    chosen, chosen_key, chosen_start = flight, key, candidate
+
+            if chosen.start is None:
+                # First stage: the wait for a free host thread is absorbed
+                # into the dispatch instant itself, not counted as stall.
+                chosen.start = chosen_start
+            else:
+                chosen.stall += chosen_start - chosen.ready_at
+            # Align fault windows with this batch's dispatch instant (the
+            # same instant the sequential loop uses).
+            self.engine.scheme.advance_clock(chosen.start)
+            if coalescer is not None:
+                coalescer.set_owner(chosen.index)
+            degraded_before = (
+                store.stats.degraded_keys if store is not None else 0
+            )
+            needs = STAGE_RESOURCES.get(chosen.next_stage, _DEFAULT_RESOURCES)
+            finished = False
+            try:
+                chosen.next_stage = chosen.stages.send(None)
+            except StopIteration as stop:
+                query, batch_probs = stop.value
+                finished = True
+            end = chosen.start + (chosen.stall + chosen.executor.elapsed())
+            for name in needs:
+                resources[name].occupy(chosen_start, end)
+            chosen.ready_at = end
+            if store is not None and (
+                store.stats.degraded_keys > degraded_before
+            ):
+                chosen.degraded = True
+
+            if finished:
+                finish_times[chosen.index] = chosen.ready_at
+                queries[chosen.index] = query
+                probabilities[chosen.index] = batch_probs
+                if chosen.degraded:
+                    degraded_requests += chosen.formed.size
+                completed[chosen.index] = True
+                while frontier < n and completed[frontier]:
+                    frontier += 1
+                if coalescer is not None:
+                    # Owner i's entries may still be matched by any batch
+                    # that indexed before i's replacement kernels ran —
+                    # only batches in flight concurrently with i, i.e.
+                    # j < i + depth.  Retire once all of those completed.
+                    unretired.append(chosen.index)
+                    still = []
+                    for owner in unretired:
+                        if owner + self.depth <= frontier:
+                            coalescer.retire(owner)
+                        else:
+                            still.append(owner)
+                    unretired = still
+                in_flight.remove(chosen)
+                admit()
+
+        # Flatten per-request latencies in batch order (identical request
+        # ordering to the sequential loop).
+        latencies: List[float] = []
+        arrivals: List[float] = []
+        sizes: List[int] = []
+        for i, formed in enumerate(batches):
+            sizes.append(formed.size)
+            for request in formed.requests:
+                latencies.append(finish_times[i] - request.arrival_time)
+                arrivals.append(request.arrival_time)
+
+        report = self._finalize_report(
+            requests, latencies, arrivals, sizes, max(finish_times),
+            degraded_requests, stats_before,
+        )
+        for query in queries:
+            self._record_query(report, query)
+        dense = [p for p in probabilities if p is not None]
+        if dense:
+            report.probabilities = np.concatenate(dense)
+        self.last_run = PipelineRunInfo(
+            resource_busy={
+                name: (res.busy_time, res.grants)
+                for name, res in resources.items()
+            },
+            coalescing=coalescer.stats if coalescer is not None else None,
+            depth=self.depth,
+        )
+        return report

@@ -45,7 +45,19 @@ class ServingReport:
     latencies: np.ndarray
     batch_sizes: List[int] = field(default_factory=list)
     served: int = 0
+    #: Makespan of the run: first request arrival -> last batch finish
+    #: (so throughput accounts for the tail batches draining).
     span: float = 0.0
+    #: Cache hits / misses / unified-index hits over deduplicated keys,
+    #: summed across all served batches.
+    hits: int = 0
+    misses: int = 0
+    unified_hits: int = 0
+    #: Missed keys served from another in-flight batch's pending fetch
+    #: (pipelined serving only; 0 on the sequential path).
+    coalesced_keys: int = 0
+    #: Click probabilities concatenated in request order (dense runs only).
+    probabilities: Optional[np.ndarray] = None
     #: Requests whose batch served at least one degraded (stale/default)
     #: embedding because the remote tier missed its retry budget.
     degraded_requests: int = 0
@@ -69,6 +81,9 @@ class ServingReport:
         return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
 
     def percentile(self, q: float) -> float:
+        """Latency percentile; ``nan`` on an empty (zero-request) window."""
+        if len(self.latencies) == 0:
+            return float("nan")
         return float(np.percentile(self.latencies, q))
 
     @property
@@ -144,50 +159,35 @@ class InferenceServer:
         return TraceBatch(ids_per_table=ids_per_table,
                           batch_size=len(batch.requests))
 
-    def serve(self, requests: Sequence[Request]) -> ServingReport:
-        """Run the whole request stream; returns the latency report."""
-        if not requests:
-            raise WorkloadError("no requests to serve")
-        batches = form_batches(requests, self.policy)
-        executor = Executor(self.hw)
-        gpu_free_at = 0.0
-        latencies: List[float] = []
-        arrivals: List[float] = []
-        sizes: List[int] = []
+    @property
+    def _fault_store(self):
+        """The scheme's backing store when it is fault-aware, else None."""
         store = getattr(self.scheme, "store", None)
-        fault_aware = store is not None and hasattr(store, "fault_stats")
-        stats_before = store.fault_stats() if fault_aware else None
-        degraded_requests = 0
-        for batch in batches:
-            start = max(batch.formed_at, gpu_free_at)
-            degraded_before = (
-                store.stats.degraded_keys if fault_aware else 0
-            )
-            executor.reset()
-            _, _, _, service_time = self.engine.run_batch(
-                self._to_trace_batch(batch), executor, now=start
-            )
-            executor.drain()
-            finish = start + service_time
-            gpu_free_at = finish
-            sizes.append(batch.size)
-            if fault_aware and store.stats.degraded_keys > degraded_before:
-                degraded_requests += batch.size
-            for request in batch.requests:
-                latencies.append(finish - request.arrival_time)
-                arrivals.append(request.arrival_time)
-        arr = np.asarray(latencies)
-        span = max(r.arrival_time for r in requests) - min(
-            r.arrival_time for r in requests
-        )
+        if store is not None and hasattr(store, "fault_stats"):
+            return store
+        return None
+
+    def _finalize_report(
+        self,
+        requests: Sequence[Request],
+        latencies: List[float],
+        arrivals: List[float],
+        sizes: List[int],
+        last_finish: float,
+        degraded_requests: int,
+        stats_before: Optional[dict],
+    ) -> ServingReport:
+        """Assemble the report shared by the sequential and pipelined loops."""
+        span = last_finish - min(r.arrival_time for r in requests)
         report = ServingReport(
-            latencies=arr,
+            latencies=np.asarray(latencies),
             batch_sizes=sizes,
             served=len(requests),
             span=max(span, 1e-12),
             arrival_times=np.asarray(arrivals),
         )
-        if fault_aware:
+        store = self._fault_store
+        if store is not None:
             stats_after = store.fault_stats()
             report.degraded_requests = degraded_requests
             report.retries = stats_after["retries"] - stats_before["retries"]
@@ -199,4 +199,60 @@ class InferenceServer:
                 - stats_before["breaker_open_time"]
             )
             report.fault_windows = store.fault_windows()
+        return report
+
+    @staticmethod
+    def _record_query(report: ServingReport, query) -> None:
+        """Accumulate one batch's cache statistics into the report."""
+        report.hits += query.hits
+        report.misses += query.misses
+        report.unified_hits += query.unified_hits
+        report.coalesced_keys += query.coalesced_keys
+
+    def serve(self, requests: Sequence[Request]) -> ServingReport:
+        """Run the whole request stream; returns the latency report."""
+        if not requests:
+            raise WorkloadError("no requests to serve")
+        batches = form_batches(requests, self.policy)
+        executor = Executor(self.hw)
+        gpu_free_at = 0.0
+        latencies: List[float] = []
+        arrivals: List[float] = []
+        sizes: List[int] = []
+        store = self._fault_store
+        stats_before = store.fault_stats() if store is not None else None
+        degraded_requests = 0
+        queries = []
+        probabilities: List[np.ndarray] = []
+        for batch in batches:
+            start = max(batch.formed_at, gpu_free_at)
+            degraded_before = (
+                store.stats.degraded_keys if store is not None else 0
+            )
+            executor.reset()
+            query, batch_probs, _, service_time = self.engine.run_batch(
+                self._to_trace_batch(batch), executor, now=start
+            )
+            executor.drain()
+            finish = start + service_time
+            gpu_free_at = finish
+            sizes.append(batch.size)
+            queries.append(query)
+            if batch_probs is not None:
+                probabilities.append(batch_probs)
+            if store is not None and (
+                store.stats.degraded_keys > degraded_before
+            ):
+                degraded_requests += batch.size
+            for request in batch.requests:
+                latencies.append(finish - request.arrival_time)
+                arrivals.append(request.arrival_time)
+        report = self._finalize_report(
+            requests, latencies, arrivals, sizes, gpu_free_at,
+            degraded_requests, stats_before,
+        )
+        for query in queries:
+            self._record_query(report, query)
+        if probabilities:
+            report.probabilities = np.concatenate(probabilities)
         return report
