@@ -19,9 +19,11 @@ executes a reduced sweep with the same invariant checks (the CI smoke).
 
 import numpy as np
 
-from repro import FlecheConfig
+from repro import FlecheConfig, SpanTracer
 from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
-from repro.bench.reporting import emit, emit_json, format_table, format_time
+from repro.bench.reporting import (
+    emit, emit_json, emit_observability, format_table, format_time,
+)
 from repro.core.workflow import FlecheEmbeddingLayer
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import BatchingPolicy
@@ -247,6 +249,64 @@ def test_serving_pipeline_depth_sweep(hw, run_once):
 
 
 # ---------------------------------------------------------------------------
+# Observability artifacts: metrics.json + Chrome trace.json
+# ---------------------------------------------------------------------------
+
+
+def run_traced_observability(hw, num_requests=1_200, depth=2):
+    """One pipelined traced run; returns ``(report, tracer)``.
+
+    The server's registry is audited (every conservation law and hook)
+    at both run barriers inside ``serve``; the report's ``metrics``
+    snapshot and the tracer's span list are the artifacts the CI uploads.
+    """
+    dataset = uniform_tables_spec(
+        num_tables=8, corpus_size=20_000, alpha=-1.2, dim=32,
+    )
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
+    model = __import__("repro").DeepCrossNetwork(
+        num_tables=dataset.num_tables, embedding_dim=dataset.dim
+    )
+    tracer = SpanTracer()
+    server = PipelinedInferenceServer(
+        dataset, layer, hw, depth=depth,
+        policy=BatchingPolicy(max_batch_size=512, max_delay=5e-4),
+        model=model, include_dense=True, tracer=tracer,
+    )
+    warm = PoissonArrivals(dataset, 200_000.0, seed=1).generate(400)
+    server.serve(warm)
+    tracer.clear()
+    reqs = PoissonArrivals(dataset, SATURATING_RATE, seed=2).generate(
+        num_requests
+    )
+    report = server.serve(reqs)
+    # The registry passed its in-run audit barriers; re-audit here so a
+    # failure surfaces in the benchmark output too.
+    violations = server.obs.audit()
+    assert not violations, violations
+    assert report.metrics is not None
+    assert tracer.span_list(), "traced run produced no spans"
+    return report, tracer
+
+
+def emit_observability_artifacts(report, tracer):
+    paths = emit_observability(report.metrics, tracer)
+    counters = report.metrics.to_dict()["counters"]
+    print("observability artifacts:")
+    for path in paths:
+        print(f"  {path}")
+    print(f"  ({len(counters)} counters, "
+          f"{len(tracer.span_list())} spans, "
+          f"{len(tracer.tracks())} tracks)")
+
+
+def test_serving_observability_artifacts(hw, run_once):
+    report, tracer = run_once(run_traced_observability, hw)
+    emit_observability_artifacts(report, tracer)
+
+
+# ---------------------------------------------------------------------------
 # Standalone smoke mode (CI)
 # ---------------------------------------------------------------------------
 
@@ -274,6 +334,10 @@ def main(argv=None):
         summaries, checks = run_depth_sweep(hw, depths=depths)
     emit_depth_sweep(summaries, depths=depths)
     check_depth_sweep(summaries, checks, depths=depths)
+    report, tracer = run_traced_observability(
+        hw, num_requests=800 if args.smoke else 2_000
+    )
+    emit_observability_artifacts(report, tracer)
     print("\nserving depth sweep OK "
           f"({'smoke' if args.smoke else 'full'} mode)")
 

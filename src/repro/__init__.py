@@ -28,6 +28,7 @@ Quickstart::
 from .hardware import HardwareSpec, CpuSpec, GpuSpec, default_platform
 from .errors import (
     ReproError,
+    AuditError,
     ConfigError,
     CapacityError,
     CodingError,
@@ -35,6 +36,12 @@ from .errors import (
     WorkloadError,
 )
 from .gpusim import Executor, KernelSpec, TimeBreakdown, Category
+from .obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanTracer,
+    install_conservation_laws,
+)
 from .coding import FixedLengthCodec, SizeAwareCodec, collision_stats
 from .tables import TableSpec, EmbeddingStore, EmbeddingTable
 from .workloads import (
@@ -76,11 +83,16 @@ __all__ = [
     "GpuSpec",
     "default_platform",
     "ReproError",
+    "AuditError",
     "ConfigError",
     "CapacityError",
     "CodingError",
     "SimulationError",
     "WorkloadError",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanTracer",
+    "install_conservation_laws",
     "Executor",
     "KernelSpec",
     "TimeBreakdown",

@@ -36,7 +36,7 @@ class NoCacheLayer(EmbeddingCacheScheme):
         if batch.num_tables != self.store.num_tables:
             raise ConfigError("batch table count does not match the store")
         outputs: List[np.ndarray] = []
-        misses = 0
+        unique_keys = 0
         stream = executor.stream("h2d")
         for t, ids in enumerate(batch.ids_per_table):
             unique, inverse = np.unique(
@@ -49,12 +49,15 @@ class NoCacheLayer(EmbeddingCacheScheme):
                 result.vectors.nbytes, Category.DRAM_COPY, async_stream=stream
             )
             outputs.append(result.vectors[inverse])
-            misses += len(unique)
+            unique_keys += len(unique)
         executor.synchronize(None)
+        # Misses follow the per-access convention of every other scheme
+        # (duplicates weighted): with no cache, every raw key misses —
+        # keeping the ``lookups == hits + misses`` conservation law exact.
         return CacheQueryResult(
             outputs=outputs,
             hits=0,
-            misses=misses,
-            unique_keys=misses,
+            misses=batch.total_ids,
+            unique_keys=unique_keys,
             total_keys=batch.total_ids,
         )

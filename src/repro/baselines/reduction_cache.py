@@ -20,12 +20,13 @@ import numpy as np
 
 from ..errors import ConfigError, WorkloadError
 from ..model.pooling import max_pool, mean_pool, sum_pool
+from ..obs.registry import Observable
 from ..tables.store import EmbeddingStore
 
 _POOLS = {"sum": sum_pool, "mean": mean_pool, "max": max_pool}
 
 
-class ReductionCache:
+class ReductionCache(Observable):
     """Memoizes pooled embedding groups for one model.
 
     Args:
@@ -69,12 +70,16 @@ class ReductionCache:
         group = np.ascontiguousarray(group, dtype=np.uint64)
         key = self._key_of(table_id, group)
         memoized = self._memo.get(key)
+        self.obs.inc("memo.queries")
         if memoized is not None:
             self._memo.move_to_end(key)
             self.memo_hits += 1
             self.lookups_saved += len(group)
+            self.obs.inc("memo.hits")
+            self.obs.inc("memo.lookups_saved", len(group))
             return memoized
         self.memo_misses += 1
+        self.obs.inc("memo.misses")
         rows = self.store.table(table_id).lookup(group)
         result = self._pool_fn(rows, len(group))[0]
         self._memo[key] = result

@@ -71,6 +71,23 @@ def emit(name: str, text: str) -> str:
     return path
 
 
+def emit_observability(snapshot, tracer) -> List[str]:
+    """Persist a run's registry snapshot and span trace under ``RESULTS_DIR``.
+
+    Writes ``metrics.json`` (the :class:`~repro.obs.MetricsSnapshot`
+    rendered via ``to_dict`` — counters, gauges, histograms) and
+    ``trace.json`` (the :class:`~repro.obs.SpanTracer` exported in the
+    Chrome trace-event format; load in ``chrome://tracing`` or Perfetto).
+    Returns the two paths written.
+    """
+    paths = [emit_json("metrics", snapshot.to_dict())]
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trace_path = os.path.join(RESULTS_DIR, "trace.json")
+    tracer.export_json(trace_path)
+    paths.append(trace_path)
+    return paths
+
+
 def emit_json(name: str, payload: object) -> str:
     """Persist a machine-readable benchmark result under ``RESULTS_DIR``.
 

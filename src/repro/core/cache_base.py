@@ -15,6 +15,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..gpusim.executor import Executor
+from ..obs.registry import MetricsRegistry, Observable
 from ..workloads.trace import TraceBatch
 
 #: Canonical stage names of a staged embedding query.  ``STAGE_INDEX``
@@ -79,6 +80,24 @@ class CacheQueryResult:
         return self.hits / denominator if denominator else 0.0
 
 
+def record_query_metrics(registry: MetricsRegistry, result: CacheQueryResult) -> None:
+    """Fold one query result into the shared registry.
+
+    Called once per batch from the engine's stage generator, so every
+    scheme — Fleche, per-table, no-cache — feeds the same ``cache.*``
+    counters and the conservation law ``cache.lookups == cache.hits +
+    cache.misses`` audits each backend's own accounting.
+    """
+    registry.inc("cache.queries")
+    registry.inc("cache.lookups", result.total_keys)
+    registry.inc("cache.hits", result.hits)
+    registry.inc("cache.misses", result.misses)
+    registry.inc("cache.unified_hits", result.unified_hits)
+    registry.inc("cache.unique_keys", result.unique_keys)
+    registry.inc("cache.coalesced_keys", result.coalesced_keys)
+    registry.inc("cache.coalesced_degraded", result.coalesced_degraded)
+
+
 @dataclass
 class HitRateAccumulator:
     """Aggregates hit statistics across many batches."""
@@ -100,11 +119,25 @@ class HitRateAccumulator:
         return self.hits / total if total else 0.0
 
 
-class EmbeddingCacheScheme(abc.ABC):
+class EmbeddingCacheScheme(Observable, abc.ABC):
     """A GPU-resident embedding cache scheme under test."""
 
     #: Human-readable scheme name used by the benchmark reports.
     name: str = "abstract"
+
+    def _register_observability(self, registry) -> None:
+        """Propagate a shared registry to observable components.
+
+        Schemes carry their cache and backing store under conventional
+        attribute names; anything that is itself :class:`Observable`
+        (FlatCache, TieredParameterStore, ...) is rebound so its counters
+        and audit hooks land in the engine's registry.
+        """
+        for attr in ("cache", "store"):
+            child = getattr(self, attr, None)
+            bind = getattr(child, "bind_observability", None)
+            if bind is not None:
+                bind(registry)
 
     @abc.abstractmethod
     def query(self, batch: TraceBatch, executor: Executor) -> CacheQueryResult:

@@ -26,8 +26,14 @@ from ..gpusim.stats import Category, TimeBreakdown
 from ..hardware import HardwareSpec
 from ..model.dcn import DeepCrossNetwork
 from ..model.pooling import sum_pool
+from ..obs.registry import MetricsRegistry, install_conservation_laws
 from ..workloads.trace import TraceBatch
-from .cache_base import STAGE_DENSE, CacheQueryResult, EmbeddingCacheScheme
+from .cache_base import (
+    STAGE_DENSE,
+    CacheQueryResult,
+    EmbeddingCacheScheme,
+    record_query_metrics,
+)
 
 
 @dataclass
@@ -81,12 +87,20 @@ class InferenceEngine:
         model: Optional[DeepCrossNetwork] = None,
         ids_per_field: int = 1,
         include_dense: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.scheme = scheme
         self.hw = hw
         self.model = model
         self.ids_per_field = ids_per_field
         self.include_dense = include_dense and model is not None
+        #: the engine's metrics registry — the single source of truth for
+        #: cache/tier/fault counters; the scheme and everything observable
+        #: beneath it (flat cache, tiered store, fetch client) is bound to
+        #: it, and the standard conservation-law catalogue is installed.
+        self.obs = registry if registry is not None else MetricsRegistry()
+        install_conservation_laws(self.obs)
+        scheme.bind_observability(self.obs)
 
     # ------------------------------------------------------------------ steps
 
@@ -139,6 +153,7 @@ class InferenceEngine:
         if self.include_dense:
             yield STAGE_DENSE
             probabilities = self._run_dense(batch, query, executor)
+        record_query_metrics(self.obs, query)
         return query, probabilities
 
     def run_batch(

@@ -29,6 +29,7 @@ from ..errors import ConfigError
 from ..hashindex.slab_hash import ProbeStats, SlabHashIndex
 from ..mempool.epoch import EpochReclaimer
 from ..mempool.slab_pool import SlabMemoryPool
+from ..obs.registry import Observable
 from ..tables.table_spec import TableSpec
 from .admission import AdmissionFilter
 from .config import FlecheConfig
@@ -60,7 +61,7 @@ class IndexOutcome:
         return ~self.cache_hit
 
 
-class FlatCache:
+class FlatCache(Observable):
     """One global cache backend shared by all embedding tables."""
 
     def __init__(
@@ -114,6 +115,36 @@ class FlatCache:
         self.unified_entries = 0
         self.unified_capacity = unified_slots if config.use_unified_index else 0
         self._dim_of_table = {s.table_id: s.dim for s in specs}
+
+    # ------------------------------------------------------------------ obs
+
+    def _register_observability(self, registry) -> None:
+        registry.add_check("flatcache.pool-accounting", self._audit_pool)
+
+    def _audit_pool(self):
+        """Audit hook: refresh pool/index occupancy gauges and cross-check
+        slot accounting against a live index scan.
+
+        Feeds the declarative ``pool.live + pool.free == pool.capacity``
+        law, and directly verifies the stronger invariant that every
+        occupied pool slot is either reachable from the index or awaiting
+        epoch reclamation (no slot leaks, no double frees).
+        """
+        capacity = sum(self.pool.capacity_of(d) for d in self.pool.dims())
+        free = sum(self.pool.free_of(d) for d in self.pool.dims())
+        live = capacity - free
+        pending = self.reclaimer.pending
+        cached = self.live_entries()
+        obs = self.obs
+        obs.set_gauge("pool.capacity", capacity)
+        obs.set_gauge("pool.live", live)
+        obs.set_gauge("pool.free", free)
+        obs.set_gauge("pool.pending_reclaim", pending)
+        obs.set_gauge("cache.live_entries", cached)
+        obs.set_gauge("cache.unified_entries", self.unified_entries)
+        ok = live == cached + pending
+        return ok, (f"pool occupies {live} slots but index scan sees "
+                    f"{cached} live + {pending} pending reclaim")
 
     # ------------------------------------------------------------------ info
 
@@ -237,6 +268,7 @@ class FlatCache:
         )
         self._release_displaced(result.evicted_values)
         inserted_mask[positions] = True
+        self.obs.inc("cache.inserted", len(positions))
         return inserted_mask, result.stats
 
     # ------------------------------------------------------------------ unified
@@ -264,6 +296,7 @@ class FlatCache:
         )
         self._release_displaced(inserted.evicted_values)
         self.unified_entries += take
+        self.obs.inc("cache.pointers_published", take)
         return take
 
     def _release_displaced(self, displaced: np.ndarray) -> None:
@@ -294,6 +327,7 @@ class FlatCache:
         removed, _ = self.index.erase(flat_keys[stale])
         count = int(removed.sum())
         self.unified_entries = max(0, self.unified_entries - count)
+        self.obs.inc("cache.pointers_invalidated", count)
         return count
 
     def clear_unified_index(self) -> int:
@@ -357,6 +391,7 @@ class FlatCache:
         )
         self.reclaimer.retire(cache_locations[victims])
         self.unified_entries += len(victims)
+        self.obs.inc("cache.demotions", len(victims))
 
     # ------------------------------------------------------------------ evict
 
@@ -407,6 +442,9 @@ class FlatCache:
         if len(victim_keys):
             self.index.erase(victim_keys)
         self.reclaimer.retire(class_locations[victims])
+        self.obs.inc("cache.evictions", len(victims))
+        if demote:
+            self.obs.inc("cache.demotions", demote)
         # Eviction happens between batches: the grace period elapses before
         # the next batch's readers arrive, so reclaim one epoch ahead.
         self.reclaimer.advance()

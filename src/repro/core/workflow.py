@@ -461,6 +461,11 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             lead_keys = miss_keys[lead]
             lead_dram = dram_hit_here[lead]
             total_unified += int(lead_dram.sum())
+            # Miss-routing accounting: every deduplicated miss either leads
+            # its own fetch or coalesces onto an in-flight one (the
+            # ``fleche.miss-routing`` conservation law).
+            self.obs.inc("cache.unique_misses", len(miss_keys))
+            self.obs.inc("cache.lead_keys", int(lead.sum()))
             if coalescer is not None and len(lead_keys):
                 coalescer.publish(
                     lead_keys,

@@ -34,3 +34,8 @@ class WorkloadError(ReproError):
 class DegradedServiceError(ReproError):
     """The remote tier was unavailable and the degradation policy is
     ``fail``: the affected keys cannot be served."""
+
+
+class AuditError(ReproError):
+    """A declared metrics invariant (conservation law or registered audit
+    check) does not hold at an audit barrier."""

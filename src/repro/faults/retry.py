@@ -26,6 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs.registry import Observable
 from .injector import FaultInjector
 
 US = 1e-6
@@ -176,7 +177,7 @@ class FetchOutcome:
     reason: str = "ok"
 
 
-class ResilientFetchClient:
+class ResilientFetchClient(Observable):
     """Simulates the retry/hedge/breaker timeline of one fetch.
 
     Args:
@@ -215,6 +216,7 @@ class ResilientFetchClient:
         policy = self.policy
         breaker = self.breakers[shard % len(self.breakers)]
         self._now = max(self._now, now)
+        obs = self.obs
         elapsed = 0.0
         hedges = 0
         hedge_won = False
@@ -225,6 +227,8 @@ class ResilientFetchClient:
                 # Fail fast: the breaker is open, no network wait at all.
                 self.stats.breaker_fast_fails += 1
                 self.stats.failures += 1
+                obs.inc("faults.breaker_fast_fails")
+                obs.inc("faults.failures")
                 return FetchOutcome(
                     success=False,
                     elapsed=elapsed,
@@ -234,17 +238,21 @@ class ResilientFetchClient:
                     reason="breaker-open",
                 )
             self.stats.attempts += 1
+            obs.inc("faults.attempts")
             if attempt > 0:
                 self.stats.retries += 1
+                obs.inc("faults.retries")
             ok, spent, hedged, won, reason = self._one_attempt(
                 base_cost, shard, issue_at
             )
             if hedged:
                 hedges += 1
                 self.stats.hedges_fired += 1
+                obs.inc("faults.hedges_fired")
                 if won:
                     hedge_won = True
                     self.stats.hedge_wins += 1
+                    obs.inc("faults.hedge_wins")
             if breaker is not None:
                 breaker.record(ok, issue_at + spent)
             elapsed += spent
@@ -260,6 +268,7 @@ class ResilientFetchClient:
             if attempt + 1 < policy.max_attempts:
                 elapsed += self._backoff(attempt)
         self.stats.failures += 1
+        obs.inc("faults.failures")
         return FetchOutcome(
             success=False,
             elapsed=elapsed,

@@ -44,6 +44,50 @@ class Span:
             raise SimulationError(f"span {self.name!r} has negative duration")
 
 
+def span_tracks(spans: List[Span]) -> List[str]:
+    """Track names appearing in ``spans``, CPU first, then sorted."""
+    seen = []
+    for span in spans:
+        if span.track not in seen:
+            seen.append(span.track)
+    seen.sort(key=lambda t: (t != "cpu", t))
+    return seen
+
+
+def chrome_trace(spans: List[Span]) -> dict:
+    """Render spans as Chrome trace-event JSON (complete 'X' events).
+
+    Shared by :class:`TraceRecorder` (executor-level spans) and
+    :class:`~repro.obs.spans.SpanTracer` (serving-level stage spans), so
+    both export the same format and open in ``chrome://tracing``/Perfetto.
+    """
+    track_ids = {name: i for i, name in enumerate(span_tracks(spans))}
+    events = []
+    for name, tid in track_ids.items():
+        events.append({
+            "ph": "M", "pid": 0, "tid": tid,
+            "name": "thread_name", "args": {"name": name},
+        })
+    for span in spans:
+        events.append({
+            "ph": "X",
+            "pid": 0,
+            "tid": track_ids[span.track],
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start * 1e6,     # trace format is microseconds
+            "dur": span.duration * 1e6,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(spans: List[Span], path: str) -> str:
+    """Write spans as Chrome trace JSON; returns the path."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(spans), f, indent=1, sort_keys=True)
+    return path
+
+
 @dataclass
 class TraceRecorder:
     """Records executor activity as spans; see module docstring."""
@@ -124,12 +168,7 @@ class TraceRecorder:
 
     def tracks(self) -> List[str]:
         """Track names seen so far, CPU first."""
-        seen = []
-        for span in self.spans:
-            if span.track not in seen:
-                seen.append(span.track)
-        seen.sort(key=lambda t: (t != "cpu", t))
-        return seen
+        return span_tracks(self.spans)
 
     def busy_time(self, track: str) -> float:
         """Total span duration on one track."""
@@ -142,27 +181,8 @@ class TraceRecorder:
 
     def to_chrome_trace(self) -> dict:
         """The Chrome trace-event representation (complete 'X' events)."""
-        track_ids = {name: i for i, name in enumerate(self.tracks())}
-        events = []
-        for name, tid in track_ids.items():
-            events.append({
-                "ph": "M", "pid": 0, "tid": tid,
-                "name": "thread_name", "args": {"name": name},
-            })
-        for span in self.spans:
-            events.append({
-                "ph": "X",
-                "pid": 0,
-                "tid": track_ids[span.track],
-                "name": span.name,
-                "cat": span.category,
-                "ts": span.start * 1e6,     # trace format is microseconds
-                "dur": span.duration * 1e6,
-            })
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return chrome_trace(self.spans)
 
     def export_json(self, path: str) -> str:
         """Write the Chrome trace JSON; returns the path."""
-        with open(path, "w") as f:
-            json.dump(self.to_chrome_trace(), f, indent=1)
-        return path
+        return export_chrome_trace(self.spans, path)

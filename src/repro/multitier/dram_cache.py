@@ -16,6 +16,7 @@ from typing import Callable, List, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigError, WorkloadError
+from ..obs.registry import Observable
 from ..tables.table_spec import TableSpec
 
 
@@ -24,7 +25,7 @@ def pack_global_key(table_id: int, feature_id: int) -> int:
     return (table_id << 48) | feature_id
 
 
-class DramCacheLayer:
+class DramCacheLayer(Observable):
     """LRU host cache of embeddings, backed by a fetch callback.
 
     Args:
@@ -73,6 +74,7 @@ class DramCacheLayer:
             evicted.append(key)
         if evicted:
             self.evictions += len(evicted)
+            self.obs.inc("tier.dram_evictions", len(evicted))
             keys = np.asarray(evicted, dtype=np.uint64)
             for listener in self._invalidation_listeners:
                 listener(keys)
@@ -91,6 +93,7 @@ class DramCacheLayer:
         keys = np.asarray(list(self._entries.keys()), dtype=np.uint64)
         self._entries.clear()
         self.evictions += len(keys)
+        self.obs.inc("tier.dram_evictions", len(keys))
         for listener in self._invalidation_listeners:
             listener(keys)
         return len(keys)

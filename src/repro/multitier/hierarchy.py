@@ -23,6 +23,7 @@ from ..errors import WorkloadError
 from ..faults.degrade import DegradeConfig, StaleStore, degraded_vectors
 from ..hashindex.host_hash import HostQueryCost, host_query_cost
 from ..hardware import HardwareSpec
+from ..obs.registry import Observable
 from ..tables.store import StoreQueryResult
 from ..tables.table_spec import TableSpec
 from .dram_cache import DramCacheLayer, pack_global_key
@@ -54,7 +55,7 @@ class TierStats:
         return self.dram_hits / total if total else 0.0
 
 
-class TieredParameterStore:
+class TieredParameterStore(Observable):
     """Drop-in EmbeddingStore replacement backed by a remote tier.
 
     Args:
@@ -88,6 +89,8 @@ class TieredParameterStore:
         self._now = 0.0
         self._dram_flushed = False
         self._degraded_log: List[int] = []
+        #: breaker-open seconds already folded into the registry counter.
+        self._breaker_time_seen = 0.0
         # The stale shadow is only maintained on the fault-aware path;
         # fault-free runs skip the bookkeeping entirely.
         self._stale: Optional[StaleStore] = (
@@ -107,12 +110,18 @@ class TieredParameterStore:
         self.stats.remote_fetches += 1
         self.stats.remote_keys += len(feature_ids)
         self.stats.remote_time += result.network_time
+        obs = self.obs
+        obs.inc("tier.remote_fetches")
+        obs.inc("tier.remote_keys", len(feature_ids))
+        obs.inc("tier.remote_time", result.network_time)
         if result.success:
             if self._stale is not None:
                 self._stale.update(table_id, feature_ids, result.vectors)
             return result.vectors, result.network_time, True
         self.stats.remote_failures += 1
         self.stats.degraded_keys += len(feature_ids)
+        obs.inc("tier.remote_failures")
+        obs.inc("tier.degraded_keys", len(feature_ids))
         self._degraded_log.extend(
             pack_global_key(table_id, int(fid)) for fid in feature_ids
         )
@@ -131,6 +140,32 @@ class TieredParameterStore:
     def spec_of(self, table_id: int) -> TableSpec:
         return self.specs[table_id]
 
+    # ------------------------------------------------------------------ obs
+
+    def _register_observability(self, registry) -> None:
+        self.dram.bind_observability(registry)
+        client = self.remote.client
+        if client is not None:
+            client.bind_observability(registry)
+        registry.add_check("tier.breaker-open-time", self._sync_breaker_time)
+
+    def _sync_breaker_time(self):
+        """Audit hook: fold newly-accrued breaker-open seconds into the
+        monotone ``faults.breaker_open_time`` counter.
+
+        The breaker reports cumulative open time as a function of ``now``;
+        the counter advances by the delta since the last audit, so registry
+        snapshots diff correctly across serving runs.
+        """
+        client = self.remote.client
+        if client is not None:
+            open_time = client.breaker_open_time(self._now)
+            delta = open_time - self._breaker_time_seen
+            if delta > 0:
+                self.obs.inc("faults.breaker_open_time", delta)
+                self._breaker_time_seen = open_time
+        return True
+
     # ------------------------------------------------------------------ hooks
 
     def register_pointer_invalidator(
@@ -145,6 +180,7 @@ class TieredParameterStore:
 
     def _forward_invalidation(self, global_keys: np.ndarray) -> None:
         self.stats.pointer_invalidations += len(global_keys)
+        self.obs.inc("tier.pointer_invalidations", len(global_keys))
         for invalidator in self._invalidators:
             invalidator(global_keys)
 
@@ -213,9 +249,13 @@ class TieredParameterStore:
 
     def _tier_lookup(self, table_id: int, feature_ids: np.ndarray):
         """DRAM-or-remote lookup for one table; updates tier stats."""
+        obs = self.obs
+        obs.inc("tier.lookup_keys", len(feature_ids))
         if self._dram_unavailable():
             self.stats.dram_bypass_queries += 1
             self.stats.dram_misses += len(feature_ids)
+            obs.inc("tier.dram_bypass_queries")
+            obs.inc("tier.dram_misses", len(feature_ids))
             if not len(feature_ids):
                 dim = self.specs[table_id].dim
                 return np.zeros((0, dim), np.float32), 0.0
@@ -226,6 +266,8 @@ class TieredParameterStore:
         vectors, fetch_time = self.dram.lookup(table_id, feature_ids)
         self.stats.dram_hits += self.dram.hits - before_h
         self.stats.dram_misses += self.dram.misses - before_m
+        obs.inc("tier.dram_hits", self.dram.hits - before_h)
+        obs.inc("tier.dram_misses", self.dram.misses - before_m)
         return vectors, fetch_time
 
     # ------------------------------------------------------------------ query

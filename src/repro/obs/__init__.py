@@ -1,0 +1,27 @@
+"""Unified observability: metrics registry, invariant audits, span tracing.
+
+See ``docs/observability.md`` for the registry API, the counter/span
+taxonomy and the invariant catalogue.
+"""
+
+from .registry import (
+    Conservation,
+    HistogramStats,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Observable,
+    install_conservation_laws,
+    render_key,
+)
+from .spans import SpanTracer
+
+__all__ = [
+    "Conservation",
+    "HistogramStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Observable",
+    "SpanTracer",
+    "install_conservation_laws",
+    "render_key",
+]

@@ -1,0 +1,377 @@
+"""Metrics registry with invariant-audit hooks.
+
+One :class:`MetricsRegistry` is the single source of truth for every
+counter the stack maintains: cache hit/miss accounting, per-tier fetch
+counters, fault-path retries, coalescing traffic, pool occupancy.  The
+engine owns the registry and binds it into the scheme, the cache, the
+tiered store and the fault client, so the server, the benchmarks and the
+tests all read the same numbers instead of keeping private tallies.
+
+Three metric kinds:
+
+* **counters** — monotonically increasing totals (``inc``),
+* **gauges** — point-in-time levels refreshed by audit hooks (``set_gauge``),
+* **histograms** — count/sum/min/max summaries (``observe``).
+
+All three support labels (``registry.inc("tier.dram_hits", 3, table=0)``);
+a metric *name* aggregates over its label sets via :meth:`MetricsRegistry.total`.
+
+Snapshots are cheap dict copies; ``snapshot().diff(older)`` subtracts
+counter/histogram totals so a serving run can report exactly the activity
+it caused.  Snapshots serialise deterministically (sorted keys), which is
+what the determinism regression test asserts byte-equality on.
+
+Invariant audits come in two declarative flavours:
+
+* :meth:`MetricsRegistry.add_conservation` — a conservation law between
+  summed metric totals, e.g. ``lookups == hits + misses`` or
+  ``pool.live + pool.free == pool.capacity``;
+* :meth:`MetricsRegistry.add_check` — an arbitrary callable hook returning
+  ``bool`` or ``(bool, detail)``; components use these both to validate
+  internal state (pool slot accounting vs. a live index scan) and to
+  refresh gauges right before the laws are evaluated.
+
+``audit()`` returns the list of violations; ``check()`` raises
+:class:`~repro.errors.AuditError` on the first violation.  The serving
+loops audit at run entry and run exit, so every report is produced at a
+verified barrier.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import AuditError, ConfigError
+
+#: A canonicalised label set: sorted ``(key, value)`` pairs.
+LabelSet = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelSet]
+
+_OPS = ("==", "<=", ">=")
+#: Tolerance for float-valued conservation laws (seconds-valued counters).
+_TOL = 1e-9
+
+
+def _labelset(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(name: str, labels: LabelSet) -> str:
+    """Human/JSON form of a metric key: ``name{k=v,...}`` or plain name."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Count/sum/min/max summary of one observed series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float, weight: int = 1) -> "HistogramStats":
+        return HistogramStats(
+            count=self.count + weight,
+            total=self.total + value * weight,
+            minimum=min(self.minimum, value),
+            maximum=max(self.maximum, value),
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"count": self.count, "sum": self.total}
+        if self.count:
+            out["mean"] = self.mean
+            # Diffed histograms drop min/max (they do not subtract);
+            # keep the JSON strict by omitting the infinite sentinels.
+            if math.isfinite(self.minimum):
+                out["min"] = self.minimum
+            if math.isfinite(self.maximum):
+                out["max"] = self.maximum
+        return out
+
+
+@dataclass(frozen=True)
+class Conservation:
+    """A declarative conservation law over summed metric totals.
+
+    ``sum(lhs) op sum(rhs)`` where each side is a tuple of metric names;
+    a name resolves to its counter total, falling back to its gauge total
+    (so pool-occupancy laws over gauges use the same machinery).
+    """
+
+    name: str
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+    op: str = "=="
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigError(f"conservation op must be one of {_OPS}, got {self.op!r}")
+
+    def holds(self, resolve: Callable[[str], float]) -> Tuple[bool, str]:
+        left = sum(resolve(name) for name in self.lhs)
+        right = sum(resolve(name) for name in self.rhs)
+        if self.op == "==":
+            ok = abs(left - right) <= _TOL
+        elif self.op == "<=":
+            ok = left <= right + _TOL
+        else:
+            ok = left + _TOL >= right
+        detail = (f"{' + '.join(self.lhs)} {self.op} {' + '.join(self.rhs)}"
+                  f" [{left:g} vs {right:g}]")
+        return ok, detail
+
+
+class MetricsSnapshot:
+    """An immutable copy of a registry's state at one instant."""
+
+    def __init__(
+        self,
+        counters: Dict[MetricKey, Union[int, float]],
+        gauges: Dict[MetricKey, float],
+        histograms: Dict[MetricKey, HistogramStats],
+    ) -> None:
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+
+    # ------------------------------------------------------------- querying
+
+    def counter(self, name: str, **labels: object) -> Union[int, float]:
+        return self.counters.get((name, _labelset(labels)), 0)
+
+    def gauge(self, name: str, **labels: object) -> float:
+        return self.gauges.get((name, _labelset(labels)), 0.0)
+
+    def total(self, name: str) -> Union[int, float]:
+        """Sum of a counter over all its label sets (0 if never touched)."""
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    # ----------------------------------------------------------------- diff
+
+    def diff(self, older: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Activity between ``older`` and this snapshot.
+
+        Counters and histogram count/sum subtract; gauges are levels, not
+        flows, so the newer value is kept as-is.  Histogram min/max are not
+        invertible and are dropped from a diff.
+        """
+        counters = {}
+        for key, value in self.counters.items():
+            delta = value - older.counters.get(key, 0)
+            if delta:
+                counters[key] = delta
+        histograms = {}
+        for key, stats in self.histograms.items():
+            prior = older.histograms.get(key, HistogramStats())
+            if stats.count != prior.count:
+                histograms[key] = HistogramStats(
+                    count=stats.count - prior.count,
+                    total=stats.total - prior.total,
+                )
+        return MetricsSnapshot(counters, dict(self.gauges), histograms)
+
+    # ------------------------------------------------------------ rendering
+
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (sorted rendered keys)."""
+        return {
+            "counters": {render_key(n, ls): v
+                         for (n, ls), v in sorted(self.counters.items())},
+            "gauges": {render_key(n, ls): v
+                       for (n, ls), v in sorted(self.gauges.items())},
+            "histograms": {render_key(n, ls): h.to_dict()
+                           for (n, ls), h in sorted(self.histograms.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms plus invariant-audit hooks."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Union[int, float]] = {}
+        self._gauges: Dict[MetricKey, float] = {}
+        self._histograms: Dict[MetricKey, HistogramStats] = {}
+        self._laws: Dict[str, Conservation] = {}
+        self._checks: Dict[str, Callable[[], object]] = {}
+
+    # ------------------------------------------------------------- recording
+
+    def inc(self, name: str, value: Union[int, float] = 1, **labels: object) -> None:
+        if value < 0:
+            raise ConfigError(f"counter {name!r} cannot decrease (got {value})")
+        key = (name, _labelset(labels))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self._gauges[(name, _labelset(labels))] = value
+
+    def observe(self, name: str, value: float, weight: int = 1, **labels: object) -> None:
+        key = (name, _labelset(labels))
+        stats = self._histograms.get(key, HistogramStats())
+        self._histograms[key] = stats.observe(value, weight)
+
+    def observe_many(self, name: str, values: Sequence[float], **labels: object) -> None:
+        for value in values:
+            self.observe(name, float(value), **labels)
+
+    # ------------------------------------------------------------- querying
+
+    def counter(self, name: str, **labels: object) -> Union[int, float]:
+        return self._counters.get((name, _labelset(labels)), 0)
+
+    def gauge(self, name: str, **labels: object) -> float:
+        return self._gauges.get((name, _labelset(labels)), 0.0)
+
+    def histogram(self, name: str, **labels: object) -> HistogramStats:
+        return self._histograms.get((name, _labelset(labels)), HistogramStats())
+
+    def total(self, name: str) -> Union[int, float]:
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            dict(self._counters), dict(self._gauges), dict(self._histograms)
+        )
+
+    # ---------------------------------------------------------------- audits
+
+    def add_conservation(
+        self,
+        name: str,
+        lhs: Sequence[str],
+        rhs: Sequence[str],
+        op: str = "==",
+    ) -> None:
+        """Declare (or re-declare — registration is idempotent by name) a
+        conservation law between summed metric totals."""
+        self._laws[name] = Conservation(name, tuple(lhs), tuple(rhs), op)
+
+    def add_check(self, name: str, hook: Callable[[], object]) -> None:
+        """Register an audit hook: a callable returning ``bool`` or
+        ``(bool, detail)``.  Hooks run before the conservation laws, so a
+        component can refresh its gauges (pool occupancy, breaker-open
+        time) inside its hook and have the laws see current levels."""
+        self._checks[name] = hook
+
+    @property
+    def laws(self) -> List[Conservation]:
+        return [self._laws[name] for name in sorted(self._laws)]
+
+    def _resolve(self, name: str) -> float:
+        total = self.total(name)
+        if total == 0 and not any(n == name for (n, _) in self._counters):
+            return sum(v for (n, _), v in self._gauges.items() if n == name)
+        return total
+
+    def audit(self) -> List[str]:
+        """Run every hook and law; return the violation descriptions."""
+        violations = []
+        for name in sorted(self._checks):
+            outcome = self._checks[name]()
+            detail = ""
+            if isinstance(outcome, tuple):
+                outcome, detail = outcome
+            if not outcome:
+                suffix = f": {detail}" if detail else ""
+                violations.append(f"check {name!r} failed{suffix}")
+        for law in self.laws:
+            ok, detail = law.holds(self._resolve)
+            if not ok:
+                violations.append(f"law {law.name!r} violated: {detail}")
+        return violations
+
+    def check(self) -> None:
+        """Audit and raise :class:`AuditError` if anything is violated."""
+        violations = self.audit()
+        if violations:
+            raise AuditError("; ".join(violations))
+
+
+def install_conservation_laws(registry: MetricsRegistry) -> MetricsRegistry:
+    """Declare the standard invariant catalogue on ``registry``.
+
+    Laws are phrased so that a metric a particular backend never emits
+    resolves to 0 and the law degenerates to a trivially-true statement —
+    the same catalogue audits every cache scheme.  Registration is
+    idempotent.  See ``docs/observability.md`` for the full catalogue.
+    """
+    add = registry.add_conservation
+    # Cache-level accounting (per-access convention: every raw key in a
+    # batch is either a hit or a miss).
+    add("cache.lookup-conservation", ["cache.lookups"], ["cache.hits", "cache.misses"])
+    add("cache.unique-bounded", ["cache.unique_keys"], ["cache.lookups"], op="<=")
+    add("cache.coalesced-bounded", ["cache.coalesced_keys"], ["cache.misses"], op="<=")
+    add("cache.unified-bounded", ["cache.unified_hits"], ["cache.misses"], op="<=")
+    add("cache.degraded-coalesced-bounded",
+        ["cache.coalesced_degraded"], ["cache.coalesced_keys"], op="<=")
+    # Fleche miss routing: every deduplicated miss is either the lead of a
+    # fetch group or coalesced onto another in-flight batch's fetch.
+    add("fleche.miss-routing",
+        ["cache.unique_misses"], ["cache.lead_keys", "cache.coalesced_keys"])
+    # Coalescer bookkeeping must agree with what the cache scheme counted.
+    add("coalescer.conservation", ["coalescer.coalesced"], ["cache.coalesced_keys"])
+    add("coalescer.retire-bounded",
+        ["coalescer.retired"], ["coalescer.published"], op="<=")
+    # Pool occupancy (gauges, refreshed by the FlatCache audit hook).
+    add("pool.slot-conservation", ["pool.live", "pool.free"], ["pool.capacity"])
+    # Tier accounting: every key reaching the DRAM tier either hits or
+    # misses it; degradation/failure never exceeds the traffic that could
+    # have caused it.
+    add("tier.dram-conservation",
+        ["tier.lookup_keys"], ["tier.dram_hits", "tier.dram_misses"])
+    add("tier.degraded-bounded", ["tier.degraded_keys"], ["tier.remote_keys"], op="<=")
+    add("tier.failure-bounded",
+        ["tier.remote_failures"], ["tier.remote_fetches"], op="<=")
+    # Fault path.
+    add("faults.retry-bounded", ["faults.retries"], ["faults.attempts"], op="<=")
+    add("faults.hedge-bounded", ["faults.hedge_wins"], ["faults.hedges_fired"], op="<=")
+    # Serving: batching partitions the request stream.
+    add("serving.batch-conservation",
+        ["serving.requests"], ["serving.batched_requests"])
+    add("serving.degraded-bounded",
+        ["serving.degraded_requests"], ["serving.requests"], op="<=")
+    # Reduction-cache memoisation.
+    add("memo.lookup-conservation", ["memo.queries"], ["memo.hits", "memo.misses"])
+    return registry
+
+
+class Observable:
+    """Mixin giving a component a lazily-created private registry that can
+    be rebound to a shared one.
+
+    Components call ``self.obs.inc(...)`` unconditionally; until
+    :meth:`bind_observability` is called the increments land in a private
+    registry (cheap, unaudited), afterwards in the shared one.  Subclasses
+    override :meth:`_register_observability` to install audit hooks and to
+    forward the binding to children.
+    """
+
+    _obs: Optional[MetricsRegistry] = None
+
+    @property
+    def obs(self) -> MetricsRegistry:
+        if self._obs is None:
+            self._obs = MetricsRegistry()
+        return self._obs
+
+    def bind_observability(self, registry: MetricsRegistry) -> None:
+        self._obs = registry
+        self._register_observability(registry)
+
+    def _register_observability(self, registry: MetricsRegistry) -> None:
+        """Subclass hook: install audit checks, bind children."""

@@ -51,6 +51,7 @@ from ..core.cache_base import (
 )
 from ..errors import ConfigError, WorkloadError
 from ..gpusim.executor import Executor, SharedResource
+from ..obs.registry import Observable
 from .arrivals import Request
 from .batcher import FormedBatch, form_batches
 from .server import InferenceServer, ServingReport
@@ -85,7 +86,7 @@ class CoalescingStats:
     retired_keys: int = 0
 
 
-class InFlightMissTable:
+class InFlightMissTable(Observable):
     """Pending-fetch table shared by concurrently in-flight batches.
 
     The leading batch publishes ``flat key -> vector`` right after its
@@ -132,7 +133,9 @@ class InFlightMissTable:
                 rows[i] = entry[1]
                 degraded += int(entry[2])
         shared_rows = rows[mask]
-        self.stats.coalesced_keys += int(mask.sum())
+        matched = int(mask.sum())
+        self.stats.coalesced_keys += matched
+        self.obs.inc("coalescer.coalesced", matched)
         return mask, shared_rows, degraded
 
     def publish(
@@ -144,6 +147,7 @@ class InFlightMissTable:
         for i in range(len(flat_keys)):
             self._entries[int(flat_keys[i])] = (owner, vectors[i], flag)
         self.stats.published_keys += len(flat_keys)
+        self.obs.inc("coalescer.published", len(flat_keys))
 
     def retire(self, owner) -> int:
         """Drop every entry owned by ``owner`` (its batch completed)."""
@@ -151,6 +155,7 @@ class InFlightMissTable:
         for key in dead:
             del self._entries[key]
         self.stats.retired_keys += len(dead)
+        self.obs.inc("coalescer.retired", len(dead))
         return len(dead)
 
 
@@ -222,14 +227,14 @@ class PipelinedInferenceServer(InferenceServer):
             name: SharedResource(name) for name in ("host", "pcie", "gpu")
         }
         coalescer = InFlightMissTable() if self.coalesce else None
-        store = self._fault_store
-        stats_before = store.fault_stats() if store is not None else None
+        obs = self.obs
+        if coalescer is not None:
+            coalescer.bind_observability(obs)
+        before = self._begin_run(requests)
 
         n = len(batches)
         finish_times = [0.0] * n
-        queries = [None] * n
         probabilities: List[Optional[np.ndarray]] = [None] * n
-        degraded_requests = 0
         in_flight: List[_InFlightBatch] = []
         next_index = 0
         completed = [False] * n
@@ -286,10 +291,19 @@ class PipelinedInferenceServer(InferenceServer):
                 if chosen is None or key < chosen_key:
                     chosen, chosen_key, chosen_start = flight, key, candidate
 
+            lane = f"lane{chosen.index % self.depth}"
             if chosen.start is None:
                 # First stage: the wait for a free host thread is absorbed
                 # into the dispatch instant itself, not counted as stall.
                 chosen.start = chosen_start
+                if (
+                    self.tracer is not None
+                    and chosen_start > chosen.formed.formed_at
+                ):
+                    self._trace_span(
+                        lane, chosen.index, "queue",
+                        chosen.formed.formed_at, chosen_start,
+                    )
             else:
                 chosen.stall += chosen_start - chosen.ready_at
             # Align fault windows with this batch's dispatch instant (the
@@ -297,31 +311,30 @@ class PipelinedInferenceServer(InferenceServer):
             self.engine.scheme.advance_clock(chosen.start)
             if coalescer is not None:
                 coalescer.set_owner(chosen.index)
-            degraded_before = (
-                store.stats.degraded_keys if store is not None else 0
-            )
-            needs = STAGE_RESOURCES.get(chosen.next_stage, _DEFAULT_RESOURCES)
+            degraded_before = obs.total("tier.degraded_keys")
+            stage_name = chosen.next_stage
+            needs = STAGE_RESOURCES.get(stage_name, _DEFAULT_RESOURCES)
             finished = False
             try:
                 chosen.next_stage = chosen.stages.send(None)
             except StopIteration as stop:
-                query, batch_probs = stop.value
+                _, batch_probs = stop.value
                 finished = True
             end = chosen.start + (chosen.stall + chosen.executor.elapsed())
             for name in needs:
                 resources[name].occupy(chosen_start, end)
             chosen.ready_at = end
-            if store is not None and (
-                store.stats.degraded_keys > degraded_before
-            ):
+            self._trace_span(lane, chosen.index, stage_name, chosen_start, end)
+            if obs.total("tier.degraded_keys") > degraded_before:
                 chosen.degraded = True
 
             if finished:
                 finish_times[chosen.index] = chosen.ready_at
-                queries[chosen.index] = query
                 probabilities[chosen.index] = batch_probs
+                obs.inc("serving.batches")
+                obs.inc("serving.batched_requests", chosen.formed.size)
                 if chosen.degraded:
-                    degraded_requests += chosen.formed.size
+                    obs.inc("serving.degraded_requests", chosen.formed.size)
                 completed[chosen.index] = True
                 while frontier < n and completed[frontier]:
                     frontier += 1
@@ -341,6 +354,14 @@ class PipelinedInferenceServer(InferenceServer):
                 in_flight.remove(chosen)
                 admit()
 
+        # End of run: no batch is in flight any more, so every remaining
+        # in-flight-table entry is retireable — drain them so the table is
+        # provably empty (``coalescer.retired == coalescer.published``).
+        if coalescer is not None:
+            for owner in unretired:
+                coalescer.retire(owner)
+            unretired = []
+
         # Flatten per-request latencies in batch order (identical request
         # ordering to the sequential loop).
         latencies: List[float] = []
@@ -353,11 +374,8 @@ class PipelinedInferenceServer(InferenceServer):
                 arrivals.append(request.arrival_time)
 
         report = self._finalize_report(
-            requests, latencies, arrivals, sizes, max(finish_times),
-            degraded_requests, stats_before,
+            requests, latencies, arrivals, sizes, max(finish_times), before,
         )
-        for query in queries:
-            self._record_query(report, query)
         dense = [p for p in probabilities if p is not None]
         if dense:
             report.probabilities = np.concatenate(dense)

@@ -26,6 +26,8 @@ from ..errors import WorkloadError
 from ..gpusim.executor import Executor
 from ..hardware import HardwareSpec
 from ..model.dcn import DeepCrossNetwork
+from ..obs.registry import MetricsRegistry, MetricsSnapshot
+from ..obs.spans import SpanTracer
 from ..workloads.spec import DatasetSpec
 from ..workloads.trace import TraceBatch
 from .arrivals import Request
@@ -36,6 +38,10 @@ from .batcher import BatchingPolicy, FormedBatch, form_batches
 class ServingReport:
     """Outcome of one serving run.
 
+    Every counter-valued field is derived from the engine's metrics
+    registry: the serving loop snapshots the registry at run entry and
+    diffs at run exit, so the report, the benchmarks and the tests all
+    read the same audited numbers (the raw delta is kept in ``metrics``).
     The resilience fields stay zero / empty on fault-free runs; they are
     populated when the scheme's backing store is fault-aware (a
     :class:`~repro.multitier.hierarchy.TieredParameterStore` with a
@@ -71,6 +77,9 @@ class ServingReport:
     fault_windows: List[Tuple[float, float]] = field(default_factory=list)
     #: Per-request arrival times, aligned with ``latencies``.
     arrival_times: Optional[np.ndarray] = None
+    #: Registry delta covering exactly this run (counters, gauges,
+    #: histograms) — the source the scalar fields above are read from.
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def throughput(self) -> float:
@@ -135,11 +144,15 @@ class InferenceServer:
         policy: Optional[BatchingPolicy] = None,
         model: Optional[DeepCrossNetwork] = None,
         include_dense: bool = False,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.dataset = dataset
         self.scheme = scheme
         self.hw = hw
         self.policy = policy or BatchingPolicy()
+        #: optional serving-level span tracer (one span per batch stage on
+        #: the absolute simulated clock; exports Chrome trace JSON).
+        self.tracer = tracer
         self.engine = InferenceEngine(
             scheme,
             hw,
@@ -147,6 +160,11 @@ class InferenceServer:
             ids_per_field=dataset.ids_per_field,
             include_dense=include_dense and model is not None,
         )
+
+    @property
+    def obs(self) -> MetricsRegistry:
+        """The engine's metrics registry (single source of truth)."""
+        return self.engine.obs
 
     def _to_trace_batch(self, batch: FormedBatch) -> TraceBatch:
         ids_per_table = []
@@ -167,6 +185,19 @@ class InferenceServer:
             return store
         return None
 
+    def _begin_run(self, requests: Sequence[Request]) -> MetricsSnapshot:
+        """Audit barrier at run entry; returns the pre-run snapshot.
+
+        The audit runs every registered hook (refreshing occupancy and
+        breaker gauges) and every conservation law, so a report is only
+        ever diffed between two verified registry states.
+        """
+        obs = self.obs
+        obs.check()
+        before = obs.snapshot()
+        obs.inc("serving.requests", len(requests))
+        return before
+
     def _finalize_report(
         self,
         requests: Sequence[Request],
@@ -174,40 +205,77 @@ class InferenceServer:
         arrivals: List[float],
         sizes: List[int],
         last_finish: float,
-        degraded_requests: int,
-        stats_before: Optional[dict],
+        before: MetricsSnapshot,
     ) -> ServingReport:
-        """Assemble the report shared by the sequential and pipelined loops."""
+        """Assemble the report shared by the sequential and pipelined loops.
+
+        Every counter-valued field is read from the registry delta across
+        the run — there is no independently-maintained accounting left in
+        the serving layer.
+        """
+        obs = self.obs
+        obs.observe_many("serving.latency", latencies)
+        obs.check()
+        delta = obs.snapshot().diff(before)
         span = last_finish - min(r.arrival_time for r in requests)
         report = ServingReport(
             latencies=np.asarray(latencies),
             batch_sizes=sizes,
-            served=len(requests),
+            served=int(delta.total("serving.requests")),
             span=max(span, 1e-12),
             arrival_times=np.asarray(arrivals),
+            hits=int(delta.total("cache.hits")),
+            misses=int(delta.total("cache.misses")),
+            unified_hits=int(delta.total("cache.unified_hits")),
+            coalesced_keys=int(delta.total("cache.coalesced_keys")),
+            degraded_requests=int(delta.total("serving.degraded_requests")),
+            retries=int(delta.total("faults.retries")),
+            hedges_fired=int(delta.total("faults.hedges_fired")),
+            breaker_open_time=float(delta.total("faults.breaker_open_time")),
+            metrics=delta,
         )
         store = self._fault_store
         if store is not None:
-            stats_after = store.fault_stats()
-            report.degraded_requests = degraded_requests
-            report.retries = stats_after["retries"] - stats_before["retries"]
-            report.hedges_fired = (
-                stats_after["hedges_fired"] - stats_before["hedges_fired"]
-            )
-            report.breaker_open_time = (
-                stats_after["breaker_open_time"]
-                - stats_before["breaker_open_time"]
-            )
             report.fault_windows = store.fault_windows()
         return report
 
-    @staticmethod
-    def _record_query(report: ServingReport, query) -> None:
-        """Accumulate one batch's cache statistics into the report."""
-        report.hits += query.hits
-        report.misses += query.misses
-        report.unified_hits += query.unified_hits
-        report.coalesced_keys += query.coalesced_keys
+    def _trace_span(
+        self, track: str, batch_index: int, stage: str, t0: float, t1: float
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.record(track, f"b{batch_index}:{stage}", t0, t1, stage)
+
+    def _run_traced_batch(
+        self,
+        batch_index: int,
+        trace_batch: TraceBatch,
+        executor: Executor,
+        start: float,
+        track: str = "serving",
+    ):
+        """Run one batch stage-by-stage, recording one span per stage.
+
+        Timing-identical to :meth:`InferenceEngine.run_batch` — the stages
+        are driven back-to-back with no scheduling in between; the tracer
+        only observes executor clock values at the stage boundaries.
+        Returns ``(query, probabilities, service_time)``.
+        """
+        stages = self.engine.run_batch_stages(trace_batch, executor, now=start)
+        stage = next(stages)
+        prev = executor.elapsed()
+        while True:
+            try:
+                next_stage = stages.send(None)
+            except StopIteration as stop:
+                end = executor.elapsed()
+                self._trace_span(track, batch_index, stage, start + prev,
+                                 start + end)
+                query, probabilities = stop.value
+                return query, probabilities, end
+            end = executor.elapsed()
+            self._trace_span(track, batch_index, stage, start + prev,
+                             start + end)
+            stage, prev = next_stage, end
 
     def serve(self, requests: Sequence[Request]) -> ServingReport:
         """Run the whole request stream; returns the latency report."""
@@ -215,44 +283,36 @@ class InferenceServer:
             raise WorkloadError("no requests to serve")
         batches = form_batches(requests, self.policy)
         executor = Executor(self.hw)
+        obs = self.obs
+        before = self._begin_run(requests)
         gpu_free_at = 0.0
         latencies: List[float] = []
         arrivals: List[float] = []
         sizes: List[int] = []
-        store = self._fault_store
-        stats_before = store.fault_stats() if store is not None else None
-        degraded_requests = 0
-        queries = []
         probabilities: List[np.ndarray] = []
-        for batch in batches:
+        for i, batch in enumerate(batches):
             start = max(batch.formed_at, gpu_free_at)
-            degraded_before = (
-                store.stats.degraded_keys if store is not None else 0
-            )
+            degraded_before = obs.total("tier.degraded_keys")
             executor.reset()
-            query, batch_probs, _, service_time = self.engine.run_batch(
-                self._to_trace_batch(batch), executor, now=start
+            _, batch_probs, service_time = self._run_traced_batch(
+                i, self._to_trace_batch(batch), executor, start
             )
             executor.drain()
             finish = start + service_time
             gpu_free_at = finish
             sizes.append(batch.size)
-            queries.append(query)
+            obs.inc("serving.batches")
+            obs.inc("serving.batched_requests", batch.size)
             if batch_probs is not None:
                 probabilities.append(batch_probs)
-            if store is not None and (
-                store.stats.degraded_keys > degraded_before
-            ):
-                degraded_requests += batch.size
+            if obs.total("tier.degraded_keys") > degraded_before:
+                obs.inc("serving.degraded_requests", batch.size)
             for request in batch.requests:
                 latencies.append(finish - request.arrival_time)
                 arrivals.append(request.arrival_time)
         report = self._finalize_report(
-            requests, latencies, arrivals, sizes, gpu_free_at,
-            degraded_requests, stats_before,
+            requests, latencies, arrivals, sizes, gpu_free_at, before,
         )
-        for query in queries:
-            self._record_query(report, query)
         if probabilities:
             report.probabilities = np.concatenate(probabilities)
         return report

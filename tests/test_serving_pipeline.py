@@ -370,6 +370,132 @@ class TestCoalescing:
 
 
 # ---------------------------------------------------------------------------
+# Metamorphic depth differential: registry counters across depths
+# ---------------------------------------------------------------------------
+
+
+#: An offered load comfortably below the small dataset's sequential
+#: service capacity: batches finish before the next one forms, so no two
+#: batches are ever concurrently in flight and the pipeline depth is
+#: metamorphically irrelevant — every registry counter must be identical
+#: across depths.  (Empirically the capacity is ~300 K req/s; 40 K/s
+#: leaves a wide margin.)
+NON_SATURATING = 40_000.0
+
+DEPTHS = (1, 2, 4)
+
+
+def run_counters(server, requests):
+    """Serve, audit, and return the run's registry counter delta."""
+    report = server.serve(requests)
+    assert server.obs.audit() == []
+    return report, report.metrics.to_dict()["counters"]
+
+
+class TestMetamorphicDepth:
+    def test_depths_agree_on_every_counter_when_unsaturated(
+        self, dataset, hw
+    ):
+        reqs = PoissonArrivals(
+            dataset, NON_SATURATING, seed=7
+        ).generate(500)
+        reports = {}
+        counters = {}
+        for depth in DEPTHS:
+            server = make_servers(
+                dataset, hw, PipelinedInferenceServer, depth=depth
+            )
+            reports[depth], counters[depth] = run_counters(server, reqs)
+        baseline = counters[DEPTHS[0]]
+        assert baseline["cache.lookups"] > 0
+        for depth in DEPTHS[1:]:
+            assert counters[depth] == baseline, depth
+            assert np.array_equal(
+                reports[depth].latencies, reports[DEPTHS[0]].latencies
+            )
+            assert np.array_equal(
+                reports[depth].probabilities, reports[DEPTHS[0]].probabilities
+            )
+
+    def test_depths_agree_under_shard_outage(self, dataset, hw):
+        """The depth differential survives a faulty remote tier.
+
+        At a non-saturating rate every depth dispatches each batch at the
+        same simulated instant, so the fault injector sees identical
+        (shard, time) fetch sequences and every fault-path counter —
+        retries, degraded keys, breaker activity — must agree too.
+        """
+        def build(depth):
+            schedule = FaultSchedule([
+                ShardOutage(shard=s, start=5e-3, duration=1.5e-2)
+                for s in range(4)
+            ])
+            remote = RemoteParameterServer(
+                dataset.table_specs(),
+                injector=FaultInjector(schedule, seed=11),
+                # A short per-attempt timeout keeps the worst-case batch
+                # service (2 attempts x 0.2 ms on top of the base cost)
+                # below the 2 ms batch-formation cadence, so the outage
+                # never pushes two batches into concurrent flight.
+                retry_policy=RetryPolicy.naive(timeout=2e-4),
+            )
+            store = TieredParameterStore(
+                dataset.table_specs(), hw, dram_capacity=600, remote=remote,
+                degrade=DegradeConfig(policy="stale"),
+            )
+            layer = FlecheEmbeddingLayer(
+                store, FlecheConfig(cache_ratio=0.05), hw
+            )
+            return PipelinedInferenceServer(
+                dataset, layer, hw, depth=depth,
+                policy=BatchingPolicy(max_batch_size=64, max_delay=2e-3),
+            )
+
+        reqs = PoissonArrivals(dataset, 20_000.0, seed=5).generate(300)
+        counters = {}
+        reports = {}
+        for depth in DEPTHS:
+            reports[depth], counters[depth] = run_counters(
+                build(depth), reqs
+            )
+        baseline = counters[DEPTHS[0]]
+        # The outage actually bit: degraded service and fault-path
+        # activity are present, not vacuously zero.
+        assert baseline["serving.degraded_requests"] > 0
+        assert baseline["tier.degraded_keys"] > 0
+        assert baseline["faults.retries"] > 0
+        for depth in DEPTHS[1:]:
+            assert counters[depth] == baseline, depth
+            assert reports[depth].fault_windows == (
+                reports[DEPTHS[0]].fault_windows
+            )
+
+    def test_saturated_depths_preserve_workload_counters(
+        self, dataset, hw, requests
+    ):
+        """Under overload the hit/miss split legitimately shifts with
+        depth (overlapping batches race the cache), but the counters the
+        workload alone determines — requests, batches, total and unique
+        key traffic — are depth-invariant, and the audit laws hold at
+        every depth."""
+        invariant_keys = (
+            "serving.requests", "serving.batched_requests",
+            "serving.batches", "cache.queries", "cache.lookups",
+            "cache.unique_keys",
+        )
+        counters = {}
+        for depth in DEPTHS:
+            server = make_servers(
+                dataset, hw, PipelinedInferenceServer, depth=depth
+            )
+            _, counters[depth] = run_counters(server, requests)
+        baseline = counters[DEPTHS[0]]
+        for depth in DEPTHS[1:]:
+            for key in invariant_keys:
+                assert counters[depth][key] == baseline[key], (depth, key)
+
+
+# ---------------------------------------------------------------------------
 # Report satellites: span definition and empty-window guards
 # ---------------------------------------------------------------------------
 

@@ -8,6 +8,11 @@ Two long-running invariant suites:
   accounting must never leak or overflow.
 * :class:`PoolMachine` — random allocate / release / write / read on the
   slab pool; live-slot accounting and data integrity must always hold.
+* :class:`MissTableMachine` — publish / match / retire on the pipelined
+  loop's :class:`~repro.serving.pipeline.InFlightMissTable` against a
+  dict model: keys publish exactly once while in flight, matches return
+  the published vectors with degraded flags propagated, and no entry
+  survives past the completion frontier of its owning batch.
 """
 
 import numpy as np
@@ -200,3 +205,112 @@ PoolMachine.TestCase.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
 )
 TestPoolStateMachine = PoolMachine.TestCase
+
+
+class MissTableMachine(RuleBasedStateMachine):
+    """In-flight miss table vs a dict model.
+
+    Batches begin in increasing owner order and retire in that same
+    (FIFO) order — exactly the pipelined loop's completion frontier.
+    The product contract under test: a leader publishes only keys not
+    already in flight (exactly-once insertion), matches return the
+    leader's vectors with degraded flags intact, and retiring an owner
+    drops its entries and nothing else.
+    """
+
+    DIM = 4
+
+    def __init__(self):
+        super().__init__()
+        from repro.serving.pipeline import InFlightMissTable
+
+        self.table = InFlightMissTable()
+        #: flat key -> (owner, row, degraded) the model knows is in flight.
+        self.model = {}
+        self.next_owner = 0
+        #: Owners begun but not yet retired, oldest first.
+        self.live_owners = []
+
+    keys = st.lists(
+        st.integers(min_value=0, max_value=40), min_size=1, max_size=6,
+        unique=True,
+    )
+
+    @staticmethod
+    def _row(key, serial):
+        return np.full(
+            MissTableMachine.DIM, float(key) + serial / 1024.0, np.float32
+        )
+
+    @rule()
+    def begin_batch(self):
+        owner = self.next_owner
+        self.next_owner += 1
+        self.table.set_owner(owner)
+        self.live_owners.append(owner)
+
+    @precondition(lambda self: self.live_owners)
+    @rule(keys=keys, degraded=st.booleans())
+    def publish(self, keys, degraded):
+        # Leaders only publish keys that missed AND were not already in
+        # flight (in-flight keys coalesce instead of re-fetching) — so a
+        # key is published at most once per residency.
+        owner = self.live_owners[-1]
+        self.table.set_owner(owner)
+        fresh = np.array(
+            [k for k in keys if k not in self.model], np.uint64
+        )
+        if len(fresh) == 0:
+            return
+        rows = np.stack([self._row(int(k), owner) for k in fresh])
+        self.table.publish(fresh, rows, degraded=degraded)
+        for k, row in zip(fresh, rows):
+            self.model[int(k)] = (owner, row, degraded)
+
+    @rule(keys=keys)
+    def match(self, keys):
+        probe = np.array(keys, np.uint64)
+        mask, rows, degraded = self.table.match(probe, dim=self.DIM)
+        expect_mask = np.array([k in self.model for k in keys])
+        np.testing.assert_array_equal(mask, expect_mask)
+        assert degraded == sum(
+            self.model[k][2] for k in keys if k in self.model
+        )
+        got = iter(rows)
+        for k in keys:
+            if k in self.model:
+                np.testing.assert_array_equal(next(got), self.model[k][1])
+
+    @precondition(lambda self: self.live_owners)
+    @rule()
+    def retire_oldest(self):
+        owner = self.live_owners.pop(0)
+        dead = [k for k, e in self.model.items() if e[0] == owner]
+        assert self.table.retire(owner) == len(dead)
+        for k in dead:
+            del self.model[k]
+        # No entry survives past the completion frontier: everything
+        # left belongs to a still-live (younger) owner.
+        live = set(self.live_owners)
+        assert all(e[0] in live for e in self.model.values())
+
+    @invariant()
+    def table_matches_model(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def stats_conserve(self):
+        stats = self.table.stats
+        assert stats.published_keys - stats.retired_keys == len(self.table)
+        assert stats.published_keys >= 0
+        # The registry mirrors the component-internal stats exactly.
+        obs = self.table.obs
+        assert obs.total("coalescer.published") == stats.published_keys
+        assert obs.total("coalescer.retired") == stats.retired_keys
+        assert obs.total("coalescer.coalesced") == stats.coalesced_keys
+
+
+MissTableMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestMissTableStateMachine = MissTableMachine.TestCase
