@@ -17,6 +17,7 @@ shard rather than whether it eventually serves.
 
 from repro import FlecheConfig
 from repro.bench.reporting import emit, format_table, format_time
+from repro.obs import WindowedCollector, default_serving_slos
 from repro.core.workflow import FlecheEmbeddingLayer
 from repro.faults import (
     BreakerConfig,
@@ -67,8 +68,15 @@ POLICIES = {
 }
 
 
-def _serve_under_outage(hw, dataset, outage_fraction, policy, depth=None):
-    """Serve one faulty stream; ``depth`` switches to the pipelined loop."""
+def _serve_under_outage(
+    hw, dataset, outage_fraction, policy, depth=None, collector=None
+):
+    """Serve one faulty stream; ``depth`` switches to the pipelined loop.
+
+    ``collector`` (a :class:`~repro.obs.WindowedCollector`, usually with
+    an SLO engine attached) turns the run into windowed series so
+    burn-rate alerts can time-stamp the outage's detection and recovery.
+    """
     duration = outage_fraction * HORIZON
     start = 0.4 * HORIZON
     events = [
@@ -87,10 +95,13 @@ def _serve_under_outage(hw, dataset, outage_fraction, policy, depth=None):
     layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
     batching = BatchingPolicy(max_batch_size=64, max_delay=5e-4)
     if depth is None:
-        server = InferenceServer(dataset, layer, hw, policy=batching)
+        server = InferenceServer(
+            dataset, layer, hw, policy=batching, collector=collector,
+        )
     else:
         server = PipelinedInferenceServer(
             dataset, layer, hw, policy=batching, depth=depth,
+            collector=collector,
         )
     requests = PoissonArrivals(dataset, RATE, seed=5).generate_until(HORIZON)
     return server.serve(requests)
@@ -206,3 +217,116 @@ def test_serving_fault_sweep_pipelined(hw, run_once):
     # Degraded service under outage is attributed on both paths.
     assert naive.degraded_requests > 0
     assert resilient.degraded_requests > 0
+
+
+# ---------------------------------------------------------------------------
+# SLO burn-rate alerting: time-to-detect / time-to-recover under outage
+# ---------------------------------------------------------------------------
+
+#: Collector window for the detection study (simulated seconds).
+DETECT_WINDOW = 1e-3
+
+
+def run_detection_sweep(hw, fractions=(0.1, 0.2, 0.4), policies=None):
+    """Outage sweep with the SLO engine attached; returns detection rows.
+
+    For every (outage fraction, retry policy) pair the serving run is
+    re-executed with a :class:`~repro.obs.WindowedCollector` driving the
+    default serving SLOs; each row records the burn-rate alerts'
+    time-to-detect (first alert fired at/after outage onset) and
+    time-to-recover (last alert resolved after the outage cleared).
+    """
+    policies = list(POLICIES) if policies is None else list(policies)
+    dataset = uniform_tables_spec(
+        num_tables=4, corpus_size=20_000, alpha=-1.2, dim=16,
+    )
+    results = []
+    for fraction in fractions:
+        outage_start = 0.4 * HORIZON
+        outage_end = outage_start + fraction * HORIZON
+        for policy in policies:
+            engine = default_serving_slos(SLA_BUDGET)
+            collector = WindowedCollector(
+                window=DETECT_WINDOW, sla_budget=SLA_BUDGET, engine=engine,
+            )
+            _serve_under_outage(
+                hw, dataset, fraction, policy, collector=collector,
+            )
+            results.append({
+                "outage_fraction": fraction,
+                "policy": policy,
+                "outage_start_s": outage_start,
+                "outage_duration_s": fraction * HORIZON,
+                "ttd_s": engine.time_to_detect(outage_start),
+                "ttr_s": engine.time_to_recover(outage_end),
+                "alerts": len(engine.alerts),
+                "firing_at_end": [a.rule for a in engine.firing],
+            })
+    return results
+
+
+def emit_detection_sweep(results):
+    rows = []
+    for r in results:
+        rows.append([
+            f"{r['outage_fraction']:.0%}", r["policy"],
+            format_time(r["outage_duration_s"]),
+            "-" if r["ttd_s"] is None else format_time(r["ttd_s"]),
+            "-" if r["ttr_s"] is None else format_time(r["ttr_s"]),
+            r["alerts"],
+        ])
+    emit("serving_fault_detection", format_table(
+        ["outage", "policy", "duration", "time-to-detect",
+         "time-to-recover", "alerts"],
+        rows,
+        title=(
+            "SLO burn-rate alerting under PS-shard outage "
+            f"({DETECT_WINDOW * 1e3:.0f} ms windows, "
+            f"SLA {SLA_BUDGET * 1e3:.1f} ms)"
+        ),
+    ))
+
+
+def check_detection_sweep(results):
+    """Acceptance: every outage is detected within its own duration and
+    every alert resolves after recovery."""
+    for r in results:
+        assert r["ttd_s"] is not None, r
+        assert r["ttd_s"] < r["outage_duration_s"], r
+        assert not r["firing_at_end"], r
+        assert r["ttr_s"] is not None, r
+
+
+def test_fault_detection_latency(hw, run_once):
+    results = run_once(run_detection_sweep, hw, fractions=(0.2, 0.4))
+    emit_detection_sweep(results)
+    check_detection_sweep(results)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced detection sweep with the same invariant checks",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import default_platform
+
+    hw = default_platform()
+    if args.smoke:
+        results = run_detection_sweep(
+            hw, fractions=(0.2,), policies=("naive", "resilient"),
+        )
+    else:
+        results = run_detection_sweep(hw)
+    emit_detection_sweep(results)
+    check_detection_sweep(results)
+    print("\nfault detection sweep OK "
+          f"({'smoke' if args.smoke else 'full'} mode)")
+
+
+if __name__ == "__main__":
+    main()

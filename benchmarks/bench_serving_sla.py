@@ -22,8 +22,10 @@ import numpy as np
 from repro import FlecheConfig, SpanTracer
 from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
 from repro.bench.reporting import (
-    emit, emit_json, emit_observability, format_table, format_time,
+    emit, emit_json, emit_observability, emit_timeseries, format_table,
+    format_time,
 )
+from repro.obs import WindowedCollector, default_serving_slos
 from repro.core.workflow import FlecheEmbeddingLayer
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import BatchingPolicy
@@ -254,11 +256,13 @@ def test_serving_pipeline_depth_sweep(hw, run_once):
 
 
 def run_traced_observability(hw, num_requests=1_200, depth=2):
-    """One pipelined traced run; returns ``(report, tracer)``.
+    """One pipelined traced run; returns ``(report, tracer, collector)``.
 
     The server's registry is audited (every conservation law and hook)
     at both run barriers inside ``serve``; the report's ``metrics``
-    snapshot and the tracer's span list are the artifacts the CI uploads.
+    snapshot, the tracer's span list and the windowed collector's series
+    (with the default serving SLOs attached) are the artifacts the CI
+    uploads.
     """
     dataset = uniform_tables_spec(
         num_tables=8, corpus_size=20_000, alpha=-1.2, dim=32,
@@ -269,10 +273,15 @@ def run_traced_observability(hw, num_requests=1_200, depth=2):
         num_tables=dataset.num_tables, embedding_dim=dataset.dim
     )
     tracer = SpanTracer()
+    collector = WindowedCollector(
+        window=1e-3, sla_budget=SLA_BUDGET,
+        engine=default_serving_slos(SLA_BUDGET),
+    )
     server = PipelinedInferenceServer(
         dataset, layer, hw, depth=depth,
         policy=BatchingPolicy(max_batch_size=512, max_delay=5e-4),
         model=model, include_dense=True, tracer=tracer,
+        collector=collector,
     )
     warm = PoissonArrivals(dataset, 200_000.0, seed=1).generate(400)
     server.serve(warm)
@@ -287,23 +296,28 @@ def run_traced_observability(hw, num_requests=1_200, depth=2):
     assert not violations, violations
     assert report.metrics is not None
     assert tracer.span_list(), "traced run produced no spans"
-    return report, tracer
+    assert collector.closed_windows > 0, "collector captured no windows"
+    return report, tracer, collector
 
 
-def emit_observability_artifacts(report, tracer):
+def emit_observability_artifacts(report, tracer, collector=None):
     paths = emit_observability(report.metrics, tracer)
+    if collector is not None:
+        paths.extend(emit_timeseries(collector))
     counters = report.metrics.to_dict()["counters"]
     print("observability artifacts:")
     for path in paths:
         print(f"  {path}")
+    windows = collector.closed_windows if collector is not None else 0
     print(f"  ({len(counters)} counters, "
           f"{len(tracer.span_list())} spans, "
-          f"{len(tracer.tracks())} tracks)")
+          f"{len(tracer.tracks())} tracks, "
+          f"{windows} windows)")
 
 
 def test_serving_observability_artifacts(hw, run_once):
-    report, tracer = run_once(run_traced_observability, hw)
-    emit_observability_artifacts(report, tracer)
+    report, tracer, collector = run_once(run_traced_observability, hw)
+    emit_observability_artifacts(report, tracer, collector)
 
 
 # ---------------------------------------------------------------------------
@@ -334,10 +348,10 @@ def main(argv=None):
         summaries, checks = run_depth_sweep(hw, depths=depths)
     emit_depth_sweep(summaries, depths=depths)
     check_depth_sweep(summaries, checks, depths=depths)
-    report, tracer = run_traced_observability(
+    report, tracer, collector = run_traced_observability(
         hw, num_requests=800 if args.smoke else 2_000
     )
-    emit_observability_artifacts(report, tracer)
+    emit_observability_artifacts(report, tracer, collector)
     print("\nserving depth sweep OK "
           f"({'smoke' if args.smoke else 'full'} mode)")
 

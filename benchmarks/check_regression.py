@@ -1,0 +1,120 @@
+"""CI perf-regression gate for the serving depth sweep.
+
+Compares a freshly produced ``BENCH_serving.json`` (the ``--smoke``
+output of ``bench_serving_sla.py``) against the pinned
+``BENCH_baseline.json``: throughput-at-SLA must stay within a relative
+tolerance and SLA attainment within an absolute one, per (replica,
+server) cell.  The simulator is deterministic, so the tolerances only
+absorb environment drift (numpy versions across the CI matrix), not real
+regressions — a >X% throughput drop fails the build.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--baseline benchmarks/results/BENCH_baseline.json] \
+        [--candidate benchmarks/results/BENCH_serving.json] \
+        [--rel-tolerance 0.15] [--abs-sla-tolerance 0.05]
+
+Exit status 0 when every cell is within tolerance, 1 otherwise.
+"""
+
+import argparse
+import sys
+
+from repro.bench.reporting import format_table, load_artifact
+
+#: Relative tolerance on rate-like metrics (throughput at SLA).
+REL_TOLERANCE = 0.15
+#: Absolute tolerance on SLA attainment (a fraction in [0, 1]).
+ABS_SLA_TOLERANCE = 0.05
+
+#: (metric key, kind) pairs compared per (replica, server) cell.
+CHECKED_METRICS = (
+    ("throughput_at_sla_rps", "rel"),
+    ("sla_attainment", "abs"),
+)
+
+
+def compare(baseline: dict, candidate: dict,
+            rel_tolerance: float = REL_TOLERANCE,
+            abs_sla_tolerance: float = ABS_SLA_TOLERANCE):
+    """Compare two BENCH_serving payloads; returns (rows, violations).
+
+    ``rows`` is one table row per compared metric; ``violations`` the
+    subset of human-readable failures (empty = pass).  Cells present in
+    the baseline but missing from the candidate are violations (a
+    silently dropped replica must not pass); extra candidate cells are
+    ignored (new replicas do not need a baseline first).
+    """
+    rows = []
+    violations = []
+    for rname, servers in sorted(baseline.get("replicas", {}).items()):
+        for label, base_cell in sorted(servers.items()):
+            cand_cell = candidate.get("replicas", {}).get(rname, {}).get(label)
+            if cand_cell is None:
+                violations.append(f"{rname}/{label}: missing from candidate")
+                continue
+            for metric, kind in CHECKED_METRICS:
+                base = float(base_cell[metric])
+                cand = float(cand_cell[metric])
+                if kind == "rel":
+                    drift = (cand - base) / base if base else 0.0
+                    ok = abs(drift) <= rel_tolerance
+                    shown = f"{drift:+.1%}"
+                else:
+                    drift = cand - base
+                    ok = abs(drift) <= abs_sla_tolerance
+                    shown = f"{drift:+.3f}"
+                rows.append([
+                    rname, label, metric, f"{base:.4g}", f"{cand:.4g}",
+                    shown, "ok" if ok else "FAIL",
+                ])
+                if not ok:
+                    violations.append(
+                        f"{rname}/{label}/{metric}: baseline {base:.4g} -> "
+                        f"candidate {cand:.4g} ({shown} outside tolerance)"
+                    )
+    return rows, violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default="benchmarks/results/BENCH_baseline.json"
+    )
+    parser.add_argument(
+        "--candidate", default="benchmarks/results/BENCH_serving.json"
+    )
+    parser.add_argument("--rel-tolerance", type=float, default=REL_TOLERANCE)
+    parser.add_argument(
+        "--abs-sla-tolerance", type=float, default=ABS_SLA_TOLERANCE
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_artifact(args.baseline)
+    candidate = load_artifact(args.candidate)
+    rows, violations = compare(
+        baseline, candidate,
+        rel_tolerance=args.rel_tolerance,
+        abs_sla_tolerance=args.abs_sla_tolerance,
+    )
+    print(format_table(
+        ["replica", "server", "metric", "baseline", "candidate", "drift",
+         "status"],
+        rows,
+        title=(
+            f"Serving perf regression gate (rel ±{args.rel_tolerance:.0%}, "
+            f"SLA ±{args.abs_sla_tolerance:.2f})"
+        ),
+    ))
+    if violations:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

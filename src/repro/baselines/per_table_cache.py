@@ -200,6 +200,8 @@ class PerTableCacheLayer(EmbeddingCacheScheme):
         # Per table: synchronise, read the miss list back, query DRAM,
         # ship the embeddings up, and insert them (replacement kernel).
         hits = misses = 0
+        per_table_hits: List[int] = []
+        per_table_misses: List[int] = []
         outputs: List[np.ndarray] = []
         for t, unique in enumerate(unique_per_table):
             stream = executor.stream(f"table{t}")
@@ -210,8 +212,12 @@ class PerTableCacheLayer(EmbeddingCacheScheme):
             # Per-access accounting: weight each unique key by its
             # occurrence count in the batch.
             counts = np.bincount(inverse_per_table[t], minlength=len(unique))
-            hits += int(counts[found].sum())
-            misses += int(counts[~found].sum())
+            table_hits = int(counts[found].sum())
+            table_misses = int(counts[~found].sum())
+            hits += table_hits
+            misses += table_misses
+            per_table_hits.append(table_hits)
+            per_table_misses.append(table_misses)
 
             if len(miss_ids):
                 store_result = self.store.query(t, miss_ids)
@@ -251,4 +257,6 @@ class PerTableCacheLayer(EmbeddingCacheScheme):
             unified_hits=0,
             unique_keys=total_unique,
             total_keys=batch.total_ids,
+            per_table_hits=per_table_hits,
+            per_table_misses=per_table_misses,
         )

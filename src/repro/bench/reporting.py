@@ -8,10 +8,18 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
 
 #: Where :func:`emit` persists benchmark reports (overridable via env).
 RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+
+#: Schema version stamped into every emitted JSON artifact
+#: (``metrics.json``, ``trace.json``, ``series.json``, ``alerts.json``,
+#: benchmark payloads).  Bump when an artifact's shape changes
+#: incompatibly; :func:`load_artifact` refuses newer-than-supported files.
+SCHEMA_VERSION = 1
 
 
 def format_time(seconds: float) -> str:
@@ -78,13 +86,27 @@ def emit_observability(snapshot, tracer) -> List[str]:
     rendered via ``to_dict`` — counters, gauges, histograms) and
     ``trace.json`` (the :class:`~repro.obs.SpanTracer` exported in the
     Chrome trace-event format; load in ``chrome://tracing`` or Perfetto).
-    Returns the two paths written.
+    Both carry the ``version`` schema stamp.  Returns the two paths
+    written.
     """
     paths = [emit_json("metrics", snapshot.to_dict())]
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    trace_path = os.path.join(RESULTS_DIR, "trace.json")
-    tracer.export_json(trace_path)
-    paths.append(trace_path)
+    paths.append(emit_json("trace", tracer.to_chrome_trace()))
+    return paths
+
+
+def emit_timeseries(collector, engine=None) -> List[str]:
+    """Persist a run's windowed series and alert history.
+
+    Writes ``series.json`` (the
+    :class:`~repro.obs.timeseries.WindowedCollector` ring buffer) and —
+    when an SLO engine is attached to the collector or passed explicitly —
+    ``alerts.json`` (the :class:`~repro.obs.alerts.SloEngine` payload).
+    Returns the paths written.
+    """
+    paths = [emit_json("series", collector.to_payload())]
+    engine = engine if engine is not None else collector.engine
+    if engine is not None:
+        paths.append(emit_json("alerts", engine.to_payload()))
     return paths
 
 
@@ -92,13 +114,43 @@ def emit_json(name: str, payload: object) -> str:
     """Persist a machine-readable benchmark result under ``RESULTS_DIR``.
 
     ``payload`` must be JSON-serialisable (dicts/lists of plain numbers
-    and strings).  Written as ``<name>.json`` next to the text reports so
-    downstream tooling (CI trend tracking, plotting) can consume the same
-    numbers the text tables show.  Returns the path written.
+    and strings).  Dict payloads are stamped with the artifact
+    ``version`` (:data:`SCHEMA_VERSION`).  Written as ``<name>.json``
+    next to the text reports so downstream tooling (CI trend tracking,
+    plotting) can consume the same numbers the text tables show.
+    Returns the path written.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
+    if isinstance(payload, dict) and "version" not in payload:
+        payload = {"version": SCHEMA_VERSION, **payload}
     with open(path, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     return path
+
+
+def load_artifact(path: str, kind: Optional[str] = None) -> dict:
+    """Load an emitted JSON artifact, checking its schema version.
+
+    Raises :class:`~repro.errors.ConfigError` when the file is not a JSON
+    object, carries no ``version``, declares a version newer than this
+    code supports, or (``kind`` given) declares a different ``kind``.
+    """
+    with open(path) as f:
+        payload = json.load(f)
+    if not isinstance(payload, dict):
+        raise ConfigError(f"{path}: artifact must be a JSON object")
+    version = payload.get("version")
+    if not isinstance(version, int):
+        raise ConfigError(f"{path}: missing integer 'version' field")
+    if version > SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}: artifact version {version} is newer than supported "
+            f"version {SCHEMA_VERSION}"
+        )
+    if kind is not None and payload.get("kind") != kind:
+        raise ConfigError(
+            f"{path}: expected kind {kind!r}, got {payload.get('kind')!r}"
+        )
+    return payload

@@ -207,6 +207,94 @@ def _cmd_coding(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run a synthetic serving stream with live telemetry attached."""
+    import time
+
+    from .core.workflow import FlecheEmbeddingLayer as Layer
+    from .obs import (
+        MetricsHttpServer,
+        WindowedCollector,
+        default_serving_slos,
+    )
+    from .serving.arrivals import PoissonArrivals
+    from .serving.batcher import BatchingPolicy
+    from .serving.pipeline import PipelinedInferenceServer
+    from .tables.store import EmbeddingStore
+    from .workloads.synthetic import uniform_tables_spec
+
+    hw = default_platform()
+    dataset = uniform_tables_spec(
+        num_tables=args.tables, corpus_size=args.corpus, alpha=-1.2,
+        dim=args.dim,
+    )
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    layer = Layer(store, FlecheConfig(cache_ratio=args.ratio), hw)
+    slo_engine = default_serving_slos(args.sla)
+    collector = WindowedCollector(
+        window=args.window, sla_budget=args.sla, engine=slo_engine,
+    )
+    server = PipelinedInferenceServer(
+        dataset, layer, hw, depth=args.depth,
+        policy=BatchingPolicy(max_batch_size=512, max_delay=5e-4),
+        collector=collector,
+    )
+    http = None
+    if args.metrics_port is not None:
+        http = MetricsHttpServer(
+            server.obs, collector=collector, engine=slo_engine,
+            port=args.metrics_port,
+        ).start()
+        print(f"metrics: {http.url('/metrics')}  "
+              f"healthz: {http.url('/healthz')}  "
+              f"series: {http.url('/series')}")
+    requests = PoissonArrivals(dataset, args.rate, seed=2).generate(
+        args.requests
+    )
+    report = server.serve(requests)
+    print(format_table(
+        ["requests", "throughput", "P50", "P99", f"SLA@{args.sla * 1e3:g}ms",
+         "windows", "alerts"],
+        [[report.served, format_rate(report.throughput),
+          format_time(report.median_latency),
+          format_time(report.p99_latency),
+          f"{report.sla_attainment(args.sla):.1%}",
+          collector.closed_windows, len(slo_engine.alerts)]],
+        title=(f"Serving {args.requests} requests at "
+               f"{format_rate(args.rate)} (depth {args.depth}, "
+               f"{args.window * 1e3:g} ms windows)"),
+    ))
+    if args.emit:
+        from .bench.reporting import emit_timeseries
+
+        for path in emit_timeseries(collector):
+            print(f"wrote {path}")
+    if http is not None:
+        if args.hold > 0:
+            print(f"serving metrics for {args.hold:g}s more "
+                  "(ctrl-c to stop) ...")
+            try:
+                time.sleep(args.hold)
+            except KeyboardInterrupt:
+                pass
+        http.close()
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    """Observability artifact tooling (``repro obs render``)."""
+    from .bench.reporting import load_artifact
+    from .obs import render_openmetrics
+    from .obs.exposition import snapshot_from_payload
+
+    if args.obs_command == "render":
+        payload = load_artifact(args.metrics)
+        snapshot = snapshot_from_payload(payload)
+        sys.stdout.write(render_openmetrics(snapshot))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choice
+
+
 def _cmd_trace(args) -> int:
     from .gpusim.tracing import TraceRecorder
 
@@ -266,6 +354,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="fleche.trace.json")
     p = sub.add_parser("run", help="run a registered paper experiment")
     p.add_argument("experiment", help="experiment id (see `repro list`)")
+    p = sub.add_parser(
+        "serve", help="serve a synthetic stream with live telemetry"
+    )
+    p.add_argument("--tables", type=int, default=8)
+    p.add_argument("--corpus", type=int, default=20_000)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--ratio", type=float, default=0.05)
+    p.add_argument("--rate", type=float, default=400_000.0,
+                   help="offered load (requests/sec, Poisson)")
+    p.add_argument("--requests", type=int, default=2_000)
+    p.add_argument("--depth", type=int, default=2,
+                   help="pipeline depth (1 = sequential)")
+    p.add_argument("--window", type=float, default=1e-3,
+                   help="collector window (simulated seconds)")
+    p.add_argument("--sla", type=float, default=2e-3,
+                   help="per-request latency budget (seconds)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="expose /metrics,/healthz,/series on this port "
+                        "(0 = ephemeral)")
+    p.add_argument("--hold", type=float, default=0.0,
+                   help="keep the metrics endpoint up this many wall "
+                        "seconds after the run")
+    p.add_argument("--emit", action="store_true",
+                   help="persist series.json/alerts.json under "
+                        "benchmarks/results")
+    p = sub.add_parser("obs", help="observability artifact tooling")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "render", help="render a metrics.json artifact as OpenMetrics text"
+    )
+    p.add_argument("--metrics", default="benchmarks/results/metrics.json",
+                   help="path to an emitted metrics.json")
     return parser
 
 
@@ -277,6 +397,8 @@ _COMMANDS = {
     "coding": _cmd_coding,
     "trace": _cmd_trace,
     "run": _cmd_run,
+    "serve": _cmd_serve,
+    "obs": _cmd_obs,
 }
 
 

@@ -62,6 +62,11 @@ class CacheQueryResult:
             serving only; always 0 on the sequential path).
         coalesced_degraded: coalesced keys whose shared fetch had served a
             degraded (stale/default) vector.
+        per_table_hits: per-access hit counts by table index (duplicates
+            weighted), parallel to the batch's tables; empty when the
+            scheme does not break hits down by table.
+        per_table_misses: per-access miss counts by table index, same
+            convention as ``per_table_hits``.
     """
 
     outputs: List[np.ndarray]
@@ -72,6 +77,8 @@ class CacheQueryResult:
     total_keys: int = 0
     coalesced_keys: int = 0
     coalesced_degraded: int = 0
+    per_table_hits: List[int] = field(default_factory=list)
+    per_table_misses: List[int] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -80,13 +87,24 @@ class CacheQueryResult:
         return self.hits / denominator if denominator else 0.0
 
 
-def record_query_metrics(registry: MetricsRegistry, result: CacheQueryResult) -> None:
+def record_query_metrics(
+    registry: MetricsRegistry,
+    result: CacheQueryResult,
+    batch: TraceBatch = None,
+) -> None:
     """Fold one query result into the shared registry.
 
     Called once per batch from the engine's stage generator, so every
     scheme — Fleche, per-table, no-cache — feeds the same ``cache.*``
     counters and the conservation law ``cache.lookups == cache.hits +
     cache.misses`` audits each backend's own accounting.
+
+    When ``batch`` is given, per-table access counts are recorded under
+    ``cache.table_lookups{table=t}`` for every scheme, and the optional
+    per-table hit/miss split (``per_table_hits``/``per_table_misses``)
+    lands under ``cache.table_hits``/``cache.table_misses`` — the raw
+    material for the hotspot-drift detector's per-table distributions.
+    Zero increments are skipped so quiet tables never pollute reports.
     """
     registry.inc("cache.queries")
     registry.inc("cache.lookups", result.total_keys)
@@ -96,6 +114,18 @@ def record_query_metrics(registry: MetricsRegistry, result: CacheQueryResult) ->
     registry.inc("cache.unique_keys", result.unique_keys)
     registry.inc("cache.coalesced_keys", result.coalesced_keys)
     registry.inc("cache.coalesced_degraded", result.coalesced_degraded)
+    if batch is None:
+        return
+    for t, ids in enumerate(batch.ids_per_table):
+        n = len(ids)
+        if n:
+            registry.inc("cache.table_lookups", n, table=str(t))
+    for t, n in enumerate(result.per_table_hits):
+        if n:
+            registry.inc("cache.table_hits", n, table=str(t))
+    for t, n in enumerate(result.per_table_misses):
+        if n:
+            registry.inc("cache.table_misses", n, table=str(t))
 
 
 @dataclass

@@ -153,7 +153,7 @@ class InferenceEngine:
         if self.include_dense:
             yield STAGE_DENSE
             probabilities = self._run_dense(batch, query, executor)
-        record_query_metrics(self.obs, query)
+        record_query_metrics(self.obs, query, batch=batch)
         return query, probabilities
 
     def run_batch(
@@ -191,12 +191,24 @@ class InferenceEngine:
         batches: Iterable[TraceBatch],
         executor: Executor,
         warmup: int = 0,
+        collector=None,
     ) -> InferenceResult:
-        """Replay ``batches``; the first ``warmup`` warm the cache untimed."""
+        """Replay ``batches``; the first ``warmup`` warm the cache untimed.
+
+        ``collector`` (a :class:`~repro.obs.timeseries.WindowedCollector`)
+        turns the replay into windowed time-series: each batch's registry
+        delta and latency are folded at its completion instant on the
+        simulated clock.  An unbound collector is bound to the engine's
+        registry automatically.
+        """
         batches = list(batches)
         for batch in batches[:warmup]:
             self.scheme.query(batch, executor)
         executor.reset()
+        if collector is not None:
+            if collector.registry is None:
+                collector.bind(self.obs, start=0.0)
+            collector.begin_run(0.0)
 
         result = InferenceResult(elapsed=0.0)
         for batch in batches[warmup:]:
@@ -211,6 +223,10 @@ class InferenceEngine:
             result.unified_hits += query.unified_hits
             if probabilities is not None:
                 result.last_probabilities = probabilities
+            if collector is not None:
+                collector.observe_batch(executor.elapsed(), [latency])
         result.elapsed = executor.drain()
         result.breakdown = executor.stats
+        if collector is not None:
+            collector.flush(result.elapsed)
         return result

@@ -567,6 +567,16 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
         counts = np.bincount(inverse, minlength=len(unique_keys))
         hits = int(counts[outcome.cache_hit].sum())
         misses = int(counts[outcome.miss].sum())
+        per_table_hits = np.bincount(
+            rep_tables[outcome.cache_hit],
+            weights=counts[outcome.cache_hit],
+            minlength=batch.num_tables,
+        )
+        per_table_misses = np.bincount(
+            rep_tables[outcome.miss],
+            weights=counts[outcome.miss],
+            minlength=batch.num_tables,
+        )
         return CacheQueryResult(
             outputs=outputs,
             hits=hits,
@@ -576,6 +586,8 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             total_keys=len(flat_keys),
             coalesced_keys=coalesced_keys,
             coalesced_degraded=coalesced_degraded,
+            per_table_hits=[int(h) for h in per_table_hits],
+            per_table_misses=[int(m) for m in per_table_misses],
         )
 
     # ------------------------------------------------------------------ output

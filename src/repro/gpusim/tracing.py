@@ -75,16 +75,26 @@ def chrome_trace(spans: List[Span]) -> dict:
             "tid": track_ids[span.track],
             "name": span.name,
             "cat": span.category,
-            "ts": span.start * 1e6,     # trace format is microseconds
-            "dur": span.duration * 1e6,
+            # Trace format is microseconds.  ``+ 0.0`` collapses IEEE
+            # negative zero (a zero-duration span ending at t=0 can carry
+            # ``-0.0``) so equal values always serialise to equal bytes.
+            "ts": span.start * 1e6 + 0.0,
+            "dur": span.duration * 1e6 + 0.0,
         })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def export_chrome_trace(spans: List[Span], path: str) -> str:
-    """Write spans as Chrome trace JSON; returns the path."""
+    """Write spans as Chrome trace JSON; returns the path.
+
+    The output is byte-deterministic for a given span list — sorted keys,
+    fixed indentation, trailing newline — including the edge cases of an
+    empty span list (a valid trace with no events) and zero-duration
+    spans (normalised to positive zero).
+    """
     with open(path, "w") as f:
         json.dump(chrome_trace(spans), f, indent=1, sort_keys=True)
+        f.write("\n")
     return path
 
 

@@ -1,9 +1,22 @@
-"""Unified observability: metrics registry, invariant audits, span tracing.
+"""Unified observability: metrics registry, invariant audits, span tracing,
+windowed time-series, OpenMetrics exposition and SLO burn-rate alerting.
 
 See ``docs/observability.md`` for the registry API, the counter/span
-taxonomy and the invariant catalogue.
+taxonomy, the invariant catalogue and the window/series/alert layer.
 """
 
+from .alerts import (
+    Alert,
+    BurnRateRule,
+    Slo,
+    SloEngine,
+    default_serving_slos,
+)
+from .exposition import (
+    MetricsHttpServer,
+    parse_openmetrics,
+    render_openmetrics,
+)
 from .registry import (
     Conservation,
     HistogramStats,
@@ -14,14 +27,34 @@ from .registry import (
     render_key,
 )
 from .spans import SpanTracer
+from .timeseries import (
+    DEFAULT_LATENCY_BUCKETS,
+    WORKLOAD_SERIES,
+    WindowedCollector,
+    WindowRecord,
+    jensen_shannon,
+)
 
 __all__ = [
+    "Alert",
+    "BurnRateRule",
     "Conservation",
+    "DEFAULT_LATENCY_BUCKETS",
     "HistogramStats",
+    "MetricsHttpServer",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Observable",
+    "Slo",
+    "SloEngine",
     "SpanTracer",
+    "WORKLOAD_SERIES",
+    "WindowRecord",
+    "WindowedCollector",
+    "default_serving_slos",
     "install_conservation_laws",
+    "jensen_shannon",
+    "parse_openmetrics",
+    "render_openmetrics",
     "render_key",
 ]

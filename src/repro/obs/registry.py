@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import json
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -69,27 +70,67 @@ def render_key(name: str, labels: LabelSet) -> str:
 
 @dataclass(frozen=True)
 class HistogramStats:
-    """Count/sum/min/max summary of one observed series."""
+    """Count/sum/min/max summary of one observed series.
+
+    When the owning registry declared bucket ``bounds`` for the metric
+    (:meth:`MetricsRegistry.declare_buckets`), ``bucket_counts[i]`` holds
+    how many observations fell into bucket ``i`` under the OpenMetrics
+    ``le`` convention: the first bucket whose upper bound is ``>= value``
+    (an observation *exactly on* a boundary counts in that boundary's
+    bucket).  Observations above the last bound land in the implicit
+    ``+Inf`` overflow bucket, ``count - sum(bucket_counts)``.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    #: Upper bucket bounds (``le`` semantics); empty = no buckets kept.
+    bounds: Tuple[float, ...] = ()
+    #: Per-bucket (non-cumulative) observation counts, same length as
+    #: ``bounds``; the ``+Inf`` overflow bucket is implicit.
+    bucket_counts: Tuple[int, ...] = ()
 
     def observe(self, value: float, weight: int = 1) -> "HistogramStats":
+        buckets = self.bucket_counts
+        if self.bounds:
+            if not buckets:
+                buckets = (0,) * len(self.bounds)
+            index = bisect_left(self.bounds, value)
+            if index < len(self.bounds):
+                buckets = (buckets[:index] + (buckets[index] + weight,)
+                           + buckets[index + 1:])
         return HistogramStats(
             count=self.count + weight,
             total=self.total + value * weight,
             minimum=min(self.minimum, value),
             maximum=max(self.maximum, value),
+            bounds=self.bounds,
+            bucket_counts=buckets,
         )
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> Dict[str, float]:
-        out: Dict[str, float] = {"count": self.count, "sum": self.total}
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs ending at ``+Inf``.
+
+        Well-defined even for a bucketless histogram (a single ``+Inf``
+        bucket holding every observation), which is what the OpenMetrics
+        exposition renders.
+        """
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.bucket_counts or
+                                (0,) * len(self.bounds)):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"count": self.count, "sum": self.total}
         if self.count:
             out["mean"] = self.mean
             # Diffed histograms drop min/max (they do not subtract);
@@ -98,6 +139,13 @@ class HistogramStats:
                 out["min"] = self.minimum
             if math.isfinite(self.maximum):
                 out["max"] = self.maximum
+        if self.bounds:
+            out["buckets"] = {
+                f"le={bound:g}": count
+                for bound, count in zip(
+                    self.bounds, self.bucket_counts or (0,) * len(self.bounds)
+                )
+            }
         return out
 
 
@@ -176,9 +224,22 @@ class MetricsSnapshot:
         for key, stats in self.histograms.items():
             prior = older.histograms.get(key, HistogramStats())
             if stats.count != prior.count:
+                buckets: Tuple[int, ...] = ()
+                if stats.bounds:
+                    old_counts = prior.bucket_counts or (0,) * len(stats.bounds)
+                    if prior.bounds in ((), stats.bounds):
+                        buckets = tuple(
+                            new - old for new, old in zip(
+                                stats.bucket_counts
+                                or (0,) * len(stats.bounds),
+                                old_counts,
+                            )
+                        )
                 histograms[key] = HistogramStats(
                     count=stats.count - prior.count,
                     total=stats.total - prior.total,
+                    bounds=stats.bounds if buckets else (),
+                    bucket_counts=buckets,
                 )
         return MetricsSnapshot(counters, dict(self.gauges), histograms)
 
@@ -206,6 +267,7 @@ class MetricsRegistry:
         self._counters: Dict[MetricKey, Union[int, float]] = {}
         self._gauges: Dict[MetricKey, float] = {}
         self._histograms: Dict[MetricKey, HistogramStats] = {}
+        self._buckets: Dict[str, Tuple[float, ...]] = {}
         self._laws: Dict[str, Conservation] = {}
         self._checks: Dict[str, Callable[[], object]] = {}
 
@@ -220,9 +282,39 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         self._gauges[(name, _labelset(labels))] = value
 
+    def declare_buckets(self, name: str, bounds: Sequence[float]) -> None:
+        """Declare ``le`` bucket bounds for histogram ``name``.
+
+        Bounds must be strictly increasing and finite (the ``+Inf``
+        overflow bucket is implicit).  Only label sets first observed
+        *after* the declaration pick the buckets up; re-declaring the same
+        bounds is a no-op, re-declaring different bounds raises.
+        """
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigError(f"histogram {name!r}: empty bucket bounds")
+        for left, right in zip(bounds, bounds[1:]):
+            if not left < right:
+                raise ConfigError(
+                    f"histogram {name!r}: bounds must strictly increase"
+                )
+        if not math.isfinite(bounds[-1]):
+            raise ConfigError(
+                f"histogram {name!r}: +Inf bucket is implicit; "
+                "declare finite bounds only"
+            )
+        existing = self._buckets.get(name)
+        if existing is not None and existing != bounds:
+            raise ConfigError(
+                f"histogram {name!r} already declared with different bounds"
+            )
+        self._buckets[name] = bounds
+
     def observe(self, name: str, value: float, weight: int = 1, **labels: object) -> None:
         key = (name, _labelset(labels))
-        stats = self._histograms.get(key, HistogramStats())
+        stats = self._histograms.get(key)
+        if stats is None:
+            stats = HistogramStats(bounds=self._buckets.get(name, ()))
         self._histograms[key] = stats.observe(value, weight)
 
     def observe_many(self, name: str, values: Sequence[float], **labels: object) -> None:
@@ -242,6 +334,14 @@ class MetricsRegistry:
 
     def total(self, name: str) -> Union[int, float]:
         return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def counter_state(self) -> Dict[MetricKey, Union[int, float]]:
+        """A shallow copy of every counter (no gauges/histograms).
+
+        The windowed collector diffs this per batch; it is deliberately
+        cheaper than a full :meth:`snapshot`.
+        """
+        return dict(self._counters)
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
@@ -319,6 +419,16 @@ def install_conservation_laws(registry: MetricsRegistry) -> MetricsRegistry:
     add("cache.unified-bounded", ["cache.unified_hits"], ["cache.misses"], op="<=")
     add("cache.degraded-coalesced-bounded",
         ["cache.coalesced_degraded"], ["cache.coalesced_keys"], op="<=")
+    # Per-table accounting (labelled counters recorded at the engine's
+    # choke point): every raw key belongs to exactly one table, and the
+    # per-table hit/miss split — filled only by schemes that can attribute
+    # hits to tables — never exceeds the scheme-level totals.
+    add("cache.table-lookup-conservation",
+        ["cache.table_lookups"], ["cache.lookups"])
+    add("cache.table-hits-bounded",
+        ["cache.table_hits"], ["cache.hits"], op="<=")
+    add("cache.table-misses-bounded",
+        ["cache.table_misses"], ["cache.misses"], op="<=")
     # Fleche miss routing: every deduplicated miss is either the lead of a
     # fetch group or coalesced onto another in-flight batch's fetch.
     add("fleche.miss-routing",

@@ -231,6 +231,9 @@ class PipelinedInferenceServer(InferenceServer):
         if coalescer is not None:
             coalescer.bind_observability(obs)
         before = self._begin_run(requests)
+        collector = self.collector
+        if collector is not None:
+            collector.begin_run(min(r.arrival_time for r in requests))
 
         n = len(batches)
         finish_times = [0.0] * n
@@ -335,6 +338,16 @@ class PipelinedInferenceServer(InferenceServer):
                 obs.inc("serving.batched_requests", chosen.formed.size)
                 if chosen.degraded:
                     obs.inc("serving.degraded_requests", chosen.formed.size)
+                if collector is not None:
+                    # Completion instants are nondecreasing: the dense
+                    # stage holds the serial GPU resource through each
+                    # batch's finish, so this batch's counter delta folds
+                    # into the window containing its completion.
+                    collector.observe_batch(
+                        chosen.ready_at,
+                        [chosen.ready_at - r.arrival_time
+                         for r in chosen.formed.requests],
+                    )
                 completed[chosen.index] = True
                 while frontier < n and completed[frontier]:
                     frontier += 1
@@ -361,6 +374,8 @@ class PipelinedInferenceServer(InferenceServer):
             for owner in unretired:
                 coalescer.retire(owner)
             unretired = []
+        if collector is not None:
+            collector.flush(max(finish_times))
 
         # Flatten per-request latencies in batch order (identical request
         # ordering to the sequential loop).

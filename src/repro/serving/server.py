@@ -28,6 +28,7 @@ from ..hardware import HardwareSpec
 from ..model.dcn import DeepCrossNetwork
 from ..obs.registry import MetricsRegistry, MetricsSnapshot
 from ..obs.spans import SpanTracer
+from ..obs.timeseries import DEFAULT_LATENCY_BUCKETS, WindowedCollector
 from ..workloads.spec import DatasetSpec
 from ..workloads.trace import TraceBatch
 from .arrivals import Request
@@ -145,6 +146,7 @@ class InferenceServer:
         model: Optional[DeepCrossNetwork] = None,
         include_dense: bool = False,
         tracer: Optional[SpanTracer] = None,
+        collector: Optional[WindowedCollector] = None,
     ):
         self.dataset = dataset
         self.scheme = scheme
@@ -160,6 +162,14 @@ class InferenceServer:
             ids_per_field=dataset.ids_per_field,
             include_dense=include_dense and model is not None,
         )
+        self.engine.obs.declare_buckets(
+            "serving.latency", DEFAULT_LATENCY_BUCKETS
+        )
+        #: optional windowed time-series collector, fed at each batch's
+        #: completion instant on the simulated clock by both serving loops.
+        self.collector = collector
+        if collector is not None:
+            collector.bind(self.engine.obs)
 
     @property
     def obs(self) -> MetricsRegistry:
@@ -285,6 +295,9 @@ class InferenceServer:
         executor = Executor(self.hw)
         obs = self.obs
         before = self._begin_run(requests)
+        collector = self.collector
+        if collector is not None:
+            collector.begin_run(min(r.arrival_time for r in requests))
         gpu_free_at = 0.0
         latencies: List[float] = []
         arrivals: List[float] = []
@@ -307,9 +320,15 @@ class InferenceServer:
                 probabilities.append(batch_probs)
             if obs.total("tier.degraded_keys") > degraded_before:
                 obs.inc("serving.degraded_requests", batch.size)
-            for request in batch.requests:
-                latencies.append(finish - request.arrival_time)
-                arrivals.append(request.arrival_time)
+            batch_latencies = [
+                finish - request.arrival_time for request in batch.requests
+            ]
+            latencies.extend(batch_latencies)
+            arrivals.extend(r.arrival_time for r in batch.requests)
+            if collector is not None:
+                collector.observe_batch(finish, batch_latencies)
+        if collector is not None:
+            collector.flush(gpu_free_at)
         report = self._finalize_report(
             requests, latencies, arrivals, sizes, gpu_free_at, before,
         )

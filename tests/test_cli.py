@@ -71,3 +71,59 @@ class TestCommands:
         with open(out_path) as f:
             trace = json.load(f)
         assert trace["traceEvents"]
+
+    def test_serve_prints_summary_and_emits(self, tmp_path, monkeypatch,
+                                            capsys):
+        from repro.bench import reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        rc = main([
+            "serve", "--requests", "400", "--corpus", "4000",
+            "--tables", "4", "--rate", "200000", "--emit",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "windows" in out
+        series = reporting.load_artifact(
+            str(tmp_path / "series.json"), kind="series",
+        )
+        assert series["closed_windows"] > 0
+        reporting.load_artifact(str(tmp_path / "alerts.json"), kind="alerts")
+
+    def test_serve_metrics_endpoint_scrapes(self, capsys):
+        import re
+
+        rc = main([
+            "serve", "--requests", "200", "--corpus", "2000",
+            "--tables", "4", "--rate", "200000",
+            "--metrics-port", "0", "--hold", "0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        match = re.search(r"http://127\.0\.0\.1:\d+/metrics", out)
+        assert match, out
+        # The server is closed after --hold; the URL format is the check.
+
+    def test_obs_render_round_trips(self, tmp_path, monkeypatch, capsys):
+        from repro.bench import reporting
+        from repro.obs import MetricsRegistry, parse_openmetrics
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        registry = MetricsRegistry()
+        registry.inc("cache.hits", 9)
+        path = reporting.emit_json("metrics", registry.snapshot().to_dict())
+        capsys.readouterr()
+        rc = main(["obs", "render", "--metrics", path])
+        assert rc == 0
+        families = parse_openmetrics(capsys.readouterr().out)
+        assert families["cache_hits"]["samples"] == [
+            ("cache_hits_total", {}, 9.0)
+        ]
+
+    def test_obs_render_rejects_unversioned_artifact(self, tmp_path):
+        bad = tmp_path / "metrics.json"
+        bad.write_text('{"counters": {}}\n')
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["obs", "render", "--metrics", str(bad)])

@@ -103,6 +103,98 @@ class TestMetricsRegistry:
         key = render_key("a", (("t", "1"), ("z", "x")))
         assert key == "a{t=1,z=x}"
 
+
+class TestHistogramEdges:
+    def _bucketed(self):
+        reg = MetricsRegistry()
+        reg.declare_buckets("lat", (1.0, 2.0, 4.0))
+        return reg
+
+    def test_boundary_exact_observation_lands_in_that_bucket(self):
+        """``le`` semantics: a value exactly on a bound belongs to that
+        bound's bucket, not the next one."""
+        reg = self._bucketed()
+        reg.observe("lat", 2.0)
+        stats = reg.histogram("lat")
+        assert stats.bucket_counts == (0, 1, 0)
+        assert stats.cumulative_buckets() == [
+            (1.0, 0), (2.0, 1), (4.0, 1), (float("inf"), 1),
+        ]
+
+    def test_overflow_bucket_is_implicit(self):
+        reg = self._bucketed()
+        reg.observe("lat", 100.0)
+        stats = reg.histogram("lat")
+        assert stats.bucket_counts == (0, 0, 0)
+        assert stats.cumulative_buckets()[-1] == (float("inf"), 1)
+
+    def test_negative_observations(self):
+        """Negative values are legal (deltas, temperature-style series):
+        they land in the lowest bucket and min/sum reflect them."""
+        reg = self._bucketed()
+        reg.observe("lat", -3.0)
+        reg.observe("lat", 0.5)
+        stats = reg.histogram("lat")
+        assert stats.bucket_counts == (2, 0, 0)
+        assert stats.minimum == -3.0
+        assert stats.total == pytest.approx(-2.5)
+
+    def test_never_observed_histogram(self):
+        reg = self._bucketed()
+        stats = reg.histogram("lat")
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.cumulative_buckets() == [(float("inf"), 0)]
+        assert stats.to_dict() == {"count": 0, "sum": 0.0}
+        # Declared-but-unobserved histograms do not appear in snapshots.
+        assert reg.snapshot().histograms == {}
+
+    def test_diff_subtracts_buckets(self):
+        reg = self._bucketed()
+        reg.observe("lat", 0.5)
+        older = reg.snapshot()
+        reg.observe("lat", 1.5)
+        reg.observe("lat", 9.0)
+        delta = reg.snapshot().diff(older)
+        stats = delta.histograms[("lat", ())]
+        assert stats.count == 2
+        assert stats.bucket_counts == (0, 1, 0)
+        # min/max are not invertible and are dropped from diffs.
+        assert "min" not in stats.to_dict()
+
+    def test_diff_against_empty_prior(self):
+        reg = self._bucketed()
+        empty = MetricsRegistry().snapshot()
+        reg.observe("lat", 1.0)
+        delta = reg.snapshot().diff(empty)
+        assert delta.histograms[("lat", ())].bucket_counts == (1, 0, 0)
+
+    def test_declare_buckets_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.declare_buckets("lat", ())
+        with pytest.raises(ConfigError):
+            reg.declare_buckets("lat", (2.0, 1.0))
+        with pytest.raises(ConfigError):
+            reg.declare_buckets("lat", (1.0, 1.0))
+        with pytest.raises(ConfigError):
+            reg.declare_buckets("lat", (1.0, float("inf")))
+
+    def test_redeclaration_rules(self):
+        reg = self._bucketed()
+        reg.declare_buckets("lat", (1.0, 2.0, 4.0))  # same bounds: no-op
+        with pytest.raises(ConfigError):
+            reg.declare_buckets("lat", (1.0, 8.0))
+
+    def test_declaration_only_affects_later_first_observations(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 1.5)                      # bucketless series
+        reg.declare_buckets("lat", (1.0, 2.0))
+        reg.observe("lat", 1.5)
+        assert reg.histogram("lat").bucket_counts == ()   # kept bucketless
+        reg.observe("lat", 1.5, stream="a")               # new label set
+        assert reg.histogram("lat", stream="a").bucket_counts == (0, 1)
+
     def test_snapshot_diff_subtracts_counters(self):
         reg = MetricsRegistry()
         reg.inc("c", 5)

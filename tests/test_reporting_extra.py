@@ -108,3 +108,63 @@ class TestCodecEdgeCases:
         for t, size in enumerate(sizes):
             keys = codec.encode(t, np.arange(size, dtype=np.uint64))
             assert (codec.table_of(keys) == t).all()
+
+
+class TestArtifactSchema:
+    @pytest.fixture(autouse=True)
+    def _results_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+
+    def test_emit_json_stamps_version(self):
+        path = reporting.emit_json("x", {"kind": "series", "windows": []})
+        payload = reporting.load_artifact(path, kind="series")
+        assert payload["version"] == reporting.SCHEMA_VERSION
+
+    def test_emit_json_keeps_explicit_version(self):
+        path = reporting.emit_json("x", {"version": 1, "a": 2})
+        assert reporting.load_artifact(path)["version"] == 1
+
+    def test_emit_json_leaves_lists_unstamped(self, tmp_path):
+        path = reporting.emit_json("x", [1, 2, 3])
+        with pytest.raises(reporting.ConfigError):
+            reporting.load_artifact(path)
+
+    def test_load_rejects_missing_version(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"a": 1}\n')
+        with pytest.raises(reporting.ConfigError):
+            reporting.load_artifact(str(path))
+        path.write_text('{"version": "1"}\n')  # string, not integer
+        with pytest.raises(reporting.ConfigError):
+            reporting.load_artifact(str(path))
+
+    def test_load_rejects_newer_version(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"version": %d}\n' % (reporting.SCHEMA_VERSION + 1))
+        with pytest.raises(reporting.ConfigError):
+            reporting.load_artifact(str(path))
+
+    def test_load_rejects_kind_mismatch(self):
+        path = reporting.emit_json("x", {"kind": "series"})
+        with pytest.raises(reporting.ConfigError):
+            reporting.load_artifact(path, kind="alerts")
+
+    def test_emit_timeseries_writes_series_and_alerts(self):
+        from repro.obs import (
+            MetricsRegistry,
+            WindowedCollector,
+            default_serving_slos,
+        )
+
+        collector = WindowedCollector(
+            sla_budget=1e-3, engine=default_serving_slos(1e-3),
+        ).bind(MetricsRegistry())
+        collector.observe_batch(0.5e-3, [5e-4])
+        collector.flush(1e-3)
+        paths = reporting.emit_timeseries(collector)
+        assert [os.path.basename(p) for p in paths] == [
+            "series.json", "alerts.json",
+        ]
+        series = reporting.load_artifact(paths[0], kind="series")
+        assert series["closed_windows"] == collector.closed_windows
+        reporting.load_artifact(paths[1], kind="alerts")

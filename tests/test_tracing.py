@@ -131,6 +131,50 @@ class TestChromeExport:
             loaded = json.load(f)
         assert loaded["traceEvents"]
 
+    def test_empty_span_list_exports_valid_trace(self, tmp_path):
+        """No spans still yields a valid, loadable Chrome trace file."""
+        from repro.gpusim.tracing import export_chrome_trace
+
+        path = export_chrome_trace([], str(tmp_path / "empty.json"))
+        with open(path) as f:
+            loaded = json.load(f)
+        assert loaded == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_zero_duration_span_exports(self, tmp_path):
+        """Zero-duration spans (instant events) are valid and keep dur=0."""
+        from repro.gpusim.tracing import Span, chrome_trace, export_chrome_trace
+
+        spans = [Span("cpu", "tick", 0.0, 0.0, "other")]
+        trace = chrome_trace(spans)
+        event = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        assert event["dur"] == 0.0
+        path = export_chrome_trace(spans, str(tmp_path / "zero.json"))
+        with open(path) as f:
+            assert json.load(f)["traceEvents"]
+
+    def test_negative_zero_normalised(self):
+        """-0.0 start/duration serialise as positive zero, not '-0.0'."""
+        from repro.gpusim.tracing import Span, chrome_trace
+
+        span = Span("cpu", "origin", -0.0, -0.0, "other")
+        event = next(e for e in chrome_trace([span])["traceEvents"]
+                     if e["ph"] == "X")
+        assert json.dumps(event["ts"]) == "0.0"
+        assert json.dumps(event["dur"]) == "0.0"
+
+    def test_export_is_byte_deterministic(self, traced, tmp_path):
+        """Exporting the same span list twice writes identical bytes."""
+        executor, recorder = traced
+        executor.launch(_kernel("k0"))
+        executor.host_work(0.0, Category.OTHER)  # zero-duration span
+        executor.synchronize(None)
+        path_a = recorder.export_json(str(tmp_path / "a.json"))
+        path_b = recorder.export_json(str(tmp_path / "b.json"))
+        with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+            bytes_a, bytes_b = fa.read(), fb.read()
+        assert bytes_a == bytes_b
+        assert bytes_a.endswith(b"\n")
+
     def test_full_query_produces_rich_trace(self, hw, small_store, rng):
         """A whole Fleche batch yields spans on several tracks."""
         from repro.core.config import FlecheConfig
