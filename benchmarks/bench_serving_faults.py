@@ -13,11 +13,22 @@ load:
 All policies degrade to ``stale`` vectors when the budget is exhausted,
 so the comparison isolates how much time each policy *wastes* on a dead
 shard rather than whether it eventually serves.
+
+Two refresh-subsystem studies ride along: an
+:class:`~repro.faults.schedule.UpdateLogOutage` run proving the
+staleness SLO burn-rate alert detects a stuck update stream (with
+measured time-to-detect / time-to-recover), and a crash-recovery run
+proving a replica killed mid-stream converges — via snapshot + log
+replay — to the exact cache contents of a replica that never died.
 """
 
 from repro import FlecheConfig
 from repro.bench.reporting import emit, format_table, format_time
-from repro.obs import WindowedCollector, default_serving_slos
+from repro.obs import (
+    WindowedCollector,
+    default_refresh_slos,
+    default_serving_slos,
+)
 from repro.core.workflow import FlecheEmbeddingLayer
 from repro.faults import (
     BreakerConfig,
@@ -26,13 +37,23 @@ from repro.faults import (
     FaultSchedule,
     RetryPolicy,
     ShardOutage,
+    UpdateLogOutage,
 )
+from repro.model.trainer import EmbeddingDeltaTrainer
 from repro.multitier.hierarchy import TieredParameterStore
 from repro.multitier.remote_ps import RemoteParameterServer
+from repro.refresh import (
+    RefreshScheduler,
+    UpdateLog,
+    UpdatePublisher,
+    UpdateSubscriber,
+    fingerprint,
+)
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.pipeline import PipelinedInferenceServer
 from repro.serving.server import InferenceServer
+from repro.tables.store import EmbeddingStore
 from repro.workloads.synthetic import uniform_tables_spec
 
 US = 1e-6
@@ -303,6 +324,242 @@ def test_fault_detection_latency(hw, run_once):
     check_detection_sweep(results)
 
 
+# ---------------------------------------------------------------------------
+# Model-refresh resilience: staleness alerting under a stuck update stream,
+# and crash recovery via snapshot + log replay
+# ---------------------------------------------------------------------------
+
+#: Offered load for the refresh studies: busy enough to be a real serving
+#: run, idle enough that the bounded refresher normally keeps lag near 0.
+REFRESH_RATE = 40_000.0
+REFRESH_ROUNDS = 40
+REFRESH_KEYS_PER_ROUND = 64
+REFRESH_QUANTUM = 512
+#: Version-lag budget handed to the collector: a window closing with the
+#: replica more than this many model versions behind counts as stale.
+STALENESS_BUDGET = 2.0
+
+
+def _make_refresh_replica(hw, dataset, collector=None, warm=None):
+    """One pipelined serving replica over a plain (non-tiered) store."""
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
+    server = PipelinedInferenceServer(
+        dataset, layer, hw,
+        policy=BatchingPolicy(max_batch_size=64, max_delay=5e-4),
+        depth=2, collector=collector,
+    )
+    if warm is not None:
+        server.serve(warm)
+    return server, layer
+
+
+def _delta_trainer(dataset, seed=11):
+    return EmbeddingDeltaTrainer(
+        [spec.corpus_size for spec in dataset.table_specs()],
+        [spec.dim for spec in dataset.table_specs()],
+        keys_per_round=REFRESH_KEYS_PER_ROUND, seed=seed,
+    )
+
+
+def run_refresh_outage_study(hw, outage_fraction=0.3, rounds=REFRESH_ROUNDS):
+    """Serve with a live update stream while the log goes dark mid-run.
+
+    The trainer publishes ``rounds`` versions evenly across the horizon;
+    an :class:`UpdateLogOutage` covers ``outage_fraction`` of it.  The
+    replica keeps serving, its version lag climbs past the staleness
+    budget, the ``staleness-fast`` burn-rate rule fires, and once the log
+    returns the idle-slot refresher catches up and the alert resolves —
+    all stamped in simulated time, so TTD/TTR are exact.
+    """
+    dataset = uniform_tables_spec(
+        num_tables=4, corpus_size=20_000, alpha=-1.2, dim=16,
+    )
+    outage_start = 0.35 * HORIZON
+    outage_duration = outage_fraction * HORIZON
+    outage_end = outage_start + outage_duration
+    schedule = FaultSchedule([
+        UpdateLogOutage(start=outage_start, duration=outage_duration),
+    ])
+    log = UpdateLog(retention=4096, schedule=schedule)
+    engine = default_refresh_slos(SLA_BUDGET)
+    collector = WindowedCollector(
+        window=DETECT_WINDOW, sla_budget=SLA_BUDGET, engine=engine,
+        staleness_versions=STALENESS_BUDGET,
+    )
+    server, layer = _make_refresh_replica(hw, dataset, collector=collector)
+    publisher = UpdatePublisher(log, max_batch_keys=REFRESH_QUANTUM)
+    publisher.bind_observability(server.obs)
+    trainer = _delta_trainer(dataset)
+    for i in range(rounds):
+        publisher.drain(trainer, now=HORIZON * (i + 1) / (rounds + 1))
+    subscriber = UpdateSubscriber(log, layer.cache, host_store=layer.store)
+    subscriber.bind_observability(server.obs)
+    server.refresher = RefreshScheduler(
+        subscriber, hw, quantum_keys=REFRESH_QUANTUM, schedule=schedule,
+    )
+    requests = PoissonArrivals(
+        dataset, REFRESH_RATE, seed=5,
+    ).generate_until(HORIZON)
+    report = server.serve(requests)
+
+    stale_hist = engine.history("staleness-fast")
+    fired = [a.fired_at - outage_start for a in stale_hist
+             if a.fired_at >= outage_start]
+    resolved = [a.resolved_at - outage_end for a in stale_hist
+                if a.resolved_at is not None and a.resolved_at >= outage_end]
+    return {
+        "outage_start_s": outage_start,
+        "outage_duration_s": outage_duration,
+        "published_keys": log.total_keys,
+        "applied_keys": int(report.metrics.total("refresh.applied_keys")),
+        "outage_polls": int(report.metrics.total("refresh.outage_polls")),
+        "final_version_lag": subscriber.version_lag(HORIZON),
+        "ttd_s": min(fired) if fired else None,
+        "ttr_s": max(resolved) if resolved else None,
+        "early_alerts": sum(
+            1 for a in stale_hist if a.fired_at < outage_start
+        ),
+        "stale_alerts": len(stale_hist),
+        "unresolved": [a.rule for a in engine.firing],
+        "sla_attainment": report.sla_attainment(SLA_BUDGET),
+    }
+
+
+def emit_refresh_outage(result):
+    rows = [[
+        format_time(result["outage_duration_s"]),
+        "-" if result["ttd_s"] is None else format_time(result["ttd_s"]),
+        "-" if result["ttr_s"] is None else format_time(result["ttr_s"]),
+        result["stale_alerts"],
+        f"{result['applied_keys']:,}/{result['published_keys']:,}",
+        result["final_version_lag"],
+        f"{result['sla_attainment']:.1%}",
+    ]]
+    emit("refresh_staleness_detection", format_table(
+        ["log outage", "time-to-detect", "time-to-recover", "alerts",
+         "applied/published", "final lag", f"SLA@{SLA_BUDGET * 1e3:.1f}ms"],
+        rows,
+        title=(
+            "Staleness SLO burn-rate alerting under an update-log outage "
+            f"({REFRESH_RATE:,.0f}/s offered, "
+            f"lag budget {STALENESS_BUDGET:.0f} versions)"
+        ),
+    ))
+
+
+def check_refresh_outage(result):
+    """Acceptance: the staleness alert fires only during the outage,
+    within its duration, and resolves once the replica catches up."""
+    assert result["early_alerts"] == 0, result
+    assert result["ttd_s"] is not None, result
+    assert result["ttd_s"] < result["outage_duration_s"], result
+    assert result["ttr_s"] is not None, result
+    assert not result["unresolved"], result
+    assert result["outage_polls"] > 0, result
+    assert result["applied_keys"] > 0, result
+    assert result["final_version_lag"] <= STALENESS_BUDGET, result
+
+
+def test_refresh_staleness_detection(hw, run_once):
+    result = run_once(run_refresh_outage_study, hw)
+    emit_refresh_outage(result)
+    check_refresh_outage(result)
+
+
+def run_recovery_equivalence(hw, rounds=12, kill_after_rounds=5):
+    """Kill a replica mid-stream; snapshot + replay must converge.
+
+    Replica A consumes the whole update stream uninterrupted.  Replica B
+    — warmed identically — dies after ``kill_after_rounds`` published
+    versions, leaving only its stamped cache snapshot.  A replacement
+    replica restores the snapshot into a cold cache and replays the log
+    from the stamped offset; its fingerprint (flat key -> vector bytes)
+    must equal replica A's exactly.
+    """
+    dataset = uniform_tables_spec(
+        num_tables=4, corpus_size=20_000, alpha=-1.2, dim=16,
+    )
+    log = UpdateLog(retention=4096)
+    publisher = UpdatePublisher(log, max_batch_keys=256)
+    trainer = _delta_trainer(dataset)
+    for i in range(rounds):
+        publisher.drain(trainer, now=float(i + 1))
+    horizon = float(rounds + 1)
+    warm = PoissonArrivals(dataset, REFRESH_RATE, seed=3).generate(600)
+
+    # Replica A: never interrupted.
+    _, layer_a = _make_refresh_replica(hw, dataset, warm=warm)
+    sub_a = UpdateSubscriber(log, layer_a.cache, host_store=layer_a.store)
+    sub_a.catch_up(horizon)
+    fp_a = fingerprint(layer_a.cache)
+
+    # Replica B: killed mid-stream; only its last snapshot survives.
+    _, layer_b = _make_refresh_replica(hw, dataset, warm=warm)
+    sub_b = UpdateSubscriber(log, layer_b.cache, host_store=layer_b.store)
+    sub_b.catch_up(float(kill_after_rounds) + 0.5)
+    snap = sub_b.snapshot()
+    stale_at_kill = fingerprint(layer_b.cache) != fp_a
+    del layer_b, sub_b  # the crash
+
+    # Replacement: cold cache + snapshot restore + log replay.
+    _, layer_c = _make_refresh_replica(hw, dataset)
+    sub_c = UpdateSubscriber.from_snapshot(
+        snap, layer_c.cache, log, host_store=layer_c.store,
+    )
+    replayed = sub_c.catch_up(horizon)
+
+    fp_c = fingerprint(layer_c.cache)
+    return {
+        "entries": len(fp_a),
+        "killed_at_offset": snap.log_offset,
+        "killed_at_version": snap.model_version,
+        "final_version": sub_a.applied_version,
+        "replayed_batches": replayed,
+        "stale_at_kill": stale_at_kill,
+        "converged": fp_a == fp_c,
+        "offsets_match": sub_a.applied_offset == sub_c.applied_offset,
+        "versions_match": sub_a.applied_version == sub_c.applied_version,
+    }
+
+
+def emit_recovery_equivalence(result):
+    rows = [[
+        result["entries"],
+        f"v{result['killed_at_version']} @ {result['killed_at_offset']}",
+        f"v{result['final_version']}",
+        result["replayed_batches"],
+        "yes" if result["stale_at_kill"] else "no",
+        "yes" if result["converged"] else "NO",
+    ]]
+    emit("refresh_recovery", format_table(
+        ["cache entries", "killed at", "final", "replayed batches",
+         "stale at kill", "converged"],
+        rows,
+        title=(
+            "Crash recovery: snapshot + log replay vs an uninterrupted "
+            "replica (cache fingerprint equality)"
+        ),
+    ))
+
+
+def check_recovery_equivalence(result):
+    """Acceptance: the restored replica's cache is bit-identical to the
+    uninterrupted replica's, and the replay actually did work."""
+    assert result["entries"] > 0, result
+    assert result["replayed_batches"] > 0, result
+    assert result["stale_at_kill"], result
+    assert result["converged"], result
+    assert result["offsets_match"], result
+    assert result["versions_match"], result
+
+
+def test_refresh_recovery_equivalence(hw, run_once):
+    result = run_once(run_recovery_equivalence, hw)
+    emit_recovery_equivalence(result)
+    check_recovery_equivalence(result)
+
+
 def main(argv=None):
     import argparse
 
@@ -324,6 +581,17 @@ def main(argv=None):
         results = run_detection_sweep(hw)
     emit_detection_sweep(results)
     check_detection_sweep(results)
+
+    outage = run_refresh_outage_study(hw)
+    emit_refresh_outage(outage)
+    check_refresh_outage(outage)
+
+    recovery = run_recovery_equivalence(
+        hw, rounds=8 if args.smoke else 12,
+    )
+    emit_recovery_equivalence(recovery)
+    check_recovery_equivalence(recovery)
+
     print("\nfault detection sweep OK "
           f"({'smoke' if args.smoke else 'full'} mode)")
 

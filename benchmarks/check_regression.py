@@ -1,4 +1,4 @@
-"""CI perf-regression gate for the serving depth sweep.
+"""CI perf-regression gate for the serving depth and refresh sweeps.
 
 Compares a freshly produced ``BENCH_serving.json`` (the ``--smoke``
 output of ``bench_serving_sla.py``) against the pinned
@@ -8,11 +8,20 @@ server) cell.  The simulator is deterministic, so the tolerances only
 absorb environment drift (numpy versions across the CI matrix), not real
 regressions — a >X% throughput drop fails the build.
 
+When the pinned ``BENCH_refresh_baseline.json`` is present the same gate
+covers the model-refresh sweep (``bench_refresh.py --smoke`` output):
+per (rate x quantum) cell, SLA attainment within the absolute tolerance
+and the sustained update-apply rate within the relative one — so neither
+"refresh got slower" nor "refresh started hurting serving" can land
+silently.
+
 Usage::
 
     python benchmarks/check_regression.py \
         [--baseline benchmarks/results/BENCH_baseline.json] \
         [--candidate benchmarks/results/BENCH_serving.json] \
+        [--refresh-baseline benchmarks/results/BENCH_refresh_baseline.json] \
+        [--refresh-candidate benchmarks/results/BENCH_refresh.json] \
         [--rel-tolerance 0.15] [--abs-sla-tolerance 0.05]
 
 Exit status 0 when every cell is within tolerance, 1 otherwise.
@@ -77,6 +86,55 @@ def compare(baseline: dict, candidate: dict,
     return rows, violations
 
 
+#: (metric key, kind) pairs compared per refresh-sweep cell.
+REFRESH_CHECKED_METRICS = (
+    ("sla_attainment", "abs"),
+    ("apply_rate_keys_s", "rel"),
+)
+
+
+def compare_refresh(baseline: dict, candidate: dict,
+                    rel_tolerance: float = REL_TOLERANCE,
+                    abs_sla_tolerance: float = ABS_SLA_TOLERANCE):
+    """Compare two BENCH_refresh payloads; returns (rows, violations).
+
+    Walks the per-rate no-refresh ``baselines`` and the per
+    (rate x quantum) ``cells``; missing candidate cells are violations,
+    extra candidate cells (a widened sweep) are ignored.  Cells whose
+    baseline apply rate is zero — the saturated rates where idle-bounded
+    refresh intentionally yields — only gate on SLA attainment.
+    """
+    rows = []
+    violations = []
+    for section in ("baselines", "cells"):
+        for key, base_cell in sorted(baseline.get(section, {}).items()):
+            cand_cell = candidate.get(section, {}).get(key)
+            if cand_cell is None:
+                violations.append(f"{section}/{key}: missing from candidate")
+                continue
+            for metric, kind in REFRESH_CHECKED_METRICS:
+                base = float(base_cell[metric])
+                cand = float(cand_cell[metric])
+                if kind == "rel":
+                    drift = (cand - base) / base if base else 0.0
+                    ok = abs(drift) <= rel_tolerance
+                    shown = f"{drift:+.1%}"
+                else:
+                    drift = cand - base
+                    ok = abs(drift) <= abs_sla_tolerance
+                    shown = f"{drift:+.3f}"
+                rows.append([
+                    section, key, metric, f"{base:.4g}", f"{cand:.4g}",
+                    shown, "ok" if ok else "FAIL",
+                ])
+                if not ok:
+                    violations.append(
+                        f"{section}/{key}/{metric}: baseline {base:.4g} -> "
+                        f"candidate {cand:.4g} ({shown} outside tolerance)"
+                    )
+    return rows, violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -84,6 +142,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--candidate", default="benchmarks/results/BENCH_serving.json"
+    )
+    parser.add_argument(
+        "--refresh-baseline",
+        default="benchmarks/results/BENCH_refresh_baseline.json",
+    )
+    parser.add_argument(
+        "--refresh-candidate",
+        default="benchmarks/results/BENCH_refresh.json",
     )
     parser.add_argument("--rel-tolerance", type=float, default=REL_TOLERANCE)
     parser.add_argument(
@@ -107,6 +173,32 @@ def main(argv=None) -> int:
             f"SLA ±{args.abs_sla_tolerance:.2f})"
         ),
     ))
+
+    import os
+
+    if os.path.exists(args.refresh_baseline):
+        refresh_rows, refresh_violations = compare_refresh(
+            load_artifact(args.refresh_baseline),
+            load_artifact(args.refresh_candidate),
+            rel_tolerance=args.rel_tolerance,
+            abs_sla_tolerance=args.abs_sla_tolerance,
+        )
+        violations.extend(refresh_violations)
+        print()
+        print(format_table(
+            ["section", "cell", "metric", "baseline", "candidate", "drift",
+             "status"],
+            refresh_rows,
+            title=(
+                "Refresh perf regression gate "
+                f"(rel ±{args.rel_tolerance:.0%}, "
+                f"SLA ±{args.abs_sla_tolerance:.2f})"
+            ),
+        ))
+    else:
+        print(f"\nno refresh baseline at {args.refresh_baseline}; "
+              "refresh gate skipped")
+
     if violations:
         print("\nREGRESSIONS:", file=sys.stderr)
         for violation in violations:

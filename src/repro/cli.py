@@ -295,6 +295,116 @@ def _cmd_obs(args) -> int:
     return 2  # pragma: no cover - argparse enforces the choice
 
 
+def _refresh_setup(args):
+    """Shared scaffolding for ``repro refresh``: dataset, log, stream.
+
+    Builds a deterministic update stream (trainer seeded, one version per
+    round, round ``i`` published at simulated time ``i + 1``) and returns
+    ``(build_replica, log, horizon)`` where ``build_replica(warm=True)``
+    constructs one serving replica, warmed by querying a synthetic trace
+    so the cache holds the hot keys the trainer churns.
+    """
+    from .model.trainer import EmbeddingDeltaTrainer
+    from .refresh import UpdateLog, UpdatePublisher
+    from .tables.store import EmbeddingStore
+    from .workloads.synthetic import synthetic_dataset, uniform_tables_spec
+
+    hw = default_platform()
+    dataset = uniform_tables_spec(
+        num_tables=args.tables, corpus_size=args.corpus, alpha=-1.2,
+        dim=args.dim,
+    )
+    specs = dataset.table_specs()
+
+    def build_replica(warm: bool = True):
+        store = EmbeddingStore(specs, hw)
+        layer = FlecheEmbeddingLayer(
+            store, FlecheConfig(cache_ratio=args.ratio), hw
+        )
+        if warm:
+            trace = synthetic_dataset(
+                dataset, num_batches=6, batch_size=256
+            )
+            executor = Executor(hw)
+            for batch in trace:
+                layer.query(batch, executor)
+        return layer
+
+    log = UpdateLog(retention=args.retention)
+    publisher = UpdatePublisher(log, max_batch_keys=args.quantum)
+    trainer = EmbeddingDeltaTrainer(
+        [spec.corpus_size for spec in specs],
+        [spec.dim for spec in specs],
+        keys_per_round=args.keys_per_round, seed=9,
+    )
+    for i in range(args.rounds):
+        publisher.drain(trainer, now=float(i + 1))
+    return build_replica, log, float(args.rounds + 1)
+
+
+def _cmd_refresh(args) -> int:
+    """Model-refresh stream tooling (``repro refresh replay|status``)."""
+    from .refresh import UpdateSubscriber, fingerprint
+
+    build_replica, log, horizon = _refresh_setup(args)
+
+    if args.refresh_command == "status":
+        layer = build_replica()
+        subscriber = UpdateSubscriber(log, layer.cache)
+        applied_rounds = (
+            args.rounds // 2 if args.applied_rounds is None
+            else args.applied_rounds
+        )
+        subscriber.catch_up(float(applied_rounds) + 0.5)
+        rows = [[f"log.{k}", v] for k, v in log.describe().items()]
+        rows += [
+            [f"replica.{k}", v]
+            for k, v in subscriber.status(horizon).items()
+        ]
+        print(format_table(
+            ["field", "value"], rows,
+            title=(f"Update-stream position after {applied_rounds}/"
+                   f"{args.rounds} rounds"),
+        ))
+        return 0
+
+    # replay: the crash-recovery demo.  Replica A consumes the stream
+    # uninterrupted; replica B dies mid-stream leaving only a snapshot;
+    # the replacement restores it and replays the log to convergence.
+    kill_after = (
+        args.rounds // 2 if args.kill_after is None else args.kill_after
+    )
+    layer_a = build_replica()
+    sub_a = UpdateSubscriber(log, layer_a.cache)
+    sub_a.catch_up(horizon)
+
+    layer_b = build_replica()
+    sub_b = UpdateSubscriber(log, layer_b.cache)
+    sub_b.catch_up(float(kill_after) + 0.5)
+    snap = sub_b.snapshot()
+    del layer_b, sub_b
+
+    layer_c = build_replica(warm=False)
+    sub_c = UpdateSubscriber.from_snapshot(snap, layer_c.cache, log)
+    replayed = sub_c.catch_up(horizon)
+
+    converged = fingerprint(layer_a.cache) == fingerprint(layer_c.cache)
+    print(format_table(
+        ["field", "value"],
+        [
+            ["published versions", args.rounds],
+            ["published keys", log.total_keys],
+            ["killed at version", snap.model_version],
+            ["snapshot offset", snap.log_offset],
+            ["replayed batches", replayed],
+            ["restored version", sub_c.applied_version],
+            ["converged", "yes" if converged else "NO"],
+        ],
+        title="Snapshot + log replay vs an uninterrupted replica",
+    ))
+    return 0 if converged else 1
+
+
 def _cmd_trace(args) -> int:
     from .gpusim.tracing import TraceRecorder
 
@@ -386,6 +496,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--metrics", default="benchmarks/results/metrics.json",
                    help="path to an emitted metrics.json")
+    p = sub.add_parser("refresh", help="model-refresh stream tooling")
+    refresh_sub = p.add_subparsers(dest="refresh_command", required=True)
+
+    def refresh_common(q):
+        q.add_argument("--tables", type=int, default=4)
+        q.add_argument("--corpus", type=int, default=5_000)
+        q.add_argument("--dim", type=int, default=8)
+        q.add_argument("--ratio", type=float, default=0.05)
+        q.add_argument("--rounds", type=int, default=8,
+                       help="trainer rounds (one model version each)")
+        q.add_argument("--keys-per-round", type=int, default=64)
+        q.add_argument("--quantum", type=int, default=256,
+                       help="max keys per published batch")
+        q.add_argument("--retention", type=int, default=1024,
+                       help="update-log retention (batches)")
+
+    q = refresh_sub.add_parser(
+        "replay",
+        help="crash-recovery demo: snapshot + log replay convergence",
+    )
+    refresh_common(q)
+    q.add_argument("--kill-after", type=int, default=None,
+                   help="versions applied before the crash "
+                        "(default: half the rounds)")
+    q = refresh_sub.add_parser(
+        "status", help="print a replica's update-stream position"
+    )
+    refresh_common(q)
+    q.add_argument("--applied-rounds", type=int, default=None,
+                   help="rounds applied before reporting "
+                        "(default: half the rounds)")
     return parser
 
 
@@ -399,6 +540,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "serve": _cmd_serve,
     "obs": _cmd_obs,
+    "refresh": _cmd_refresh,
 }
 
 

@@ -11,6 +11,11 @@ prefix).
 DRAM pointers are deliberately *not* snapshotted: after a restart the
 CPU-DRAM layer's layout cannot be trusted (the §5 invalidation argument),
 so the unified index restarts empty and the tuner re-grows it.
+
+Version 2 additionally stamps the replica's model-refresh position — the
+model version and update-log offset last applied — so a restored replica
+knows exactly where to resume replaying the update stream instead of
+silently re-applying or skipping updates.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from .flat_cache import FlatCache
 from .unified_index import is_dram_pointer, untag
 
 #: Format marker so stale snapshot files fail loudly.
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -38,6 +43,10 @@ class CacheSnapshot:
     key_bits: int
     #: per-dimension entry arrays: dim -> (keys, stamps, vectors)
     entries: Dict[int, tuple]
+    #: model version the replica had applied when snapshotted (0 = none).
+    model_version: int = 0
+    #: update-log offset last applied (-1 = stream never consumed).
+    log_offset: int = -1
 
     @property
     def num_entries(self) -> int:
@@ -50,6 +59,8 @@ class CacheSnapshot:
                 "version": self.version,
                 "key_bits": self.key_bits,
                 "entries": self.entries,
+                "model_version": self.model_version,
+                "log_offset": self.log_offset,
             },
             buffer,
             protocol=pickle.HIGHEST_PROTOCOL,
@@ -67,10 +78,14 @@ class CacheSnapshot:
             version=data["version"],
             key_bits=data["key_bits"],
             entries=data["entries"],
+            model_version=data["model_version"],
+            log_offset=data["log_offset"],
         )
 
 
-def snapshot(cache: FlatCache) -> CacheSnapshot:
+def snapshot(
+    cache: FlatCache, model_version: int = 0, log_offset: int = -1
+) -> CacheSnapshot:
     """Capture every cached embedding (not DRAM pointers) with recency."""
     keys, values, stamps = cache.index.scan()
     cached = ~is_dram_pointer(values)
@@ -90,6 +105,8 @@ def snapshot(cache: FlatCache) -> CacheSnapshot:
         version=SNAPSHOT_VERSION,
         key_bits=cache.codec.key_bits,
         entries=entries,
+        model_version=int(model_version),
+        log_offset=int(log_offset),
     )
 
 

@@ -10,12 +10,19 @@ conflicts" (§3.1) — and its deduplicating guarantees one writer per key.
 :class:`UpdateApplier` builds on that:
 
 * updates arrive as (table, feature_id, vector) batches from the trainer;
+* duplicate IDs within a batch resolve **last-write-wins**: only the final
+  row of each ID is applied, earlier ones are counted as ``duplicates``;
 * cached keys are *refreshed in place* (write the pool slot, bump the
   version stamp) — one copying kernel plus one indexing kernel, the same
   decoupled shape as replacement (§3.3);
 * unified-index DRAM pointers for updated keys are invalidated when the
-  update also relocated the host copy;
+  update also relocated the host copy (or counted as ``pointers_skipped``
+  when invalidation is disabled, keeping the accounting conservative);
 * uncached keys cost nothing (the cache simply doesn't know them).
+
+The outcome partitions the batch exactly:
+``len(feature_ids) == refreshed + pointers_invalidated + pointers_skipped
++ untracked + duplicates``.
 """
 
 from __future__ import annotations
@@ -35,15 +42,40 @@ from .workflow import _copy_kernel_spec, _index_kernel_spec
 
 @dataclass(frozen=True)
 class UpdateOutcome:
-    """What one update batch did to the cache."""
+    """What one update batch did to the cache.
+
+    The five counters partition the input batch: every input row is
+    exactly one of refreshed (rewritten in place on the GPU), pointer
+    invalidated / skipped (key lived behind a unified-index DRAM
+    pointer), untracked (cache never heard of it), or a duplicate
+    squashed by a later row for the same ID.
+    """
 
     refreshed: int
     pointers_invalidated: int
     untracked: int
+    duplicates: int = 0
+    pointers_skipped: int = 0
 
     @property
     def total(self) -> int:
-        return self.refreshed + self.pointers_invalidated + self.untracked
+        return (
+            self.refreshed
+            + self.pointers_invalidated
+            + self.pointers_skipped
+            + self.untracked
+            + self.duplicates
+        )
+
+
+def _last_occurrence_mask(feature_ids: np.ndarray) -> np.ndarray:
+    """Boolean mask keeping only the last occurrence of each ID."""
+    # np.unique keeps the *first* occurrence; reverse to keep the last.
+    reversed_ids = feature_ids[::-1]
+    _, first_in_reversed = np.unique(reversed_ids, return_index=True)
+    keep = np.zeros(len(feature_ids), dtype=bool)
+    keep[len(feature_ids) - 1 - first_in_reversed] = True
+    return keep
 
 
 class UpdateApplier:
@@ -65,8 +97,8 @@ class UpdateApplier:
 
         Args:
             table_id: table whose parameters changed.
-            feature_ids: updated IDs (duplicates tolerated; last wins is
-                irrelevant since the trainer sends one row per ID).
+            feature_ids: updated IDs; duplicates resolve last-write-wins
+                (only the final row per ID touches the cache).
             vectors: the new embedding rows, aligned with ``feature_ids``.
             executor: when given, the refresh kernels are accounted on the
                 simulated timeline (category OTHER — off the query path).
@@ -81,6 +113,15 @@ class UpdateApplier:
                 f"updates: expected dim {dim}, got {vectors.shape[1]}"
             )
         self.applied_batches += 1
+
+        total = len(feature_ids)
+        duplicates = 0
+        if total:
+            keep = _last_occurrence_mask(feature_ids)
+            duplicates = int(total - keep.sum())
+            if duplicates:
+                feature_ids = feature_ids[keep]
+                vectors = vectors[keep]
 
         keys = self.cache.encode(table_id, feature_ids)
         found, pointers, _ = self.cache.index.lookup(keys)
@@ -111,13 +152,19 @@ class UpdateApplier:
                 )
 
         invalidated = 0
-        if self.invalidate_pointers and dram.any():
-            removed = self.cache.invalidate_dram_pointers(keys[dram])
-            invalidated = removed
+        skipped = 0
+        if dram.any():
+            if self.invalidate_pointers:
+                invalidated = self.cache.invalidate_dram_pointers(keys[dram])
+                skipped = int(dram.sum()) - invalidated
+            else:
+                skipped = int(dram.sum())
 
         untracked = int(len(keys) - refreshed - int(dram.sum()))
         return UpdateOutcome(
             refreshed=refreshed,
             pointers_invalidated=invalidated,
             untracked=untracked,
+            duplicates=duplicates,
+            pointers_skipped=skipped,
         )

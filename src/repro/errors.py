@@ -39,3 +39,9 @@ class DegradedServiceError(ReproError):
 class AuditError(ReproError):
     """A declared metrics invariant (conservation law or registered audit
     check) does not hold at an audit barrier."""
+
+
+class RefreshError(ReproError):
+    """The model-refresh stream could not be read or applied: an offset
+    fell out of the update log's retention window, the log is inside an
+    outage window, or an update batch is malformed."""

@@ -32,7 +32,9 @@ from .schedule import (
     DramTierFailure,
     FaultSchedule,
     ShardOutage,
+    SlowSubscriber,
     TransientTimeout,
+    UpdateLogOutage,
 )
 
 __all__ = [
@@ -48,6 +50,8 @@ __all__ = [
     "ResilientFetchClient",
     "RetryPolicy",
     "ShardOutage",
+    "SlowSubscriber",
     "StaleStore",
     "TransientTimeout",
+    "UpdateLogOutage",
 ]

@@ -86,6 +86,35 @@ class DramTierFailure(FaultEvent):
     """
 
 
+@dataclass(frozen=True)
+class UpdateLogOutage(FaultEvent):
+    """The model-update log is unreachable for the whole window.
+
+    Subscribers cannot read batch payloads while the window is active;
+    replicas keep serving but fall behind the trainer, and the staleness
+    SLO measures by how much.  Control-plane metadata (head offset,
+    latest version) stays visible, so version-lag gauges keep working —
+    the outage is detectable, not silent.
+    """
+
+
+@dataclass(frozen=True)
+class SlowSubscriber(FaultEvent):
+    """A replica's update-apply path runs ``factor`` times slower.
+
+    Models a straggler replica (GC pause, noisy neighbour, PCIe
+    contention): each refresh quantum inside the window costs more
+    device time, so fewer updates fit per idle slot and staleness grows.
+    """
+
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor < 1.0:
+            raise ConfigError("slow-subscriber factor must be >= 1")
+
+
 class FaultSchedule:
     """An immutable, queryable collection of fault events."""
 
@@ -132,6 +161,21 @@ class FaultSchedule:
             e.active(now)
             for e in self.events if isinstance(e, DramTierFailure)
         )
+
+    def update_log_down(self, now: float) -> bool:
+        """Whether the model-update log is inside an outage window."""
+        return any(
+            e.active(now)
+            for e in self.events if isinstance(e, UpdateLogOutage)
+        )
+
+    def subscriber_slow_factor(self, now: float) -> float:
+        """Slowdown multiplier on the update-apply path at ``now``."""
+        active = [
+            e.factor for e in self.events
+            if isinstance(e, SlowSubscriber) and e.active(now)
+        ]
+        return max(active) if active else 1.0
 
     def fault_windows(self) -> List[Tuple[float, float]]:
         """Merged ``(start, end)`` intervals during which any fault is live.

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..coding.layout import FlatKeyCodec
 from ..errors import WorkloadError
+from ..tables.embedding_table import reference_vectors
 from ..workloads.zipf import ZipfSampler
 from .auc import auc_score
 
@@ -153,6 +154,79 @@ class _IdentityCodec:
         return (np.uint64(table_id + 1) << np.uint64(48)) | feature_ids.astype(
             np.uint64
         )
+
+
+def delta_vectors(
+    table_id: int, feature_ids: np.ndarray, dim: int, version: int
+) -> np.ndarray:
+    """Deterministic "retrained" embedding of ``(table, id)`` at a model
+    version.
+
+    Version 0 is the ground truth served by the parameter server
+    (:func:`~repro.tables.embedding_table.reference_vectors`); each later
+    version rotates and shifts it by a version-dependent amount, so two
+    replicas that applied the same version hold bit-identical rows while
+    rows from different versions are guaranteed to differ.  A pure
+    function of its arguments — replay from any point reproduces the
+    exact same bytes.
+    """
+    base = reference_vectors(table_id, feature_ids, dim)
+    if version == 0:
+        return base
+    scale = np.float32(1.0 + 0.25 * ((version % 7) + 1) / 7.0)
+    shift = np.float32(0.001 * version)
+    return (base * scale + shift).astype(np.float32)
+
+
+class EmbeddingDeltaTrainer:
+    """Emits rounds of refreshed embedding rows, one model version each.
+
+    Stands in for the continuous-training side of the system: every call
+    to :meth:`next_round` bumps the model version and "retrains" the rows
+    of a popularity-skewed sample of keys per table (hot keys churn most,
+    exactly the skew the serving cache holds).  Deltas are deterministic
+    in ``(seed, version)`` via :func:`delta_vectors`, so an update stream
+    can be regenerated or audited offline.
+    """
+
+    def __init__(
+        self,
+        corpus_sizes: Sequence[int],
+        dims: Sequence[int],
+        keys_per_round: int = 256,
+        alpha: float = -1.2,
+        seed: int = 0,
+    ):
+        if not corpus_sizes:
+            raise WorkloadError("delta trainer needs at least one table")
+        if len(corpus_sizes) != len(dims):
+            raise WorkloadError("corpus_sizes and dims length mismatch")
+        if keys_per_round < 1:
+            raise WorkloadError("keys_per_round must be >= 1")
+        self.dims = list(dims)
+        self.keys_per_round = int(keys_per_round)
+        self.version = 0
+        self._samplers = [
+            ZipfSampler(size, alpha=alpha, seed=seed * 37 + t)
+            for t, size in enumerate(corpus_sizes)
+        ]
+
+    def next_round(self):
+        """Train one round: returns ``(version, {table: (ids, vectors)})``.
+
+        Sampled IDs are deduplicated within the round (the trainer's own
+        output has no torn rows); the sampler draws with replacement, so
+        hot IDs reappear across rounds.
+        """
+        self.version += 1
+        updates = {}
+        for table_id, sampler in enumerate(self._samplers):
+            ids = np.unique(sampler.sample(self.keys_per_round))
+            vectors = delta_vectors(
+                table_id, ids, self.dims[table_id], self.version
+            )
+            updates[table_id] = (ids, vectors)
+        return self.version, updates
 
 
 class CollisionAucStudy:

@@ -146,3 +146,31 @@ class DramCacheLayer(Observable):
     def resident(self, table_id: int, feature_id: int) -> bool:
         """Whether one (table, id) is currently cached in DRAM."""
         return pack_global_key(table_id, int(feature_id)) in self._entries
+
+    # ---------------------------------------------------------------- refresh
+
+    def refresh(
+        self, table_id: int, feature_ids: np.ndarray, vectors: np.ndarray
+    ) -> int:
+        """Overwrite *resident* rows with refreshed model values in place.
+
+        The model-refresh write-through: rows the DRAM tier holds are
+        updated so a later cache miss faults in the new version, but
+        non-resident keys are **not** admitted (an update is not an
+        access — admitting it would let refresh traffic evict the
+        serving working set) and recency is untouched for the same
+        reason.  Returns the number of rows updated.
+        """
+        spec = self.specs[table_id]
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape != (len(feature_ids), spec.dim):
+            raise WorkloadError("refresh: ids/vectors shape mismatch")
+        updated = 0
+        for fid, row in zip(feature_ids, vectors):
+            key = pack_global_key(table_id, int(fid))
+            if key in self._entries:
+                self._entries[key] = row
+                updated += 1
+        if updated:
+            self.obs.inc("tier.dram_refreshed", updated)
+        return updated

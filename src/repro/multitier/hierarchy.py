@@ -270,6 +270,22 @@ class TieredParameterStore(Observable):
         obs.inc("tier.dram_misses", self.dram.misses - before_m)
         return vectors, fetch_time
 
+    # ---------------------------------------------------------------- refresh
+
+    def apply_update(
+        self, table_id: int, feature_ids: np.ndarray, vectors: np.ndarray
+    ) -> int:
+        """Model-refresh write-through: update resident DRAM rows in place.
+
+        Called by the refresh subscriber so a key that is evicted from
+        the GPU cache and later refetched comes back at the new model
+        version instead of resurrecting a stale row.  Non-resident keys
+        are untouched (see :meth:`DramCacheLayer.refresh`); the remote
+        tier is the trainer's own parameter server and needs no write.
+        Returns the number of DRAM rows updated.
+        """
+        return self.dram.refresh(table_id, feature_ids, vectors)
+
     # ------------------------------------------------------------------ query
 
     def query(

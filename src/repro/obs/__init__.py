@@ -10,6 +10,7 @@ from .alerts import (
     BurnRateRule,
     Slo,
     SloEngine,
+    default_refresh_slos,
     default_serving_slos,
 )
 from .exposition import (
@@ -51,6 +52,7 @@ __all__ = [
     "WORKLOAD_SERIES",
     "WindowRecord",
     "WindowedCollector",
+    "default_refresh_slos",
     "default_serving_slos",
     "install_conservation_laws",
     "jensen_shannon",

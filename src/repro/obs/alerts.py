@@ -293,3 +293,32 @@ def default_serving_slos(sla_budget: float) -> SloEngine:
                      lookback=2, threshold=10.0, resolve_after=3),
     ]
     return SloEngine(slos, rules)
+
+
+def default_refresh_slos(
+    sla_budget: float, staleness_objective: float = 0.95
+) -> SloEngine:
+    """The serving catalogue plus the model-staleness SLO.
+
+    * everything :func:`default_serving_slos` declares, and
+    * ``staleness`` — at least ``staleness_objective`` of windows must
+      close with the replica's model-version lag inside the collector's
+      ``staleness_versions`` budget (the ``refresh_stale`` /
+      ``refresh_observed`` series).  A fast burn rule fires on a stuck
+      update stream — e.g. an :class:`~repro.faults.schedule.UpdateLogOutage`
+      — and resolves once the replica catches back up.
+
+    Pair with a :class:`~repro.obs.timeseries.WindowedCollector`
+    constructed with ``staleness_versions`` set, or the staleness series
+    never exist and the SLO stays silent.
+    """
+    base = default_serving_slos(sla_budget)
+    slos = list(base.slos.values()) + [
+        Slo("staleness", objective=staleness_objective,
+            bad_series="refresh_stale", total_series="refresh_observed"),
+    ]
+    rules = list(base.rules) + [
+        BurnRateRule("staleness-fast", "staleness",
+                     lookback=2, threshold=10.0, resolve_after=3),
+    ]
+    return SloEngine(slos, rules)

@@ -329,6 +329,18 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels: object) -> float:
         return self._gauges.get((name, _labelset(labels)), 0.0)
 
+    def has_prefix(self, prefix: str) -> bool:
+        """Whether any counter or gauge name starts with ``prefix``.
+
+        Lets optional-subsystem consumers (e.g. the windowed collector's
+        refresh series) detect activity without creating metric keys —
+        reading through :meth:`gauge`/:meth:`total` cannot distinguish
+        "absent" from "zero".
+        """
+        return any(
+            n.startswith(prefix) for (n, _) in self._counters
+        ) or any(n.startswith(prefix) for (n, _) in self._gauges)
+
     def histogram(self, name: str, **labels: object) -> HistogramStats:
         return self._histograms.get((name, _labelset(labels)), HistogramStats())
 
@@ -457,6 +469,22 @@ def install_conservation_laws(registry: MetricsRegistry) -> MetricsRegistry:
         ["serving.degraded_requests"], ["serving.requests"], op="<=")
     # Reduction-cache memoisation.
     add("memo.lookup-conservation", ["memo.queries"], ["memo.hits", "memo.misses"])
+    # Model refresh.  Apply-split: every key a subscriber applied landed in
+    # exactly one UpdateOutcome bucket.  Publish-coalesce: every key the
+    # trainer staged was published, squashed by a newer write for the same
+    # key, or is still in the staging buffer (a gauge the publisher's audit
+    # hook refreshes).  The end-to-end stream law — published = carried +
+    # applied + dropped-by-retention + pending — is per-replica state and
+    # is audited by the subscriber's ``refresh.stream-conservation`` hook.
+    add("refresh.apply-split",
+        ["refresh.applied_keys"],
+        ["refresh.refreshed_keys", "refresh.invalidated_keys",
+         "refresh.skipped_pointer_keys", "refresh.untracked_keys",
+         "refresh.duplicate_keys"])
+    add("refresh.publish-coalesce",
+        ["refresh.staged_keys"],
+        ["refresh.published_keys", "refresh.coalesced_writes",
+         "refresh.buffered_keys"])
     return registry
 
 

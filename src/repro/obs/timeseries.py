@@ -135,6 +135,10 @@ class WindowedCollector:
             is flagged as a working-set shift.
         engine: optional :class:`~repro.obs.alerts.SloEngine`, evaluated
             at every window close.
+        staleness_versions: model-version-lag budget; enables the
+            ``refresh_stale`` / ``refresh_observed`` series a staleness
+            SLO burns against (a window is *stale* when the replica's
+            version lag exceeds the budget at the window close).
     """
 
     def __init__(
@@ -144,6 +148,7 @@ class WindowedCollector:
         sla_budget: Optional[float] = None,
         drift_threshold: float = 0.08,
         engine=None,
+        staleness_versions: Optional[float] = None,
     ) -> None:
         if window <= 0:
             raise ConfigError("collector window must be positive")
@@ -151,11 +156,18 @@ class WindowedCollector:
             raise ConfigError("collector capacity must be >= 1")
         if sla_budget is not None and sla_budget <= 0:
             raise ConfigError("SLA budget must be positive")
+        if staleness_versions is not None and staleness_versions < 0:
+            raise ConfigError("staleness budget must be >= 0")
         self.window = float(window)
         self.capacity = int(capacity)
         self.sla_budget = sla_budget
         self.drift_threshold = float(drift_threshold)
         self.engine = engine
+        self.staleness_versions = staleness_versions
+        #: Latches once any ``refresh.*`` metric appears in the registry;
+        #: the refresh series are emitted only then, so runs without the
+        #: refresh subsystem produce byte-identical ``series.json``.
+        self._refresh_seen = False
         self.windows: Deque[WindowRecord] = deque(maxlen=self.capacity)
         #: ``(window index, divergence)`` of every flagged working-set shift.
         self.drift_events: List[Tuple[int, float]] = []
@@ -197,6 +209,7 @@ class WindowedCollector:
         self._index = 0
         self.watermark = start
         self._last_dist = None
+        self._refresh_seen = False
 
     def begin_run(self, first_arrival: float) -> None:
         """Align the collector with a serving run starting at
@@ -389,6 +402,31 @@ class WindowedCollector:
                 count / denominator if denominator else nan
             )
 
+        # Model-refresh stream: emitted only once any refresh.* metric
+        # exists, so refresh-free runs keep byte-identical series.
+        if not self._refresh_seen and self._registry.has_prefix("refresh."):
+            self._refresh_seen = True
+        if self._refresh_seen:
+            applied = self._acc_total("refresh.applied_keys")
+            values["refresh_applied_keys"] = applied
+            values["refresh_published_keys"] = self._acc_total(
+                "refresh.published_keys"
+            )
+            values["refresh_dropped_keys"] = self._acc_total(
+                "refresh.dropped_keys"
+            )
+            values["refresh_apply_rate"] = applied / span if span > 0 else nan
+            lag = self._registry.gauge("refresh.version_lag")
+            values["refresh_version_lag"] = lag
+            values["refresh_staleness_s"] = self._registry.gauge(
+                "refresh.staleness_s"
+            )
+            if self.staleness_versions is not None:
+                values["refresh_observed"] = 1.0
+                values["refresh_stale"] = (
+                    1.0 if lag > self.staleness_versions else 0.0
+                )
+
         # Hotspot drift: per-table hit distribution when the backend
         # attributes hits to tables, else the per-table traffic itself.
         dist = table_hits if sum(table_hits.values()) > 0 else table_lookups
@@ -427,6 +465,10 @@ class WindowedCollector:
                 self.sla_budget if self.sla_budget is not None else float("nan")
             ),
             "drift_threshold": self.drift_threshold,
+            "staleness_versions": _sanitize(
+                self.staleness_versions
+                if self.staleness_versions is not None else float("nan")
+            ),
             "closed_windows": self.closed_windows,
             "drift_events": [
                 {"window": index, "divergence": score}

@@ -1,0 +1,34 @@
+"""Online model-refresh: versioned update streaming, trainer to replicas.
+
+The pieces, in stream order:
+
+* :class:`~repro.refresh.log.UpdateLog` — append-only, offset-addressed
+  log of model-version-stamped delta batches with bounded retention and
+  deterministic replay;
+* :class:`~repro.refresh.publisher.UpdatePublisher` — trainer-side
+  staging with per-key last-write-wins coalescing;
+* :class:`~repro.refresh.subscriber.UpdateSubscriber` — per-replica
+  consumer applying batches to the GPU flat cache (write-through to the
+  multitier host store), tracking applied offset/version, recovering via
+  snapshot + replay;
+* :class:`~repro.refresh.scheduler.RefreshScheduler` — interleaves
+  bounded update quanta into serving-idle device time so refresh traffic
+  cannot blow the latency SLA.
+
+See ``docs/updates.md`` for the architecture and consistency model.
+"""
+
+from .log import DeltaBatch, TableDelta, UpdateLog
+from .publisher import UpdatePublisher
+from .scheduler import RefreshScheduler
+from .subscriber import UpdateSubscriber, fingerprint
+
+__all__ = [
+    "DeltaBatch",
+    "RefreshScheduler",
+    "TableDelta",
+    "UpdateLog",
+    "UpdatePublisher",
+    "UpdateSubscriber",
+    "fingerprint",
+]

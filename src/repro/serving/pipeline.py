@@ -236,6 +236,12 @@ class PipelinedInferenceServer(InferenceServer):
             collector.begin_run(min(r.arrival_time for r in requests))
 
         n = len(batches)
+        #: Latest occupied instant across every shared resource; the gap
+        #: up to the next dispatch is a provably idle slot the refresher
+        #: may fill.  Refresh work is hard-capped at the dispatch instant
+        #: (the scheduler is idle-bounded here), so serving timing with a
+        #: refresher differs from without only through cache *contents*.
+        busy_until = 0.0
         finish_times = [0.0] * n
         probabilities: List[Optional[np.ndarray]] = [None] * n
         in_flight: List[_InFlightBatch] = []
@@ -294,6 +300,10 @@ class PipelinedInferenceServer(InferenceServer):
                 if chosen is None or key < chosen_key:
                     chosen, chosen_key, chosen_start = flight, key, candidate
 
+            if self.refresher is not None and chosen_start > busy_until:
+                self.refresher.run_idle(busy_until, chosen_start)
+                busy_until = chosen_start
+
             lane = f"lane{chosen.index % self.depth}"
             if chosen.start is None:
                 # First stage: the wait for a free host thread is absorbed
@@ -326,6 +336,7 @@ class PipelinedInferenceServer(InferenceServer):
             end = chosen.start + (chosen.stall + chosen.executor.elapsed())
             for name in needs:
                 resources[name].occupy(chosen_start, end)
+            busy_until = max(busy_until, end)
             chosen.ready_at = end
             self._trace_span(lane, chosen.index, stage_name, chosen_start, end)
             if obs.total("tier.degraded_keys") > degraded_before:
@@ -374,6 +385,10 @@ class PipelinedInferenceServer(InferenceServer):
             for owner in unretired:
                 coalescer.retire(owner)
             unretired = []
+        if self.refresher is not None:
+            # Close the books: staleness gauges reflect the run's end even
+            # when the pipeline never left an idle slot.
+            self.refresher.subscriber.refresh_gauges(max(finish_times))
         if collector is not None:
             collector.flush(max(finish_times))
 

@@ -147,11 +147,18 @@ class InferenceServer:
         include_dense: bool = False,
         tracer: Optional[SpanTracer] = None,
         collector: Optional[WindowedCollector] = None,
+        refresher=None,
     ):
         self.dataset = dataset
         self.scheme = scheme
         self.hw = hw
         self.policy = policy or BatchingPolicy()
+        #: optional :class:`~repro.refresh.scheduler.RefreshScheduler`;
+        #: when set, model-update quanta run in the gaps between batches
+        #: (idle-bounded unless the scheduler is aggressive, in which
+        #: case an overrunning quantum delays the next batch — the
+        #: sequential loop makes that SLA cost measurable).
+        self.refresher = refresher
         #: optional serving-level span tracer (one span per batch stage on
         #: the absolute simulated clock; exports Chrome trace JSON).
         self.tracer = tracer
@@ -305,6 +312,9 @@ class InferenceServer:
         probabilities: List[np.ndarray] = []
         for i, batch in enumerate(batches):
             start = max(batch.formed_at, gpu_free_at)
+            if self.refresher is not None:
+                busy_until = self.refresher.run_idle(gpu_free_at, start)
+                start = max(start, busy_until)
             degraded_before = obs.total("tier.degraded_keys")
             executor.reset()
             _, batch_probs, service_time = self._run_traced_batch(

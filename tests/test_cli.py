@@ -104,6 +104,31 @@ class TestCommands:
         assert match, out
         # The server is closed after --hold; the URL format is the check.
 
+    def test_refresh_replay_converges(self, capsys):
+        rc = main([
+            "refresh", "replay", "--rounds", "4", "--corpus", "2000",
+            "--tables", "2", "--keys-per-round", "32",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "yes" in out
+
+    def test_refresh_status_reports_lag(self, capsys):
+        rc = main([
+            "refresh", "status", "--rounds", "4", "--corpus", "2000",
+            "--tables", "2", "--keys-per-round", "32",
+            "--applied-rounds", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "log.latest_version" in out
+        assert "replica.version_lag" in out
+
+    def test_refresh_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["refresh"])
+
     def test_obs_render_round_trips(self, tmp_path, monkeypatch, capsys):
         from repro.bench import reporting
         from repro.obs import MetricsRegistry, parse_openmetrics

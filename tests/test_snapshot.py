@@ -52,6 +52,26 @@ class TestSnapshot:
         assert loaded.num_entries == snap.num_entries
         assert loaded.key_bits == snap.key_bits
 
+    def test_stream_position_defaults(self):
+        cache = build_cache()
+        cache.tick()
+        fill(cache, 0, [1])
+        snap = snapshot(cache)
+        assert snap.model_version == 0
+        assert snap.log_offset == -1
+
+    def test_stream_position_roundtrip(self):
+        from repro.core.snapshot import SNAPSHOT_VERSION
+
+        assert SNAPSHOT_VERSION == 2
+        cache = build_cache()
+        cache.tick()
+        fill(cache, 0, [1])
+        snap = snapshot(cache, model_version=7, log_offset=42)
+        loaded = CacheSnapshot.from_bytes(snap.to_bytes())
+        assert loaded.model_version == 7
+        assert loaded.log_offset == 42
+
     def test_version_checked(self):
         cache = build_cache()
         cache.tick()

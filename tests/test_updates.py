@@ -108,6 +108,33 @@ class TestUpdateApplier:
             applier.apply(0, np.array([1], np.uint64),
                           np.zeros((1, 8), np.float32))
 
+    def test_duplicate_ids_last_write_wins(self, cache):
+        keys = _fill(cache, 0, [4])
+        applier = UpdateApplier(cache)
+        rows = np.stack([
+            np.full(16, 1.0, np.float32), np.full(16, 2.0, np.float32),
+        ])
+        outcome = applier.apply(0, np.array([4, 4], np.uint64), rows)
+        assert outcome.duplicates == 1
+        assert outcome.refreshed == 1
+        got = cache.gather(cache.index_lookup(keys).locations)
+        np.testing.assert_array_equal(got, rows[1:])
+
+    def test_outcome_partitions_the_batch(self, cache):
+        _fill(cache, 1, [1])
+        cache.publish_dram_pointers(
+            cache.encode(1, np.array([2], np.uint64)),
+            np.array([2], np.uint64),
+        )
+        applier = UpdateApplier(cache)
+        features = np.array([1, 2, 3, 3], np.uint64)
+        outcome = applier.apply(1, features, np.zeros((4, 16), np.float32))
+        assert (
+            outcome.refreshed + outcome.pointers_invalidated
+            + outcome.pointers_skipped + outcome.untracked
+            + outcome.duplicates
+        ) == len(features)
+
     def test_subsequent_queries_serve_fresh_values(self, cache):
         """Coherence end to end: after an update, hits return new rows."""
         features = np.arange(10, dtype=np.uint64)
