@@ -190,7 +190,7 @@ def check_refresh_sweep(cells, baselines,
 
 
 def emit_refresh_sweep(cells, baselines, aggressive,
-                       rates=RATES, quanta=QUANTA):
+                       rates=RATES, quanta=QUANTA, runtime_s=None):
     """Text table + BENCH_refresh.json from the sweep summaries."""
     rows = []
     payload_cells = {}
@@ -224,7 +224,7 @@ def emit_refresh_sweep(cells, baselines, aggressive,
               "(quantum x rate sweep, pipelined depth 2)",
     )
     emit("refresh_sweep", report)
-    emit_json("BENCH_refresh", {
+    artifact = {
         "sla_budget_s": SLA_BUDGET,
         "reference_rate_rps": REFERENCE_RATE,
         "reference_quantum": REFERENCE_QUANTUM,
@@ -233,7 +233,10 @@ def emit_refresh_sweep(cells, baselines, aggressive,
         "baselines": {str(rate): s for rate, s in baselines.items()},
         "cells": payload_cells,
         "aggressive": aggressive,
-    })
+    }
+    if runtime_s is not None:
+        artifact["runtime_s"] = runtime_s
+    emit_json("BENCH_refresh", artifact)
 
 
 def test_refresh_sla_tradeoff(hw, run_once):
@@ -244,6 +247,7 @@ def test_refresh_sla_tradeoff(hw, run_once):
 
 def main(argv=None):
     import argparse
+    import time
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -255,6 +259,7 @@ def main(argv=None):
     from repro import default_platform
 
     hw = default_platform()
+    started = time.perf_counter()
     if args.smoke:
         rates = (REFERENCE_RATE, 800_000)
         quanta = (128, REFERENCE_QUANTUM)
@@ -265,7 +270,8 @@ def main(argv=None):
         rates, quanta = RATES, QUANTA
         cells, baselines, aggressive = run_refresh_sweep(hw)
     emit_refresh_sweep(cells, baselines, aggressive, rates=rates,
-                       quanta=quanta)
+                       quanta=quanta,
+                       runtime_s=time.perf_counter() - started)
     check_refresh_sweep(cells, baselines)
     print("\nrefresh sweep OK "
           f"({'smoke' if args.smoke else 'full'} mode)")

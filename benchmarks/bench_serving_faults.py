@@ -23,6 +23,7 @@ replay — to the exact cache contents of a replica that never died.
 """
 
 from repro import FlecheConfig
+from repro.bench.harness import alert_timing, fault_window, shard_outage_events
 from repro.bench.reporting import emit, format_table, format_time
 from repro.obs import (
     WindowedCollector,
@@ -36,7 +37,6 @@ from repro.faults import (
     FaultInjector,
     FaultSchedule,
     RetryPolicy,
-    ShardOutage,
     UpdateLogOutage,
 )
 from repro.model.trainer import EmbeddingDeltaTrainer
@@ -98,12 +98,8 @@ def _serve_under_outage(
     an SLO engine attached) turns the run into windowed series so
     burn-rate alerts can time-stamp the outage's detection and recovery.
     """
-    duration = outage_fraction * HORIZON
-    start = 0.4 * HORIZON
-    events = [
-        ShardOutage(shard=s, start=start, duration=duration)
-        for s in range(NUM_SHARDS)
-    ] if duration > 0 else []
+    start, duration, _ = fault_window(HORIZON, 0.4, outage_fraction)
+    events = shard_outage_events(NUM_SHARDS, start, duration)
     remote = RemoteParameterServer(
         dataset.table_specs(),
         injector=FaultInjector(FaultSchedule(events), seed=17),
@@ -263,8 +259,9 @@ def run_detection_sweep(hw, fractions=(0.1, 0.2, 0.4), policies=None):
     )
     results = []
     for fraction in fractions:
-        outage_start = 0.4 * HORIZON
-        outage_end = outage_start + fraction * HORIZON
+        outage_start, outage_duration, outage_end = fault_window(
+            HORIZON, 0.4, fraction
+        )
         for policy in policies:
             engine = default_serving_slos(SLA_BUDGET)
             collector = WindowedCollector(
@@ -273,15 +270,13 @@ def run_detection_sweep(hw, fractions=(0.1, 0.2, 0.4), policies=None):
             _serve_under_outage(
                 hw, dataset, fraction, policy, collector=collector,
             )
+            timing = alert_timing(engine.alerts, outage_start, outage_end)
             results.append({
                 "outage_fraction": fraction,
                 "policy": policy,
                 "outage_start_s": outage_start,
-                "outage_duration_s": fraction * HORIZON,
-                "ttd_s": engine.time_to_detect(outage_start),
-                "ttr_s": engine.time_to_recover(outage_end),
-                "alerts": len(engine.alerts),
-                "firing_at_end": [a.rule for a in engine.firing],
+                "outage_duration_s": outage_duration,
+                **timing,
             })
     return results
 
@@ -314,7 +309,7 @@ def check_detection_sweep(results):
     for r in results:
         assert r["ttd_s"] is not None, r
         assert r["ttd_s"] < r["outage_duration_s"], r
-        assert not r["firing_at_end"], r
+        assert not r["unresolved"], r
         assert r["ttr_s"] is not None, r
 
 
@@ -404,10 +399,7 @@ def run_refresh_outage_study(hw, outage_fraction=0.3, rounds=REFRESH_ROUNDS):
     report = server.serve(requests)
 
     stale_hist = engine.history("staleness-fast")
-    fired = [a.fired_at - outage_start for a in stale_hist
-             if a.fired_at >= outage_start]
-    resolved = [a.resolved_at - outage_end for a in stale_hist
-                if a.resolved_at is not None and a.resolved_at >= outage_end]
+    timing = alert_timing(stale_hist, outage_start, outage_end)
     return {
         "outage_start_s": outage_start,
         "outage_duration_s": outage_duration,
@@ -415,12 +407,10 @@ def run_refresh_outage_study(hw, outage_fraction=0.3, rounds=REFRESH_ROUNDS):
         "applied_keys": int(report.metrics.total("refresh.applied_keys")),
         "outage_polls": int(report.metrics.total("refresh.outage_polls")),
         "final_version_lag": subscriber.version_lag(HORIZON),
-        "ttd_s": min(fired) if fired else None,
-        "ttr_s": max(resolved) if resolved else None,
-        "early_alerts": sum(
-            1 for a in stale_hist if a.fired_at < outage_start
-        ),
-        "stale_alerts": len(stale_hist),
+        "ttd_s": timing["ttd_s"],
+        "ttr_s": timing["ttr_s"],
+        "early_alerts": timing["early_alerts"],
+        "stale_alerts": timing["alerts"],
         "unresolved": [a.rule for a in engine.firing],
         "sla_attainment": report.sla_attainment(SLA_BUDGET),
     }

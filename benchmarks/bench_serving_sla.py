@@ -215,7 +215,7 @@ def check_depth_sweep(summaries, checks, depths=SWEEP_DEPTHS):
     assert total_coalesced > 0
 
 
-def emit_depth_sweep(summaries, depths=SWEEP_DEPTHS):
+def emit_depth_sweep(summaries, depths=SWEEP_DEPTHS, runtime_s=None):
     """Text table + BENCH_serving.json from depth-sweep summaries."""
     rows = []
     payload = {}
@@ -236,12 +236,15 @@ def emit_depth_sweep(summaries, depths=SWEEP_DEPTHS):
         ),
     )
     emit("serving_pipeline_depth", report)
-    emit_json("BENCH_serving", {
+    artifact = {
         "sla_budget_s": SLA_BUDGET,
         "offered_rate_rps": SATURATING_RATE,
         "depths": list(depths),
         "replicas": payload,
-    })
+    }
+    if runtime_s is not None:
+        artifact["runtime_s"] = runtime_s
+    emit_json("BENCH_serving", artifact)
 
 
 def test_serving_pipeline_depth_sweep(hw, run_once):
@@ -327,6 +330,7 @@ def test_serving_observability_artifacts(hw, run_once):
 
 def main(argv=None):
     import argparse
+    import time
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -338,6 +342,7 @@ def main(argv=None):
     from repro import default_platform
 
     hw = default_platform()
+    started = time.perf_counter()
     if args.smoke:
         depths = (1, 2)
         summaries, checks = run_depth_sweep(
@@ -346,7 +351,10 @@ def main(argv=None):
     else:
         depths = SWEEP_DEPTHS
         summaries, checks = run_depth_sweep(hw, depths=depths)
-    emit_depth_sweep(summaries, depths=depths)
+    emit_depth_sweep(
+        summaries, depths=depths,
+        runtime_s=time.perf_counter() - started,
+    )
     check_depth_sweep(summaries, checks, depths=depths)
     report, tracer, collector = run_traced_observability(
         hw, num_requests=800 if args.smoke else 2_000

@@ -13,7 +13,16 @@ covers the model-refresh sweep (``bench_refresh.py --smoke`` output):
 per (rate x quantum) cell, SLA attainment within the absolute tolerance
 and the sustained update-apply rate within the relative one — so neither
 "refresh got slower" nor "refresh started hurting serving" can land
-silently.
+silently.  Likewise for ``BENCH_cluster_baseline.json`` and the cluster
+drill (``bench_cluster.py --smoke`` output): per sweep cell and for the
+routed/unrouted drill, SLA attainment within the absolute tolerance.
+
+Every artifact that carries a ``runtime_s`` stamp is also gated on
+wall-clock runtime: the candidate must finish within
+``RUNTIME_TOLERANCE`` x the pinned baseline runtime, so a bench that
+silently got 10x slower fails CI exactly like an SLA regression.  The
+factor is deliberately loose — it absorbs CI-machine variance, not
+algorithmic blow-ups.
 
 Usage::
 
@@ -22,7 +31,10 @@ Usage::
         [--candidate benchmarks/results/BENCH_serving.json] \
         [--refresh-baseline benchmarks/results/BENCH_refresh_baseline.json] \
         [--refresh-candidate benchmarks/results/BENCH_refresh.json] \
-        [--rel-tolerance 0.15] [--abs-sla-tolerance 0.05]
+        [--cluster-baseline benchmarks/results/BENCH_cluster_baseline.json] \
+        [--cluster-candidate benchmarks/results/BENCH_cluster.json] \
+        [--rel-tolerance 0.15] [--abs-sla-tolerance 0.05] \
+        [--runtime-tolerance 5.0]
 
 Exit status 0 when every cell is within tolerance, 1 otherwise.
 """
@@ -36,6 +48,9 @@ from repro.bench.reporting import format_table, load_artifact
 REL_TOLERANCE = 0.15
 #: Absolute tolerance on SLA attainment (a fraction in [0, 1]).
 ABS_SLA_TOLERANCE = 0.05
+#: Candidate wall-clock runtime may be at most this multiple of the
+#: pinned baseline runtime (one-sided: getting faster never fails).
+RUNTIME_TOLERANCE = 5.0
 
 #: (metric key, kind) pairs compared per (replica, server) cell.
 CHECKED_METRICS = (
@@ -135,6 +150,91 @@ def compare_refresh(baseline: dict, candidate: dict,
     return rows, violations
 
 
+def runtime_gate(baseline: dict, candidate: dict, label: str,
+                 runtime_tolerance: float = RUNTIME_TOLERANCE):
+    """One-sided wall-clock gate; returns (rows, violations).
+
+    Applies only when the baseline carries a ``runtime_s`` stamp; a
+    stamped baseline with an unstamped candidate is a violation (the
+    stamp must not silently disappear).  Getting faster never fails.
+    """
+    base = baseline.get("runtime_s")
+    if base is None:
+        return [], []
+    cand = candidate.get("runtime_s")
+    if cand is None:
+        return [], [f"{label}: baseline has runtime_s but candidate lost it"]
+    limit = float(base) * runtime_tolerance
+    ok = float(cand) <= limit
+    rows = [[
+        label, "-", "runtime_s", f"{float(base):.4g}", f"{float(cand):.4g}",
+        f"limit {limit:.4g}s", "ok" if ok else "FAIL",
+    ]]
+    violations = [] if ok else [
+        f"{label}/runtime_s: baseline {float(base):.3g}s -> candidate "
+        f"{float(cand):.3g}s (over {runtime_tolerance:.1f}x budget)"
+    ]
+    return rows, violations
+
+
+#: (payload path, kind) pairs compared for the cluster drill artifact.
+CLUSTER_SWEEP_METRICS = (("sla_attainment", "abs"),)
+CLUSTER_DRILL_METRICS = (
+    ("routed_sla", "abs"),
+    ("unrouted_sla", "abs"),
+    ("post_rejoin_sla", "abs"),
+)
+
+
+def compare_cluster(baseline: dict, candidate: dict,
+                    abs_sla_tolerance: float = ABS_SLA_TOLERANCE):
+    """Compare two BENCH_cluster payloads; returns (rows, violations).
+
+    Gates the fault-free sweep cells and the kill-drill headline SLAs.
+    Missing candidate cells are violations; extra cells are ignored.
+    """
+    rows = []
+    violations = []
+
+    def check(section, key, metric, base, cand):
+        drift = cand - base
+        ok = abs(drift) <= abs_sla_tolerance
+        rows.append([
+            section, key, metric, f"{base:.4g}", f"{cand:.4g}",
+            f"{drift:+.3f}", "ok" if ok else "FAIL",
+        ])
+        if not ok:
+            violations.append(
+                f"{section}/{key}/{metric}: baseline {base:.4g} -> "
+                f"candidate {cand:.4g} ({drift:+.3f} outside tolerance)"
+            )
+
+    for key, base_cell in sorted(baseline.get("sweep", {}).items()):
+        cand_cell = candidate.get("sweep", {}).get(key)
+        if cand_cell is None:
+            violations.append(f"sweep/{key}: missing from candidate")
+            continue
+        for metric, _ in CLUSTER_SWEEP_METRICS:
+            check("sweep", key, metric,
+                  float(base_cell[metric]), float(cand_cell[metric]))
+
+    base_drill = baseline.get("drill", {})
+    cand_drill = candidate.get("drill", {})
+    for metric, _ in CLUSTER_DRILL_METRICS:
+        if metric not in base_drill:
+            continue
+        if metric not in cand_drill:
+            violations.append(f"drill/{metric}: missing from candidate")
+            continue
+        check("drill", metric, metric,
+              float(base_drill[metric]), float(cand_drill[metric]))
+
+    determinism = candidate.get("determinism", {})
+    if determinism and not determinism.get("identical", False):
+        violations.append("drill replay was not byte-identical")
+    return rows, violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -151,9 +251,20 @@ def main(argv=None) -> int:
         "--refresh-candidate",
         default="benchmarks/results/BENCH_refresh.json",
     )
+    parser.add_argument(
+        "--cluster-baseline",
+        default="benchmarks/results/BENCH_cluster_baseline.json",
+    )
+    parser.add_argument(
+        "--cluster-candidate",
+        default="benchmarks/results/BENCH_cluster.json",
+    )
     parser.add_argument("--rel-tolerance", type=float, default=REL_TOLERANCE)
     parser.add_argument(
         "--abs-sla-tolerance", type=float, default=ABS_SLA_TOLERANCE
+    )
+    parser.add_argument(
+        "--runtime-tolerance", type=float, default=RUNTIME_TOLERANCE
     )
     args = parser.parse_args(argv)
 
@@ -164,6 +275,12 @@ def main(argv=None) -> int:
         rel_tolerance=args.rel_tolerance,
         abs_sla_tolerance=args.abs_sla_tolerance,
     )
+    runtime_rows, runtime_violations = runtime_gate(
+        baseline, candidate, "serving",
+        runtime_tolerance=args.runtime_tolerance,
+    )
+    rows.extend(runtime_rows)
+    violations.extend(runtime_violations)
     print(format_table(
         ["replica", "server", "metric", "baseline", "candidate", "drift",
          "status"],
@@ -177,13 +294,20 @@ def main(argv=None) -> int:
     import os
 
     if os.path.exists(args.refresh_baseline):
+        refresh_baseline = load_artifact(args.refresh_baseline)
+        refresh_candidate = load_artifact(args.refresh_candidate)
         refresh_rows, refresh_violations = compare_refresh(
-            load_artifact(args.refresh_baseline),
-            load_artifact(args.refresh_candidate),
+            refresh_baseline, refresh_candidate,
             rel_tolerance=args.rel_tolerance,
             abs_sla_tolerance=args.abs_sla_tolerance,
         )
+        runtime_rows, runtime_violations = runtime_gate(
+            refresh_baseline, refresh_candidate, "refresh",
+            runtime_tolerance=args.runtime_tolerance,
+        )
+        refresh_rows.extend(runtime_rows)
         violations.extend(refresh_violations)
+        violations.extend(runtime_violations)
         print()
         print(format_table(
             ["section", "cell", "metric", "baseline", "candidate", "drift",
@@ -198,6 +322,35 @@ def main(argv=None) -> int:
     else:
         print(f"\nno refresh baseline at {args.refresh_baseline}; "
               "refresh gate skipped")
+
+    if os.path.exists(args.cluster_baseline):
+        cluster_baseline = load_artifact(args.cluster_baseline)
+        cluster_candidate = load_artifact(args.cluster_candidate)
+        cluster_rows, cluster_violations = compare_cluster(
+            cluster_baseline, cluster_candidate,
+            abs_sla_tolerance=args.abs_sla_tolerance,
+        )
+        runtime_rows, runtime_violations = runtime_gate(
+            cluster_baseline, cluster_candidate, "cluster",
+            runtime_tolerance=args.runtime_tolerance,
+        )
+        cluster_rows.extend(runtime_rows)
+        violations.extend(cluster_violations)
+        violations.extend(runtime_violations)
+        print()
+        print(format_table(
+            ["section", "cell", "metric", "baseline", "candidate", "drift",
+             "status"],
+            cluster_rows,
+            title=(
+                "Cluster drill regression gate "
+                f"(SLA ±{args.abs_sla_tolerance:.2f}, "
+                f"runtime {args.runtime_tolerance:.1f}x)"
+            ),
+        ))
+    else:
+        print(f"\nno cluster baseline at {args.cluster_baseline}; "
+              "cluster gate skipped")
 
     if violations:
         print("\nREGRESSIONS:", file=sys.stderr)

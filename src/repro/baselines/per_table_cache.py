@@ -30,7 +30,7 @@ from ..hashindex.slab_hash import SlabHashIndex
 from ..tables.store import EmbeddingStore
 from ..workloads.trace import TraceBatch
 from ..core.cache_base import CacheQueryResult, EmbeddingCacheScheme
-from ..core.workflow import coupled_query_kernel_spec, _index_kernel_spec, _copy_kernel_spec
+from ..core.workflow import coupled_query_kernel_spec
 
 #: Host cost of deduplicating one key on the CPU (hash-set insert).
 _HOST_DEDUP_COST_PER_KEY = 4e-9

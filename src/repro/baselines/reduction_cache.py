@@ -14,7 +14,7 @@ eviction, and reports how many DRAM/cache lookups the memo hits saved.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

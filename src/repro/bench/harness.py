@@ -167,3 +167,84 @@ def sweep(
             for name in scheme_names
         }
     return results
+
+
+# --------------------------------------------------------------------------
+# Drill harness: fault-window setup, alert timing, deterministic artifacts.
+# Shared by bench_serving_faults.py and bench_cluster.py so every chaos
+# drill measures detection/recovery the same way and emits comparable,
+# byte-stable artifacts.
+
+def fault_window(
+    horizon: float, start_fraction: float, duration_fraction: float
+) -> "tuple[float, float, float]":
+    """Place one fault window inside a run: ``(start, duration, end)``.
+
+    Fractions are of ``horizon``; a zero duration returns an empty
+    window (``duration == 0``) the caller can treat as fault-free.
+    """
+    start = start_fraction * horizon
+    duration = duration_fraction * horizon
+    return start, duration, start + duration
+
+
+def shard_outage_events(num_shards: int, start: float, duration: float):
+    """One :class:`~repro.faults.schedule.ShardOutage` per shard, or an
+    empty list when ``duration`` is zero (the fault-free control)."""
+    from ..faults.schedule import ShardOutage
+
+    if duration <= 0:
+        return []
+    return [
+        ShardOutage(shard=shard, start=start, duration=duration)
+        for shard in range(num_shards)
+    ]
+
+
+def alert_timing(alerts, event_start: float, event_end: float) -> dict:
+    """Score a list of :class:`~repro.obs.alerts.Alert` against a known
+    fault window.
+
+    Returns time-to-detect (first alert fired at/after onset),
+    time-to-recover (last alert resolved after the window cleared, or
+    ``None`` while any alert is still firing), the count of alerts fired
+    *before* the fault existed (false positives — drills assert zero),
+    and which rules remain unresolved.
+    """
+    fired = [
+        a.fired_at - event_start for a in alerts
+        if a.fired_at >= event_start
+    ]
+    resolved = [
+        a.resolved_at - event_end for a in alerts
+        if a.resolved_at is not None and a.resolved_at >= event_end
+    ]
+    unresolved = sorted({a.rule for a in alerts if a.resolved_at is None})
+    return {
+        "ttd_s": min(fired) if fired else None,
+        "ttr_s": max(resolved) if (resolved and not unresolved) else None,
+        "early_alerts": sum(1 for a in alerts if a.fired_at < event_start),
+        "alerts": len(alerts),
+        "unresolved": unresolved,
+    }
+
+
+def canonical_json(payload) -> str:
+    """The byte-stable JSON encoding drill determinism is judged on."""
+    import json
+
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def payload_digest(payload) -> str:
+    """sha256 over :func:`canonical_json` — the report hash drills pin."""
+    import hashlib
+
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def emit_drill(name: str, text: str, payload) -> "tuple[str, str]":
+    """Emit a drill's human table + JSON artifact; returns their paths."""
+    from .reporting import emit, emit_json
+
+    return emit(name, text), emit_json(name, payload)

@@ -136,8 +136,6 @@ def _cmd_throughput(args) -> int:
 
 
 def _cmd_fusion(args) -> int:
-    import numpy as np
-
     from .tables.store import EmbeddingStore
     from .workloads.synthetic import synthetic_dataset, uniform_tables_spec
 
@@ -405,6 +403,170 @@ def _cmd_refresh(args) -> int:
     return 0 if converged else 1
 
 
+def _cluster_setup(args):
+    """Shared scaffolding for ``repro cluster``: dataset, log, config.
+
+    Publishes ``args.rounds`` trainer rounds spread evenly across the
+    serving horizon so every replica has a refresh stream to subscribe
+    to (and a snapshot/replay path to exercise in the drill).
+    """
+    from .cluster import ClusterConfig
+    from .model.trainer import EmbeddingDeltaTrainer
+    from .refresh import UpdateLog, UpdatePublisher
+    from .workloads.synthetic import uniform_tables_spec
+
+    hw = default_platform()
+    dataset = uniform_tables_spec(
+        num_tables=args.tables, corpus_size=args.corpus, alpha=-1.2,
+        dim=args.dim,
+    )
+    specs = dataset.table_specs()
+    log = UpdateLog(retention=1_000_000)
+    publisher = UpdatePublisher(log, max_batch_keys=256)
+    trainer = EmbeddingDeltaTrainer(
+        [spec.corpus_size for spec in specs],
+        [spec.dim for spec in specs],
+        keys_per_round=args.keys_per_round, seed=11,
+    )
+    for i in range(args.rounds):
+        publisher.drain(
+            trainer, now=args.horizon * (i + 1) / (args.rounds + 1)
+        )
+    config = ClusterConfig(
+        num_replicas=args.replicas,
+        policy=args.policy,
+        cache_ratio=args.ratio,
+        hot_keys=args.hot_keys,
+    )
+    return hw, dataset, log, config
+
+
+def _cluster_requests(dataset, args):
+    from .serving.arrivals import PoissonArrivals
+
+    return PoissonArrivals(dataset, args.rate, seed=args.seed).generate_until(
+        args.horizon
+    )
+
+
+def _cluster_victim(dataset, args) -> int:
+    """The replica that consistent-hash owns the Zipf hottest key —
+    killing it is the worst case for an unrouted deployment."""
+    from .multigpu.partition import HashPartitioner
+    from .workloads.zipf import ZipfSampler
+
+    field = dataset.fields[0]
+    hottest = ZipfSampler(
+        field.corpus_size, field.alpha, seed=args.seed * 31
+    ).hottest_ids(1)
+    return int(HashPartitioner(args.replicas).owner_of(hottest)[0])
+
+
+def _cmd_cluster(args) -> int:
+    """Multi-replica serving tooling (``repro cluster serve|drill|status``)."""
+    import dataclasses
+
+    from .cluster import ClusterRouter
+    from .faults import FaultSchedule, ReplicaCrash
+
+    hw, dataset, log, config = _cluster_setup(args)
+    requests = _cluster_requests(dataset, args)
+
+    if args.cluster_command == "serve":
+        router = ClusterRouter(dataset, hw, config=config, update_log=log)
+        report = router.serve(requests)
+        rows = [
+            ["requests", len(requests)],
+            ["served", report.served],
+            ["shed", report.shed],
+            ["SLA attainment", f"{report.sla_attainment(args.sla):.1%}"],
+            ["p50 latency", format_time(report.percentile(50))],
+            ["p99 latency", format_time(report.percentile(99))],
+        ]
+        for r, summary in sorted(report.per_replica.items()):
+            rows.append([
+                f"replica {r} dispatched",
+                f"{summary['dispatched']} "
+                f"(version {summary.get('applied_version', '-')})",
+            ])
+        print(format_table(
+            ["field", "value"], rows,
+            title=(f"Fault-free cluster: {args.replicas} replicas, "
+                   f"{args.policy} routing"),
+        ))
+        return 0
+
+    # drill and status both stage the same kill: crash the replica that
+    # owns the hottest key for the middle of the run.
+    start = args.horizon * args.crash_at
+    duration = args.horizon * args.crash_for
+    victim = _cluster_victim(dataset, args)
+    schedule = FaultSchedule(
+        [ReplicaCrash(replica=victim, start=start, duration=duration)]
+    )
+
+    if args.cluster_command == "status":
+        router = ClusterRouter(
+            dataset, hw, config=config, schedule=schedule, update_log=log
+        )
+        horizon = args.horizon + 16 * config.health.heartbeat_interval
+        timelines = router.monitor.observe(horizon)
+        rows = []
+        for r in sorted(timelines):
+            for t in timelines[r].transitions:
+                rows.append([r, format_time(t.at), t.state])
+        print(format_table(
+            ["replica", "at", "state"], rows,
+            title=(f"Health timeline: replica {victim} killed "
+                   f"{format_time(start)}-{format_time(start + duration)}"),
+        ))
+        return 0
+
+    # drill: routed cluster vs an unrouted baseline on identical traffic.
+    from .bench.harness import alert_timing
+
+    router = ClusterRouter(
+        dataset, hw, config=config, schedule=schedule, update_log=log
+    )
+    routed = router.serve(requests)
+    unrouted_cfg = dataclasses.replace(config, failover=False)
+    baseline = ClusterRouter(
+        dataset, hw, config=unrouted_cfg, schedule=schedule, update_log=log
+    ).serve(requests)
+
+    timing = alert_timing(routed.alerts, start, start + duration)
+    counts = routed.disposition_counts()
+    rows = [
+        ["victim replica", victim],
+        ["crash window",
+         f"{format_time(start)} - {format_time(start + duration)}"],
+        ["routed SLA", f"{routed.sla_attainment(args.sla):.1%}"],
+        ["unrouted SLA", f"{baseline.sla_attainment(args.sla):.1%}"],
+        ["routed shed", routed.shed],
+        ["unrouted shed", baseline.shed],
+        ["failovers served", counts["failover"]],
+        ["time to detect",
+         "-" if timing["ttd_s"] is None else format_time(timing["ttd_s"])],
+        ["time to resolve",
+         "-" if timing["ttr_s"] is None else format_time(timing["ttr_s"])],
+        ["early alerts", timing["early_alerts"]],
+    ]
+    for r, summary in sorted(routed.per_replica.items()):
+        if "version_lag" in summary:
+            rows.append([f"replica {r} version lag", summary["version_lag"]])
+    print(format_table(
+        ["field", "value"], rows,
+        title=(f"Kill drill: {args.replicas} replicas, {args.policy} "
+               f"routing, hot owner down"),
+    ))
+    healthy = (
+        routed.shed == 0
+        and timing["ttd_s"] is not None
+        and timing["early_alerts"] == 0
+    )
+    return 0 if healthy else 1
+
+
 def _cmd_trace(args) -> int:
     from .gpusim.tracing import TraceRecorder
 
@@ -527,6 +689,51 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--applied-rounds", type=int, default=None,
                    help="rounds applied before reporting "
                         "(default: half the rounds)")
+
+    from .cluster import POLICY_NAMES
+
+    p = sub.add_parser(
+        "cluster", help="fault-tolerant multi-replica serving tooling"
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def cluster_common(q):
+        q.add_argument("--replicas", type=int, default=4)
+        q.add_argument("--policy", default="hash", choices=POLICY_NAMES)
+        q.add_argument("--tables", type=int, default=4)
+        q.add_argument("--corpus", type=int, default=8_000)
+        q.add_argument("--dim", type=int, default=16)
+        q.add_argument("--ratio", type=float, default=0.05)
+        q.add_argument("--rate", type=float, default=120_000.0,
+                       help="offered load (requests/sec, Poisson)")
+        q.add_argument("--horizon", type=float, default=0.03,
+                       help="simulated seconds of traffic")
+        q.add_argument("--sla", type=float, default=2e-3,
+                       help="per-request latency budget (seconds)")
+        q.add_argument("--hot-keys", type=int, default=128,
+                       help="Zipf head replicated onto every replica")
+        q.add_argument("--rounds", type=int, default=12,
+                       help="trainer rounds published over the horizon")
+        q.add_argument("--keys-per-round", type=int, default=64)
+        q.add_argument("--seed", type=int, default=5)
+        q.add_argument("--crash-at", type=float, default=0.3,
+                       help="crash start as a fraction of the horizon")
+        q.add_argument("--crash-for", type=float, default=0.4,
+                       help="crash duration as a fraction of the horizon")
+
+    q = cluster_sub.add_parser(
+        "serve", help="fault-free routed run with per-replica dispatch"
+    )
+    cluster_common(q)
+    q = cluster_sub.add_parser(
+        "drill",
+        help="kill the hot-owner replica: routed vs unrouted SLA",
+    )
+    cluster_common(q)
+    q = cluster_sub.add_parser(
+        "status", help="print the failure detector's health timeline"
+    )
+    cluster_common(q)
     return parser
 
 
@@ -541,6 +748,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "obs": _cmd_obs,
     "refresh": _cmd_refresh,
+    "cluster": _cmd_cluster,
 }
 
 

@@ -1,0 +1,708 @@
+"""Front-end router: health-checked dispatch, failover, hedging.
+
+The :class:`ClusterRouter` composes N :class:`~repro.cluster.replica.
+ClusterReplica`\\ s behind one ``serve()`` entry point.  Planning is
+separated from execution so a run stays a pure function of
+``(requests, schedule, seed)``:
+
+1. **Detect** — the :class:`~repro.cluster.health.HealthMonitor`
+   precomputes every replica's health timeline from the fault schedule.
+2. **Plan** — each request is walked in arrival order: the routing
+   policy names a primary; crash windows turn dispatches into lost
+   sends (re-dispatched to the next live replica after
+   ``dispatch_timeout``, or immediately once the per-replica circuit
+   breaker opens); detected-dead and suspect windows fail over at
+   dispatch time; slowdown windows add a cross-replica hedge copy after
+   ``hedge_delay``.
+3. **Execute** — each ``(replica, incarnation)`` stream is served
+   through its own :class:`~repro.serving.pipeline.
+   PipelinedInferenceServer`.  Crash victims run first so in-flight
+   losses can spawn failover copies; the victim then crashes, restores
+   its snapshot, replays the shared update log to the version frontier,
+   and its post-rejoin incarnation serves like any other stream.
+4. **Merge** — per request, the earliest valid completion wins
+   (primary beats failover beats hedge on ties); requests with no valid
+   completion are shed.
+
+Conservation is audited on the router's own registry: routed requests
+equal served-primary + served-failover + served-hedge + shed, hedge
+wins never exceed hedges fired, and every live replica's refresh stream
+must satisfy its own fan-out conservation law.
+
+With ``failover=False`` the router degrades to the unrouted baseline
+the drill compares against: requests for a crashed replica are shed
+until the process restarts and replays, and nothing is hedged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from math import ceil, inf, isfinite
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, WorkloadError
+from ..faults.retry import BreakerConfig, CircuitBreaker
+from ..faults.schedule import FaultSchedule
+from ..obs.alerts import FIRING, RESOLVED, Alert
+from ..obs.registry import MetricsRegistry, Observable
+from .health import (
+    HEALTHY,
+    STATE_CODES,
+    SUSPECT,
+    HealthConfig,
+    HealthMonitor,
+    ReplicaHealth,
+)
+from .replica import ClusterReplica
+from .routing import RoutingPolicy, make_policy
+
+#: How a request ultimately got served (ClusterReport.dispositions).
+DISPATCH_PRIMARY = "primary"
+DISPATCH_FAILOVER = "failover"
+DISPATCH_HEDGE = "hedge"
+SHED = "shed"
+
+_KIND_RANK = {DISPATCH_PRIMARY: 0, DISPATCH_FAILOVER: 1, DISPATCH_HEDGE: 2}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology + routing + failure-handling knobs for one cluster."""
+
+    num_replicas: int = 4
+    #: Routing policy name (see :data:`repro.cluster.routing.POLICY_NAMES`).
+    policy: str = "hash"
+    routing_table: int = 0
+    cache_ratio: float = 0.05
+    depth: int = 2
+    max_batch_size: int = 64
+    max_delay: float = 5e-4
+    #: Zipf-head ids replicated onto every replica at admission.
+    hot_keys: int = 256
+    #: Cross-replica hedge delay for straggler replicas (None = off).
+    hedge_delay: Optional[float] = None
+    #: False = unrouted baseline: no failover, no hedging, crashed
+    #: replicas shed their traffic until the process restarts.
+    failover: bool = True
+    #: Un-acked dispatches are re-sent to the next replica after this.
+    dispatch_timeout: float = 1e-3
+    #: Per-replica circuit breaker (None = no breaker).
+    breaker: Optional[BreakerConfig] = None
+    refresh_quantum: int = 512
+    health: HealthConfig = field(default_factory=HealthConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ConfigError("cluster needs at least one replica")
+        if self.hot_keys < 0:
+            raise ConfigError("hot_keys must be >= 0")
+        if self.dispatch_timeout <= 0:
+            raise ConfigError("dispatch_timeout must be positive")
+        if self.hedge_delay is not None and self.hedge_delay <= 0:
+            raise ConfigError("hedge_delay must be positive when set")
+
+
+@dataclass
+class _Dispatch:
+    """One planned send of one request to one replica incarnation."""
+
+    index: int
+    replica: int
+    incarnation: int
+    at: float
+    kind: str
+    finish: float = inf
+    valid: bool = False
+
+
+@dataclass(frozen=True)
+class _CrashEpisode:
+    """One replica's crash window annotated with detector instants."""
+
+    replica: int
+    start: float
+    end: float
+    detect_at: float  # first suspect transition at/after start (inf = never)
+    rejoin_at: float  # first healthy transition after detect (inf = never)
+    recover_done: float  # unrouted restart + replay completion instant
+
+
+class ClusterReport:
+    """Cluster-wide serving outcome, aligned with the input stream."""
+
+    def __init__(
+        self,
+        latencies: np.ndarray,
+        arrival_times: np.ndarray,
+        dispositions: List[str],
+        per_replica: Dict[int, dict],
+        health: Dict[int, ReplicaHealth],
+        alerts: List[Alert],
+        episodes: List[_CrashEpisode],
+        metrics,
+    ):
+        self.latencies = latencies
+        self.arrival_times = arrival_times
+        self.dispositions = dispositions
+        self.per_replica = per_replica
+        self.health = health
+        self.alerts = alerts
+        self.episodes = episodes
+        self.metrics = metrics
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def served(self) -> int:
+        return int(np.isfinite(self.latencies).sum())
+
+    @property
+    def shed(self) -> int:
+        return len(self.latencies) - self.served
+
+    def sla_attainment(
+        self, budget: float, start: float = 0.0, end: float = inf
+    ) -> float:
+        """Fraction of requests arriving in ``[start, end)`` served
+        within ``budget``; shed requests count against the SLA."""
+        mask = (self.arrival_times >= start) & (self.arrival_times < end)
+        if not mask.any():
+            return float("nan")
+        return float((self.latencies[mask] <= budget).mean())
+
+    def percentile(self, q: float) -> float:
+        finite = self.latencies[np.isfinite(self.latencies)]
+        if len(finite) == 0:
+            return float("nan")
+        return float(np.percentile(finite, q))
+
+    def latencies_for(self, kind: str) -> np.ndarray:
+        mask = np.array([d == kind for d in self.dispositions])
+        return self.latencies[mask]
+
+    def disposition_counts(self) -> Dict[str, int]:
+        counts = {k: 0 for k in (*_KIND_RANK, SHED)}
+        for d in self.dispositions:
+            counts[d] += 1
+        return counts
+
+    def to_payload(self, sla_budget: float) -> dict:
+        """Deterministic JSON-safe summary (no floats from wall time)."""
+        failover = self.latencies_for(DISPATCH_FAILOVER)
+        payload = {
+            "requests": len(self.latencies),
+            "served": self.served,
+            "shed": self.shed,
+            "dispositions": self.disposition_counts(),
+            "sla_attainment": self.sla_attainment(sla_budget),
+            "p50_latency_s": self.percentile(50),
+            "p99_latency_s": self.percentile(99),
+            "failover_p50_s": (
+                float(np.percentile(failover, 50)) if len(failover) else None
+            ),
+            "failover_p99_s": (
+                float(np.percentile(failover, 99)) if len(failover) else None
+            ),
+            "alerts": [a.to_dict() for a in self.alerts],
+            "health": {
+                str(r): self.health[r].to_payload() for r in sorted(self.health)
+            },
+            "replicas": {
+                str(r): self.per_replica[r] for r in sorted(self.per_replica)
+            },
+            "episodes": [
+                {
+                    "replica": e.replica,
+                    "start_s": e.start,
+                    "end_s": e.end if isfinite(e.end) else None,
+                    "detect_s": e.detect_at if isfinite(e.detect_at) else None,
+                    "rejoin_s": e.rejoin_at if isfinite(e.rejoin_at) else None,
+                }
+                for e in self.episodes
+            ],
+            "metrics": self.metrics.to_dict() if self.metrics else {},
+        }
+        return payload
+
+
+class ClusterRouter(Observable):
+    """N cache-equipped serving replicas behind one routed front end."""
+
+    def __init__(
+        self,
+        dataset,
+        hw,
+        config: Optional[ClusterConfig] = None,
+        schedule: Optional[FaultSchedule] = None,
+        update_log=None,
+        warm_seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.hw = hw
+        self.config = config or ClusterConfig()
+        self.schedule = schedule or FaultSchedule()
+        self.update_log = update_log
+        self.warm_seed = warm_seed
+        cfg = self.config
+        self.policy: RoutingPolicy = make_policy(
+            cfg.policy, cfg.num_replicas, cfg.routing_table
+        )
+        self.monitor = HealthMonitor(
+            cfg.health, self.schedule, cfg.num_replicas
+        )
+        self.replicas: List[ClusterReplica] = [
+            ClusterReplica(
+                r, dataset, hw,
+                cache_ratio=cfg.cache_ratio,
+                max_batch_size=cfg.max_batch_size,
+                max_delay=cfg.max_delay,
+                depth=cfg.depth,
+                refresh_quantum=cfg.refresh_quantum,
+            )
+            for r in range(cfg.num_replicas)
+        ]
+        self.breakers: Dict[int, CircuitBreaker] = (
+            {r: CircuitBreaker(cfg.breaker) for r in range(cfg.num_replicas)}
+            if cfg.breaker is not None else {}
+        )
+        self.health: Dict[int, ReplicaHealth] = {}
+        self.bind_observability(MetricsRegistry())
+        self._admit()
+
+    # -------------------------------------------------------------- setup
+
+    def _admit(self) -> None:
+        """Warm the hot head on every replica; wire the refresh fan-out."""
+        for replica in self.replicas:
+            replica.warm_hot_keys(self.warm_seed, self.config.hot_keys)
+            if self.update_log is not None:
+                replica.attach_refresh(self.update_log, now=0.0)
+                replica.take_snapshot()
+
+    def _register_observability(self, registry: MetricsRegistry) -> None:
+        registry.add_conservation(
+            "cluster.request-conservation",
+            ["cluster.requests"],
+            [
+                "cluster.served_primary",
+                "cluster.served_failover",
+                "cluster.served_hedge",
+                "cluster.shed",
+            ],
+        )
+        registry.add_conservation(
+            "cluster.hedge-wins-bounded",
+            ["cluster.hedge_wins"], ["cluster.hedges_fired"], op="<=",
+        )
+        registry.add_conservation(
+            "cluster.failover-dispatch-bounded",
+            ["cluster.served_failover"], ["cluster.failovers_dispatched"],
+            op="<=",
+        )
+        registry.add_check(
+            "cluster.fanout-conservation", self._audit_fanout
+        )
+        self.monitor.bind_observability(registry)
+
+    def _audit_fanout(self):
+        """Every live replica's refresh stream conserves its keys."""
+        for replica in self.replicas:
+            if replica.subscriber is None:
+                continue
+            result = replica.subscriber._audit_stream()
+            ok, detail = result if isinstance(result, tuple) else (result, "")
+            if not ok:
+                return False, f"replica {replica.replica_id}: {detail}"
+        return True, "all replica streams conserve keys"
+
+    # ----------------------------------------------------------- planning
+
+    def _episodes(self) -> Dict[int, _CrashEpisode]:
+        episodes: Dict[int, _CrashEpisode] = {}
+        cfg = self.config
+        for r in range(cfg.num_replicas):
+            windows = self.schedule.replica_crash_windows(r)
+            if not windows:
+                continue
+            if len(windows) > 1:
+                raise ConfigError(
+                    "at most one crash window per replica is supported"
+                )
+            start, end = windows[0]
+            detect = self.health[r].first(SUSPECT, after=start)
+            rejoin = (
+                self.health[r].first(HEALTHY, after=detect)
+                if detect is not None else None
+            )
+            recover_done = end + (
+                self.replicas[r].pending_replay_keys(end)
+                / cfg.health.replay_keys_per_s
+            ) if isfinite(end) else inf
+            episodes[r] = _CrashEpisode(
+                replica=r,
+                start=start,
+                end=end,
+                detect_at=detect if detect is not None else inf,
+                rejoin_at=rejoin if rejoin is not None else inf,
+                recover_done=recover_done,
+            )
+        return episodes
+
+    def _incarnation_at(
+        self, replica: int, at: float, episodes: Dict[int, _CrashEpisode]
+    ) -> int:
+        episode = episodes.get(replica)
+        if episode is None:
+            return 0
+        boundary = (
+            episode.rejoin_at if self.config.failover
+            else episode.recover_done
+        )
+        return 1 if at >= boundary else 0
+
+    def _fallback_target(self, owner: int, at: float) -> Optional[int]:
+        """Next replica on the ring that is routable *and* actually up."""
+        for k in range(1, self.config.num_replicas):
+            cand = (owner + k) % self.config.num_replicas
+            if self.health[cand].routable_at(at) and not (
+                self.schedule.replica_crashed(cand, at)
+            ):
+                return cand
+        return None
+
+    # ------------------------------------------------------------ serving
+
+    def serve(self, requests: Sequence) -> ClusterReport:
+        if not requests:
+            raise WorkloadError("no requests to serve")
+        cfg = self.config
+        reg = self.obs
+        reg.check()
+        before = reg.snapshot()
+        n = len(requests)
+        reg.inc("cluster.requests", n)
+
+        last_arrival = max(r.arrival_time for r in requests)
+        finite_ends = [
+            e.end for e in self.schedule.events if isfinite(e.end)
+        ]
+        horizon0 = max([last_arrival] + finite_ends)
+        replay_margin = max(
+            (
+                replica.pending_replay_keys(horizon0)
+                / cfg.health.replay_keys_per_s
+                for replica in self.replicas
+            ),
+            default=0.0,
+        )
+        horizon = (
+            horizon0 + replay_margin
+            + cfg.health.heartbeat_interval * (cfg.health.dead_after + 8)
+        )
+
+        def replay_seconds(r: int, at: float) -> float:
+            return (
+                self.replicas[r].pending_replay_keys(at)
+                / cfg.health.replay_keys_per_s
+            )
+
+        self.health = self.monitor.observe(
+            horizon, replay_seconds=replay_seconds
+        )
+        episodes = self._episodes()
+
+        streams: Dict[Tuple[int, int], List[_Dispatch]] = {}
+        per_index: List[List[_Dispatch]] = [[] for _ in range(n)]
+
+        def plan(index, replica, at, kind):
+            incarnation = self._incarnation_at(replica, at, episodes)
+            dispatch = _Dispatch(index, replica, incarnation, at, kind)
+            streams.setdefault((replica, incarnation), []).append(dispatch)
+            per_index[index].append(dispatch)
+            self.policy.note_dispatch(replica, at)
+            if kind == DISPATCH_FAILOVER:
+                reg.inc("cluster.failovers_dispatched")
+            elif kind == DISPATCH_HEDGE:
+                reg.inc("cluster.hedges_fired")
+            return dispatch
+
+        def plan_failover(index, owner, at):
+            target = self._fallback_target(owner, at)
+            if target is None:
+                return None
+            return plan(index, target, at, DISPATCH_FAILOVER)
+
+        for index, request in enumerate(requests):
+            t = request.arrival_time
+            healthy = (
+                [r for r in range(cfg.num_replicas)
+                 if self.health[r].routable_at(t)]
+                if cfg.failover else list(range(cfg.num_replicas))
+            )
+            owner = self.policy.primary(request, healthy)
+            episode = episodes.get(owner)
+
+            if not cfg.failover:
+                # Unrouted baseline: shed while the owner is down or
+                # still replaying after its restart.
+                if episode is not None and (
+                    episode.start <= t < episode.recover_done
+                ):
+                    continue
+                plan(index, owner, t, DISPATCH_PRIMARY)
+                continue
+
+            if episode is not None and t >= episode.start:
+                if t >= episode.rejoin_at:
+                    plan(index, owner, t, DISPATCH_PRIMARY)
+                elif t >= episode.detect_at:
+                    plan_failover(index, owner, t)
+                else:
+                    # Undetected-dead window: the send is lost.  The
+                    # breaker learns from the failure; once open, the
+                    # router skips the dead replica without waiting out
+                    # the dispatch timeout.
+                    breaker = self.breakers.get(owner)
+                    if breaker is not None and not breaker.allow(t):
+                        reg.inc("cluster.breaker_rejections")
+                        plan_failover(index, owner, t)
+                    else:
+                        if breaker is not None:
+                            breaker.record(False, t)
+                        reg.inc("cluster.lost_dispatches")
+                        plan_failover(index, owner, t + cfg.dispatch_timeout)
+                continue
+
+            if not self.health[owner].routable_at(t):
+                # Suspect/dead from heartbeat loss alone: route away.
+                plan_failover(index, owner, t)
+                continue
+
+            plan(index, owner, t, DISPATCH_PRIMARY)
+            if episode is not None:
+                breaker = self.breakers.get(owner)
+                if breaker is not None:
+                    breaker.record(True, t)
+            slow = self.schedule.replica_slow_factor(owner, t)
+            if cfg.hedge_delay is not None and slow > 1.0:
+                hedge_at = t + cfg.hedge_delay
+                target = self._fallback_target(owner, hedge_at)
+                if target is not None:
+                    plan(index, target, hedge_at, DISPATCH_HEDGE)
+
+        # ---------------------------------------------------- execution
+        def run_stream(key):
+            replica_id, incarnation = key
+            dispatches = sorted(
+                streams[key],
+                key=lambda d: (d.at, requests[d.index].request_id),
+            )
+            stream_requests = [
+                requests[d.index]
+                if d.at == requests[d.index].arrival_time
+                else dataclasses.replace(
+                    requests[d.index], arrival_time=d.at
+                )
+                for d in dispatches
+            ]
+            report = self.replicas[replica_id].serve(stream_requests)
+            for dispatch, latency in zip(dispatches, report.latencies):
+                factor = self.schedule.replica_slow_factor(
+                    replica_id, dispatch.at
+                )
+                dispatch.finish = dispatch.at + float(latency) * factor
+                dispatch.valid = True
+            return report
+
+        victims = sorted(episodes, key=lambda r: episodes[r].start)
+        for victim in victims:
+            episode = episodes[victim]
+            key = (victim, 0)
+            if key in streams:
+                run_stream(key)
+                for dispatch in streams[key]:
+                    if dispatch.finish > episode.start:
+                        # In flight when the replica died: the response
+                        # never arrives.  The router only learns at
+                        # detection, so the retry dispatches then.
+                        dispatch.valid = False
+                        reg.inc("cluster.lost_inflight")
+                        if cfg.failover and isfinite(episode.detect_at):
+                            plan_failover(
+                                dispatch.index, victim, episode.detect_at
+                            )
+            restart_at = (
+                episode.rejoin_at if cfg.failover else episode.recover_done
+            )
+            self.replicas[victim].crash()
+            if isfinite(restart_at):
+                if self.replicas[victim].snapshot_ is not None:
+                    replayed = self.replicas[victim].recover(restart_at)
+                    reg.inc("cluster.replayed_batches", replayed)
+                else:
+                    # No snapshot (refresh not wired): cold restart.
+                    self.replicas[victim].cold_restart()
+                    self.replicas[victim].warm_hot_keys(
+                        self.warm_seed, cfg.hot_keys
+                    )
+
+        for key in sorted(streams):
+            if key[0] in episodes and key[1] == 0:
+                continue  # victim pre-crash streams already ran
+            run_stream(key)
+
+        # ------------------------------------------------------- merging
+        latencies = np.full(n, inf)
+        dispositions: List[str] = [SHED] * n
+        for index, request in enumerate(requests):
+            valid = [d for d in per_index[index] if d.valid]
+            if not valid:
+                continue
+            winner = min(
+                valid, key=lambda d: (d.finish, _KIND_RANK[d.kind])
+            )
+            latencies[index] = winner.finish - request.arrival_time
+            dispositions[index] = winner.kind
+        counts = {k: 0 for k in (*_KIND_RANK, SHED)}
+        for d in dispositions:
+            counts[d] += 1
+        reg.inc("cluster.served_primary", counts[DISPATCH_PRIMARY])
+        reg.inc("cluster.served_failover", counts[DISPATCH_FAILOVER])
+        reg.inc("cluster.served_hedge", counts[DISPATCH_HEDGE])
+        reg.inc("cluster.shed", counts[SHED])
+        if counts[DISPATCH_HEDGE]:
+            reg.inc("cluster.hedge_wins", counts[DISPATCH_HEDGE])
+
+        alerts = (
+            self.monitor.health_alerts(self.health) if cfg.failover else []
+        )
+        alerts.extend(self._staleness_alerts(episodes, horizon))
+
+        # Final sync: live subscribers catch up to the frontier so the
+        # cluster converges before the fan-out audit runs.
+        for replica in self.replicas:
+            if replica.subscriber is not None:
+                replica.subscriber.catch_up(horizon)
+                replica.subscriber.refresh_gauges(horizon)
+        per_replica = self._replica_summaries(streams, horizon)
+
+        reg.check()
+        delta = reg.snapshot().diff(before)
+        return ClusterReport(
+            latencies=latencies,
+            arrival_times=np.array(
+                [r.arrival_time for r in requests], dtype=float
+            ),
+            dispositions=dispositions,
+            per_replica=per_replica,
+            health=self.health,
+            alerts=alerts,
+            episodes=sorted(
+                episodes.values(), key=lambda e: (e.start, e.replica)
+            ),
+            metrics=delta,
+        )
+
+    # ------------------------------------------------------------ reports
+
+    def _staleness_alerts(
+        self, episodes: Dict[int, _CrashEpisode], horizon: float
+    ) -> List[Alert]:
+        """Per-victim staleness alerts on the simulated beat clock.
+
+        A crashed replica's applied version is pinned at its snapshot;
+        the alert fires at the first heartbeat where the cluster's
+        version frontier leads the snapshot by more than the staleness
+        budget, and resolves at rejoin (when replay has caught up).
+        """
+        if self.update_log is None:
+            return []
+        cfg = self.config.health
+        alerts: List[Alert] = []
+        for r in sorted(episodes):
+            episode = episodes[r]
+            snapshot = self.replicas[r].snapshot_
+            if snapshot is None:
+                continue
+            resolve_at = (
+                episode.rejoin_at if self.config.failover
+                else episode.recover_done
+            )
+            limit = min(resolve_at, horizon)
+            beat = int(ceil(episode.start / cfg.heartbeat_interval))
+            fired_at = None
+            lag_at_fire = 0.0
+            while True:
+                t = beat * cfg.heartbeat_interval
+                if t >= limit:
+                    break
+                if t >= episode.start:
+                    lag = (
+                        self.update_log.latest_version(t)
+                        - snapshot.model_version
+                    )
+                    if lag > cfg.staleness_budget:
+                        fired_at = t
+                        lag_at_fire = float(lag)
+                        break
+                beat += 1
+            if fired_at is None:
+                continue
+            resolved = isfinite(resolve_at)
+            alerts.append(Alert(
+                rule=f"replica{r}-staleness",
+                slo="replica-staleness",
+                state=RESOLVED if resolved else FIRING,
+                fired_at=fired_at,
+                fired_window=beat,
+                burn_rate=lag_at_fire,
+                peak_burn_rate=lag_at_fire,
+                resolved_at=resolve_at if resolved else None,
+                resolved_window=beat if resolved else None,
+            ))
+        return alerts
+
+    def _replica_summaries(
+        self, streams: Dict[Tuple[int, int], List[_Dispatch]], now: float
+    ) -> Dict[int, dict]:
+        summaries: Dict[int, dict] = {}
+        for replica in self.replicas:
+            r = replica.replica_id
+            dispatched = sum(
+                len(v) for (rid, _), v in streams.items() if rid == r
+            )
+            state = self.health[r].state_at(now) if self.health else HEALTHY
+            self.obs.set_gauge(
+                "cluster.replica_state", STATE_CODES[state], replica=str(r)
+            )
+            summary = {
+                "dispatched": dispatched,
+                "incarnations": replica.incarnation + 1,
+                "state": state,
+                "transitions": (
+                    self.health[r].to_payload() if self.health else []
+                ),
+            }
+            if replica.subscriber is not None:
+                lag = replica.subscriber.version_lag(now)
+                summary["applied_version"] = replica.subscriber.applied_version
+                summary["version_lag"] = lag
+                self.obs.set_gauge(
+                    "cluster.replica_version_lag", lag, replica=str(r)
+                )
+            summaries[r] = summary
+        return summaries
+
+
+__all__ = [
+    "DISPATCH_FAILOVER",
+    "DISPATCH_HEDGE",
+    "DISPATCH_PRIMARY",
+    "SHED",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterRouter",
+]

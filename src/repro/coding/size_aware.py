@@ -104,7 +104,7 @@ class SizeAwareCodec(FlatKeyCodec):
         sizes, as the paper prescribes.
         """
         def kraft() -> Fraction:
-            return sum(Fraction(1, 2 ** l) for l in lengths)
+            return sum(Fraction(1, 2 ** bits) for bits in lengths)
 
         while kraft() > 1:
             best = -1

@@ -31,6 +31,9 @@ from .schedule import (
     DegradedLink,
     DramTierFailure,
     FaultSchedule,
+    HeartbeatLoss,
+    ReplicaCrash,
+    ReplicaSlowdown,
     ShardOutage,
     SlowSubscriber,
     TransientTimeout,
@@ -47,6 +50,9 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FetchOutcome",
+    "HeartbeatLoss",
+    "ReplicaCrash",
+    "ReplicaSlowdown",
     "ResilientFetchClient",
     "RetryPolicy",
     "ShardOutage",

@@ -20,7 +20,7 @@ under faults is modelled honestly instead of "timeout + base".
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

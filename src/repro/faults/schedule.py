@@ -115,6 +115,65 @@ class SlowSubscriber(FaultEvent):
             raise ConfigError("slow-subscriber factor must be >= 1")
 
 
+@dataclass(frozen=True)
+class ReplicaCrash(FaultEvent):
+    """Serving replica ``replica`` is down for the whole window.
+
+    The process loses its in-memory state (GPU cache, subscriber
+    position); only its last stamped snapshot survives.  Recovery
+    restores the snapshot and replays the update log (see
+    :mod:`repro.cluster`).  Requests in flight on the replica when the
+    window opens never complete.
+    """
+
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.replica < 0:
+            raise ConfigError("replica index must be >= 0")
+
+
+@dataclass(frozen=True)
+class ReplicaSlowdown(FaultEvent):
+    """Replica ``replica`` serves ``factor`` times slower in the window.
+
+    Models a straggler (GC pause, thermal throttle, noisy neighbour):
+    the replica stays up and heartbeats normally, but every request it
+    serves inside the window takes ``factor`` times longer — the case
+    cross-replica hedging exists for.
+    """
+
+    replica: int = 0
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.replica < 0:
+            raise ConfigError("replica index must be >= 0")
+        if self.factor < 1.0:
+            raise ConfigError("replica-slowdown factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class HeartbeatLoss(FaultEvent):
+    """Replica ``replica``'s heartbeats are lost, but it keeps serving.
+
+    The failure detector's false-positive case: the control plane sees
+    missed beats and walks the replica towards ``suspect``/``dead`` while
+    the data plane is fine.  Distinguishing this from
+    :class:`ReplicaCrash` is what the drill's health state machine is
+    tested against.
+    """
+
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.replica < 0:
+            raise ConfigError("replica index must be >= 0")
+
+
 class FaultSchedule:
     """An immutable, queryable collection of fault events."""
 
@@ -176,6 +235,44 @@ class FaultSchedule:
             if isinstance(e, SlowSubscriber) and e.active(now)
         ]
         return max(active) if active else 1.0
+
+    def replica_crashed(self, replica: int, now: float) -> bool:
+        """Whether serving replica ``replica`` is inside a crash window."""
+        return any(
+            e.replica == replica and e.active(now)
+            for e in self.events if isinstance(e, ReplicaCrash)
+        )
+
+    def replica_crash_windows(
+        self, replica: int
+    ) -> List[Tuple[float, float]]:
+        """Sorted ``(start, end)`` crash windows of one replica."""
+        return sorted(
+            (e.start, e.end)
+            for e in self.events
+            if isinstance(e, ReplicaCrash) and e.replica == replica
+        )
+
+    def replica_slow_factor(self, replica: int, now: float) -> float:
+        """Service-time multiplier on replica ``replica`` at ``now``."""
+        active = [
+            e.factor for e in self.events
+            if isinstance(e, ReplicaSlowdown) and e.replica == replica
+            and e.active(now)
+        ]
+        return max(active) if active else 1.0
+
+    def heartbeat_lost(self, replica: int, now: float) -> bool:
+        """Whether replica ``replica``'s heartbeats are lost at ``now``.
+
+        Only :class:`HeartbeatLoss` windows count — a crashed replica
+        also misses beats, but callers distinguish the two (crash loses
+        state; heartbeat loss is a detector false positive).
+        """
+        return any(
+            e.replica == replica and e.active(now)
+            for e in self.events if isinstance(e, HeartbeatLoss)
+        )
 
     def fault_windows(self) -> List[Tuple[float, float]]:
         """Merged ``(start, end)`` intervals during which any fault is live.

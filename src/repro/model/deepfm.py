@@ -16,7 +16,6 @@ scheme serves it unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np

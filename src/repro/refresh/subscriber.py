@@ -34,8 +34,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
-
 from ..core.flat_cache import FlatCache
 from ..core.snapshot import CacheSnapshot, restore, snapshot
 from ..core.unified_index import is_dram_pointer, untag

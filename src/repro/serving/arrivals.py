@@ -9,7 +9,7 @@ cache sees realistic locality under load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 import numpy as np
 

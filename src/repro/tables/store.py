@@ -8,7 +8,7 @@ speed, and the resulting embeddings travel over PCIe into the output matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -129,6 +129,59 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["refresh"])
 
+    def test_cluster_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["cluster", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("serve", "drill", "status"):
+            assert command in out
+
+    def test_cluster_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_cluster_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "serve", "--policy", "round-robin"]
+            )
+
+    def test_cluster_serve_prints_per_replica(self, capsys):
+        rc = main([
+            "cluster", "serve", "--replicas", "2", "--corpus", "2000",
+            "--tables", "2", "--dim", "8", "--rate", "50000",
+            "--horizon", "0.015", "--rounds", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SLA attainment" in out
+        assert "replica 0 dispatched" in out
+        assert "replica 1 dispatched" in out
+
+    def test_cluster_drill_beats_unrouted(self, capsys):
+        rc = main([
+            "cluster", "drill", "--replicas", "4", "--corpus", "2000",
+            "--tables", "2", "--dim", "8", "--rate", "60000",
+            "--horizon", "0.02", "--rounds", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routed SLA" in out
+        assert "failovers served" in out
+        assert "time to detect" in out
+
+    def test_cluster_status_walks_state_machine(self, capsys):
+        rc = main([
+            "cluster", "status", "--replicas", "3", "--corpus", "2000",
+            "--tables", "2", "--dim", "8", "--rate", "50000",
+            "--horizon", "0.02", "--rounds", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for state in ("healthy", "suspect", "dead", "recovering"):
+            assert state in out
+
     def test_obs_render_round_trips(self, tmp_path, monkeypatch, capsys):
         from repro.bench import reporting
         from repro.obs import MetricsRegistry, parse_openmetrics

@@ -1,0 +1,465 @@
+"""Tests for the fault-tolerant multi-replica serving cluster."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    FlecheConfig,
+    FlecheEmbeddingLayer,
+    default_platform,
+)
+from repro.bench.harness import alert_timing, canonical_json
+from repro.cluster import (
+    DEAD,
+    HEALTHY,
+    RECOVERING,
+    SUSPECT,
+    ClusterConfig,
+    ClusterReplica,
+    ClusterRouter,
+    HealthConfig,
+    HealthMonitor,
+    make_policy,
+)
+from repro.errors import ConfigError, WorkloadError
+from repro.faults import (
+    BreakerConfig,
+    FaultSchedule,
+    HeartbeatLoss,
+    ReplicaCrash,
+    ReplicaSlowdown,
+)
+from repro.model.trainer import EmbeddingDeltaTrainer
+from repro.multigpu.partition import HashPartitioner
+from repro.refresh import UpdateLog, UpdatePublisher, fingerprint
+from repro.serving.arrivals import PoissonArrivals
+from repro.serving.batcher import BatchingPolicy
+from repro.serving.pipeline import PipelinedInferenceServer
+from repro.tables.store import EmbeddingStore
+from repro.workloads.synthetic import uniform_tables_spec
+from repro.workloads.zipf import ZipfSampler
+
+HORIZON = 0.03
+RATE = 60_000.0
+SLA = 2e-3
+ARRIVAL_SEED = 5
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return default_platform()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_tables_spec(
+        num_tables=2, corpus_size=4_000, alpha=-1.2, dim=8
+    )
+
+
+@pytest.fixture(scope="module")
+def requests(dataset):
+    return PoissonArrivals(
+        dataset, RATE, seed=ARRIVAL_SEED
+    ).generate_until(HORIZON)
+
+
+def make_log(dataset, horizon=HORIZON, rounds=6, keys_per_round=48):
+    specs = dataset.table_specs()
+    log = UpdateLog(retention=1_000_000)
+    publisher = UpdatePublisher(log, max_batch_keys=128)
+    trainer = EmbeddingDeltaTrainer(
+        [s.corpus_size for s in specs],
+        [s.dim for s in specs],
+        keys_per_round=keys_per_round, seed=11,
+    )
+    for i in range(rounds):
+        publisher.drain(trainer, now=horizon * (i + 1) / (rounds + 1))
+    return log
+
+
+def hot_owner(dataset, num_replicas, seed=ARRIVAL_SEED):
+    """The replica that hash-routing assigns the Zipf hottest key."""
+    field = dataset.fields[0]
+    hottest = ZipfSampler(
+        field.corpus_size, field.alpha, seed=seed * 31
+    ).hottest_ids(1)
+    return int(HashPartitioner(num_replicas).owner_of(hottest)[0])
+
+
+def crash_schedule(replica, start=0.01, duration=0.01):
+    return FaultSchedule(
+        [ReplicaCrash(replica=replica, start=start, duration=duration)]
+    )
+
+
+def counter(report, name):
+    return report.metrics.to_dict()["counters"].get(name, 0)
+
+
+class TestHealthStateMachine:
+    def test_crash_walks_full_cycle(self):
+        schedule = crash_schedule(replica=0, start=0.005, duration=0.008)
+        monitor = HealthMonitor(HealthConfig(), schedule, num_replicas=2)
+        timelines = monitor.observe(0.04)
+        states = [t.state for t in timelines[0].transitions]
+        assert states == [HEALTHY, SUSPECT, DEAD, RECOVERING, HEALTHY]
+        assert [t.state for t in timelines[1].transitions] == [HEALTHY]
+
+    def test_transitions_are_time_ordered(self):
+        schedule = crash_schedule(replica=0, start=0.005, duration=0.008)
+        monitor = HealthMonitor(HealthConfig(), schedule, num_replicas=1)
+        transitions = monitor.observe(0.04)[0].transitions
+        instants = [t.at for t in transitions]
+        assert instants == sorted(instants)
+
+    def test_short_heartbeat_flap_never_goes_dead(self):
+        schedule = FaultSchedule(
+            [HeartbeatLoss(replica=0, start=0.005, duration=0.0025)]
+        )
+        monitor = HealthMonitor(HealthConfig(), schedule, num_replicas=1)
+        states = [t.state for t in monitor.observe(0.02)[0].transitions]
+        assert states == [HEALTHY, SUSPECT, HEALTHY]
+        assert DEAD not in states and RECOVERING not in states
+
+    def test_unroutable_window_covers_outage(self):
+        schedule = crash_schedule(replica=0, start=0.005, duration=0.008)
+        monitor = HealthMonitor(HealthConfig(), schedule, num_replicas=1)
+        windows = monitor.observe(0.04)[0].unroutable_windows()
+        assert len(windows) == 1
+        start, end = windows[0]
+        assert start >= 0.005
+        assert end >= 0.013  # readmission can only follow the restart
+
+    def test_replay_debt_delays_readmission(self):
+        schedule = crash_schedule(replica=0, start=0.005, duration=0.008)
+        fast = HealthMonitor(HealthConfig(), schedule, 1).observe(
+            0.08, replay_seconds=lambda r, t: 0.0
+        )
+        slow = HealthMonitor(HealthConfig(), schedule, 1).observe(
+            0.08, replay_seconds=lambda r, t: 0.02
+        )
+        fast_ok = fast[0].first(HEALTHY, after=0.013)
+        slow_ok = slow[0].first(HEALTHY, after=0.013)
+        assert slow_ok > fast_ok
+
+
+class TestRoutingPolicies:
+    @pytest.mark.parametrize(
+        "name", ("hash", "table-shard", "least-outstanding")
+    )
+    def test_primary_deterministic_and_in_range(self, name, requests):
+        policy = make_policy(name, 4)
+        replay = make_policy(name, 4)
+        healthy = list(range(4))
+        for req in requests[:200]:
+            owner = policy.primary(req, healthy)
+            assert 0 <= owner < 4
+            assert replay.primary(req, healthy) == owner
+            policy.note_dispatch(owner, req.arrival_time)
+            replay.note_dispatch(owner, req.arrival_time)
+
+    def test_hash_matches_partitioner(self, requests):
+        policy = make_policy("hash", 4)
+        partitioner = HashPartitioner(4)
+        req = requests[0]
+        key = np.asarray([req.feature_ids[0][0]], dtype=np.uint64)
+        assert policy.primary(req, [0, 1, 2, 3]) == int(
+            partitioner.owner_of(key)[0]
+        )
+
+    def test_least_outstanding_balances_load(self, requests):
+        policy = make_policy("least-outstanding", 4)
+        counts = {r: 0 for r in range(4)}
+        for req in requests:
+            owner = policy.primary(req, list(range(4)))
+            counts[owner] += 1
+            policy.note_dispatch(owner, req.arrival_time)
+        assert min(counts.values()) > 0
+        assert max(counts.values()) / min(counts.values()) < 2.0
+
+    def test_least_outstanding_avoids_unhealthy(self, requests):
+        policy = make_policy("least-outstanding", 4)
+        for req in requests[:50]:
+            assert policy.primary(req, [2, 3]) in (2, 3)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("round-robin", 4)
+
+
+class TestSingleReplicaParity:
+    def test_unclustered_server_is_bit_identical(self, hw, dataset,
+                                                 requests):
+        """A 1-replica cluster without warm-up serves the exact same
+        latencies as a bare PipelinedInferenceServer, and the bare
+        server's registry never grows cluster.* metrics."""
+        config = ClusterConfig(num_replicas=1, hot_keys=0)
+        report = ClusterRouter(dataset, hw, config=config).serve(requests)
+
+        store = EmbeddingStore(dataset.table_specs(), hw)
+        layer = FlecheEmbeddingLayer(
+            store, FlecheConfig(cache_ratio=config.cache_ratio), hw
+        )
+        server = PipelinedInferenceServer(
+            dataset, layer, hw,
+            policy=BatchingPolicy(
+                max_batch_size=config.max_batch_size,
+                max_delay=config.max_delay,
+            ),
+            depth=config.depth,
+        )
+        baseline = server.serve(requests)
+        np.testing.assert_array_equal(report.latencies, baseline.latencies)
+        assert not server.obs.has_prefix("cluster.")
+
+
+class TestFailover:
+    @pytest.fixture(scope="class")
+    def drill(self, hw, dataset, requests):
+        victim = hot_owner(dataset, 4)
+        schedule = crash_schedule(victim, start=0.01, duration=0.012)
+        config = ClusterConfig(
+            num_replicas=4,
+            breaker=BreakerConfig(
+                failure_threshold=0.5, window=8, min_samples=4,
+                cooldown=5e-3,
+            ),
+        )
+        router = ClusterRouter(
+            dataset, hw, config=config, schedule=schedule,
+            update_log=make_log(dataset),
+        )
+        return victim, router, router.serve(requests)
+
+    def test_crash_is_absorbed_without_shedding(self, drill):
+        _, _, report = drill
+        assert report.shed == 0
+        assert report.disposition_counts()["failover"] > 0
+        assert report.sla_attainment(SLA) >= 0.90
+
+    def test_request_conservation(self, drill, requests):
+        _, _, report = drill
+        counters = report.metrics.to_dict()["counters"]
+        served = (
+            counters.get("cluster.served_primary", 0)
+            + counters.get("cluster.served_failover", 0)
+            + counters.get("cluster.served_hedge", 0)
+            + counters.get("cluster.shed", 0)
+        )
+        assert counters["cluster.requests"] == len(requests) == served
+
+    def test_no_failover_to_the_crashed_replica(self, drill):
+        victim, _, report = drill
+        start = report.episodes[0].start
+        end = report.episodes[0].end
+        for i, kind in enumerate(report.dispositions):
+            if kind == "failover":
+                assert report.latencies[i] > 0
+
+        # the victim's own health window matches the scheduled outage
+        windows = report.health[victim].unroutable_windows()
+        assert windows and windows[0][0] >= start
+        assert windows[0][1] >= end
+
+    def test_victim_restarts_with_new_incarnation(self, drill):
+        victim, router, report = drill
+        assert report.per_replica[victim]["incarnations"] == 2
+        for r, summary in report.per_replica.items():
+            if r != victim:
+                assert summary["incarnations"] == 1
+
+    def test_replicas_converge_to_frontier(self, drill):
+        _, _, report = drill
+        for summary in report.per_replica.values():
+            assert summary["version_lag"] == 0
+
+    def test_unrouted_baseline_sheds_and_underperforms(
+        self, hw, dataset, requests, drill
+    ):
+        victim, _, routed = drill
+        schedule = crash_schedule(victim, start=0.01, duration=0.012)
+        config = ClusterConfig(num_replicas=4, failover=False)
+        baseline = ClusterRouter(
+            dataset, hw, config=config, schedule=schedule,
+            update_log=make_log(dataset),
+        ).serve(requests)
+        assert baseline.shed > 0
+        assert baseline.sla_attainment(SLA) < routed.sla_attainment(SLA)
+
+    def test_health_alert_brackets_outage(self, drill):
+        _, _, report = drill
+        episode = report.episodes[0]
+        timing = alert_timing(report.alerts, episode.start, episode.end)
+        assert timing["early_alerts"] == 0
+        assert timing["ttd_s"] is not None
+        assert timing["ttr_s"] is not None
+        assert not timing["unresolved"]
+
+    def test_staleness_alert_fires_during_outage(self, drill):
+        victim, _, report = drill
+        stale = [
+            a for a in report.alerts
+            if a.rule == f"replica{victim}-staleness"
+        ]
+        assert stale
+        episode = report.episodes[0]
+        for alert in stale:
+            assert alert.fired_at >= episode.start
+            assert alert.resolved_at is not None
+
+
+class TestHedging:
+    def test_slowdown_fires_hedges(self, hw, dataset, requests):
+        victim = hot_owner(dataset, 3)
+        schedule = FaultSchedule([
+            ReplicaSlowdown(
+                replica=victim, factor=6.0, start=0.005, duration=0.02
+            )
+        ])
+        config = ClusterConfig(num_replicas=3, hedge_delay=5e-4)
+        report = ClusterRouter(
+            dataset, hw, config=config, schedule=schedule
+        ).serve(requests)
+        fired = counter(report, "cluster.hedges_fired")
+        wins = counter(report, "cluster.hedge_wins")
+        assert fired > 0
+        assert 0 < wins <= fired
+
+    def test_no_hedges_without_delay_config(self, hw, dataset, requests):
+        schedule = FaultSchedule([
+            ReplicaSlowdown(replica=0, factor=6.0, start=0.005,
+                            duration=0.02)
+        ])
+        report = ClusterRouter(
+            dataset, hw, config=ClusterConfig(num_replicas=3),
+            schedule=schedule,
+        ).serve(requests)
+        assert counter(report, "cluster.hedges_fired") == 0
+
+
+class TestRecovery:
+    def test_snapshot_replay_converges_with_uninterrupted_peer(
+        self, hw, dataset
+    ):
+        log = make_log(dataset)
+        steady = ClusterReplica(0, dataset, hw)
+        steady.warm_hot_keys(0, 64)
+        steady.attach_refresh(log, now=0.0)
+        steady.subscriber.catch_up(HORIZON)
+
+        victim = ClusterReplica(1, dataset, hw)
+        victim.warm_hot_keys(0, 64)
+        victim.attach_refresh(log, now=0.0)
+        victim.take_snapshot()
+        victim.subscriber.catch_up(HORIZON / 2)
+        victim.crash()
+        assert not victim.alive
+        with pytest.raises(ConfigError):
+            victim.serve([object()])
+
+        replayed = victim.recover(HORIZON)
+        assert replayed > 0
+        assert victim.incarnation == 1
+        assert fingerprint(victim.layer.cache) == fingerprint(
+            steady.layer.cache
+        )
+
+    def test_recover_without_snapshot_rejected(self, hw, dataset):
+        replica = ClusterReplica(0, dataset, hw)
+        replica.crash()
+        with pytest.raises(ConfigError):
+            replica.recover(0.01)
+
+    def test_cold_restart_loses_cache_state(self, hw, dataset):
+        replica = ClusterReplica(0, dataset, hw)
+        replica.warm_hot_keys(0, 64)
+        before = fingerprint(replica.layer.cache)
+        replica.crash()
+        replica.cold_restart()
+        assert replica.incarnation == 1
+        assert fingerprint(replica.layer.cache) != before
+
+
+class TestDeterminism:
+    def test_drill_replay_is_byte_identical(self, hw, dataset, requests):
+        victim = hot_owner(dataset, 3)
+
+        def run():
+            router = ClusterRouter(
+                dataset, hw,
+                config=ClusterConfig(
+                    num_replicas=3,
+                    breaker=BreakerConfig(
+                        failure_threshold=0.5, window=8, min_samples=4,
+                        cooldown=5e-3,
+                    ),
+                ),
+                schedule=crash_schedule(victim, start=0.01,
+                                        duration=0.012),
+                update_log=make_log(dataset),
+            )
+            return canonical_json(router.serve(requests).to_payload(SLA))
+
+        assert run() == run()
+
+
+class TestValidation:
+    def test_empty_serve_rejected(self, hw, dataset):
+        router = ClusterRouter(
+            dataset, hw, config=ClusterConfig(num_replicas=1)
+        )
+        with pytest.raises(WorkloadError):
+            router.serve([])
+
+    def test_fault_event_validation(self):
+        with pytest.raises(ConfigError):
+            ReplicaCrash(replica=-1, start=0.0, duration=1.0)
+        with pytest.raises(ConfigError):
+            ReplicaSlowdown(replica=0, factor=0.5, start=0.0, duration=1.0)
+        with pytest.raises(ConfigError):
+            HeartbeatLoss(replica=-2, start=0.0, duration=1.0)
+        with pytest.raises(ConfigError):
+            ReplicaCrash(replica=0, start=0.0, duration=0.0)
+
+    def test_cluster_config_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_replicas=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(hot_keys=-1)
+        with pytest.raises(ConfigError):
+            ClusterConfig(hedge_delay=0.0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(dispatch_timeout=0.0)
+
+    def test_health_config_validation(self):
+        with pytest.raises(ConfigError):
+            HealthConfig(heartbeat_interval=0.0)
+        with pytest.raises(ConfigError):
+            HealthConfig(suspect_after=0)
+        with pytest.raises(ConfigError):
+            HealthConfig(suspect_after=4, dead_after=4)
+        with pytest.raises(ConfigError):
+            HealthConfig(replay_keys_per_s=0.0)
+
+    def test_multiple_crash_windows_per_replica_rejected(
+        self, hw, dataset, requests
+    ):
+        schedule = FaultSchedule([
+            ReplicaCrash(replica=0, start=0.002, duration=0.002),
+            ReplicaCrash(replica=0, start=0.01, duration=0.002),
+        ])
+        router = ClusterRouter(
+            dataset, hw, config=ClusterConfig(num_replicas=2),
+            schedule=schedule,
+        )
+        with pytest.raises(ConfigError):
+            router.serve(requests)
+
+    def test_unrouted_config_round_trips_through_replace(self):
+        config = ClusterConfig(num_replicas=4)
+        unrouted = dataclasses.replace(config, failover=False)
+        assert unrouted.failover is False
+        assert unrouted.num_replicas == config.num_replicas

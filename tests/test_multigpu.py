@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import FlecheConfig
 from repro.errors import ConfigError
@@ -36,6 +38,119 @@ class TestHashPartitioner:
     def test_rejects_zero_gpus(self):
         with pytest.raises(ConfigError):
             HashPartitioner(0)
+
+
+class TestHashPartitionerProperties:
+    """Hypothesis property coverage for the ownership hash."""
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=2**31 - 1),
+            min_size=1, max_size=64,
+        ),
+        num_gpus=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_owner_deterministic_across_dtypes(self, keys, num_gpus):
+        """The owner of a key is a property of its value, not the dtype
+        the caller happened to hand in (values < 2**31 fit all three)."""
+        p = HashPartitioner(num_gpus)
+        reference = p.owner_of(np.asarray(keys, dtype=np.uint64))
+        for dtype in (np.int64, np.uint32, np.int32):
+            np.testing.assert_array_equal(
+                p.owner_of(np.asarray(keys, dtype=dtype)), reference
+            )
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=2**63 - 1),
+            min_size=1, max_size=64,
+        ),
+        num_gpus=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_owner_stable_and_in_range(self, keys, num_gpus):
+        p = HashPartitioner(num_gpus)
+        arr = np.asarray(keys, dtype=np.uint64)
+        owners = p.owner_of(arr)
+        np.testing.assert_array_equal(owners, p.owner_of(arr))
+        assert owners.min() >= 0 and owners.max() < num_gpus
+
+    @given(num_gpus=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_covers_every_gpu_at_scale(self, num_gpus):
+        """With enough keys every GPU owns something — no dead shards."""
+        p = HashPartitioner(num_gpus)
+        owners = p.owner_of(np.arange(2048 * num_gpus, dtype=np.uint64))
+        assert set(np.unique(owners)) == set(range(num_gpus))
+
+
+class TestTablePartitionerProperties:
+    """Hypothesis property coverage for explicit table assignments."""
+
+    @given(
+        num_gpus=st.integers(min_value=1, max_value=8),
+        num_tables=st.integers(min_value=1, max_value=16),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rejects_wrong_length_assignment(
+        self, num_gpus, num_tables, data
+    ):
+        wrong_length = data.draw(
+            st.integers(min_value=0, max_value=num_tables * 2).filter(
+                lambda n: n != num_tables
+            )
+        )
+        assignment = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_gpus - 1),
+                min_size=wrong_length, max_size=wrong_length,
+            )
+        )
+        with pytest.raises(ConfigError):
+            TablePartitioner(num_gpus, num_tables, assignment=assignment)
+
+    @given(
+        num_gpus=st.integers(min_value=1, max_value=8),
+        num_tables=st.integers(min_value=1, max_value=16),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rejects_out_of_range_owner(self, num_gpus, num_tables, data):
+        assignment = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_gpus - 1),
+                min_size=num_tables, max_size=num_tables,
+            )
+        )
+        bad_index = data.draw(
+            st.integers(min_value=0, max_value=num_tables - 1)
+        )
+        bad_owner = data.draw(
+            st.sampled_from([-1, num_gpus, num_gpus + 3])
+        )
+        assignment[bad_index] = bad_owner
+        with pytest.raises(ConfigError):
+            TablePartitioner(num_gpus, num_tables, assignment=assignment)
+
+    @given(
+        num_gpus=st.integers(min_value=1, max_value=8),
+        num_tables=st.integers(min_value=1, max_value=16),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_valid_assignment_round_trips(self, num_gpus, num_tables, data):
+        assignment = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_gpus - 1),
+                min_size=num_tables, max_size=num_tables,
+            )
+        )
+        p = TablePartitioner(num_gpus, num_tables, assignment=assignment)
+        np.testing.assert_array_equal(
+            p.owner_of_tables(np.arange(num_tables)), assignment
+        )
 
 
 class TestTablePartitioner:
