@@ -449,11 +449,18 @@ def main(argv=None):
         "--smoke", action="store_true",
         help="reduced sweep + drill with the same invariant checks",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under HotPathProfiler and emit profile_cluster.json",
+    )
     args = parser.parse_args(argv)
 
     from repro import default_platform
+    from repro.bench.profiling import HotPathProfiler, maybe_section
 
+    mode = "smoke" if args.smoke else "full"
     hw = default_platform()
+    profiler = HotPathProfiler() if args.profile else None
     started = time.perf_counter()
     if args.smoke:
         sweep_kwargs = dict(
@@ -466,19 +473,25 @@ def main(argv=None):
         drill_kwargs = dict()
         hedge_kwargs = dict()
 
-    cells = run_policy_sweep(hw, **sweep_kwargs)
+    with maybe_section(profiler, "policy_sweep"):
+        cells = run_policy_sweep(hw, **sweep_kwargs)
     check_policy_sweep(cells)
     emit_policy_sweep(cells)
 
-    drill = run_kill_drill(hw, **drill_kwargs)
+    with maybe_section(profiler, "kill_drill"):
+        drill = run_kill_drill(hw, **drill_kwargs)
     check_kill_drill(drill)
     determinism = run_drill_determinism(hw, drill, **drill_kwargs)
     assert determinism["identical"], determinism
     emit_kill_drill(drill, determinism)
 
-    hedging = run_hedge_study(hw, **hedge_kwargs)
+    with maybe_section(profiler, "hedge_study"):
+        hedging = run_hedge_study(hw, **hedge_kwargs)
     check_hedge_study(hedging)
     emit_hedge_study(hedging)
+
+    if profiler is not None:
+        profiler.emit("profile_cluster", bench="cluster", mode=mode)
 
     runtime_s = time.perf_counter() - started
     emit_json("BENCH_cluster", {

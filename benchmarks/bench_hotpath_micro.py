@@ -1,0 +1,249 @@
+"""Layer-level micro-benchmarks for the vectorized serving hot path.
+
+The end-to-end depth sweep (``bench_serving_sla.py``) can hide a single
+layer regressing — a 2x slower miss table is noise next to the dense
+GEMMs.  These micro-benchmarks time each vectorized unit in isolation:
+
+- **miss table**: ``InFlightMissTable`` publish/match/retire cycles
+  (keys/s through the whole lifecycle);
+- **workflow**: ``FlecheEmbeddingLayer.query`` replaying one steady-state
+  batch (batches/s through encode/dedup/index/fetch/copy — phases 1-4);
+- **router**: :func:`~repro.cluster.router.plan_primary_streams` over a
+  vectorised-policy arrival stream (requests planned/s).
+
+``--pin`` rewrites the pinned ``BENCH_hotpath_micro_baseline.json``;
+``check_regression.py`` fails CI when any unit drops below
+``min_fraction`` of its pinned throughput.  Workloads are deterministic
+(fixed seeds); only the measured rates vary run to run.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import FlecheConfig, default_platform
+from repro.bench.reporting import (
+    emit, emit_json, format_rate, format_table, load_artifact,
+)
+from repro.cluster.router import plan_primary_streams
+from repro.cluster.routing import make_policy
+from repro.core.workflow import FlecheEmbeddingLayer
+from repro.gpusim.executor import Executor
+from repro.serving.arrivals import PoissonArrivals
+from repro.serving.pipeline import InFlightMissTable
+from repro.tables.store import EmbeddingStore
+from repro.workloads.synthetic import synthetic_dataset, uniform_tables_spec
+
+#: Candidate throughput below ``min_fraction`` x pinned fails the gate.
+#: Loose on purpose: it absorbs CI-machine variance (the suite has seen
+#: +-15% run-to-run on one box), not a vectorization regression, which
+#: shows up as 5-20x.
+MIN_FRACTION = 0.4
+
+
+def run_miss_table_micro(dim=32, keys_per_round=4_096, rounds=48):
+    """Publish/match/retire cycles; returns keys/s plus op counts."""
+    rng = np.random.default_rng(7)
+    table = InFlightMissTable()
+    # Two live segments at all times: each round matches against the
+    # previous round's segment (half hits, half fresh misses) before
+    # publishing its own and retiring the previous owner.
+    prev_keys = rng.integers(0, 1 << 40, size=keys_per_round, dtype=np.uint64)
+    table.set_owner(-1)
+    table.publish(prev_keys, np.zeros((keys_per_round, dim), np.float32))
+    total_keys = 0
+    started = time.perf_counter()
+    for r in range(rounds):
+        fresh = rng.integers(0, 1 << 40, size=keys_per_round, dtype=np.uint64)
+        probe = np.concatenate([prev_keys[::2], fresh[: keys_per_round // 2]])
+        mask, _rows, _deg = table.match(probe, dim)
+        table.set_owner(r)
+        table.publish(fresh, np.zeros((keys_per_round, dim), np.float32))
+        table.retire(r - 1)
+        total_keys += probe.size + fresh.size
+        prev_keys = fresh
+    elapsed = time.perf_counter() - started
+    assert mask.size == keys_per_round  # last probe, half matched
+    return {
+        "keys_per_s": total_keys / elapsed,
+        "keys": total_keys,
+        "rounds": rounds,
+        "elapsed_s": elapsed,
+    }
+
+
+def run_workflow_micro(hw, batch_size=4_096, rounds=32):
+    """Steady-state ``FlecheEmbeddingLayer.query`` batches/s."""
+    dataset = uniform_tables_spec(
+        num_tables=8, corpus_size=40_000, alpha=-1.2, dim=32,
+    )
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
+    executor = Executor(hw)
+    trace = synthetic_dataset(dataset, num_batches=4, batch_size=batch_size)
+    batches = list(trace)
+    for batch in batches:  # warm: materialise rows, fill the cache
+        layer.query(batch, executor)
+    steady = batches[-1]
+    started = time.perf_counter()
+    for _ in range(rounds):
+        layer.query(steady, executor)
+    elapsed = time.perf_counter() - started
+    return {
+        "batches_per_s": rounds / elapsed,
+        "keys_per_s": rounds * steady.total_ids / elapsed,
+        "batch_size": batch_size,
+        "rounds": rounds,
+        "elapsed_s": elapsed,
+    }
+
+
+def run_router_micro(num_replicas=8, num_requests=20_000, rounds=12):
+    """Fault-free dispatch planning (policy + stream grouping) plans/s."""
+    dataset = uniform_tables_spec(
+        num_tables=4, corpus_size=20_000, alpha=-1.2, dim=16,
+    )
+    requests = PoissonArrivals(dataset, 1_000_000.0, seed=11).generate(
+        num_requests
+    )
+    policy = make_policy("hash", num_replicas)
+    arrivals = np.fromiter(
+        (r.arrival_time for r in requests), np.float64, count=num_requests
+    )
+    request_ids = np.fromiter(
+        (r.request_id for r in requests), np.int64, count=num_requests
+    )
+    started = time.perf_counter()
+    for _ in range(rounds):
+        owners = policy.primary_many(requests)
+        plans = plan_primary_streams(owners, arrivals, request_ids)
+    elapsed = time.perf_counter() - started
+    planned = sum(m.size for m in plans.values())
+    assert planned == num_requests
+    return {
+        "plans_per_s": rounds * num_requests / elapsed,
+        "replicas": num_replicas,
+        "requests": num_requests,
+        "rounds": rounds,
+        "elapsed_s": elapsed,
+    }
+
+
+#: unit -> (runner needs hw?, headline metric key).
+UNITS = (
+    ("miss_table", "keys_per_s"),
+    ("workflow", "batches_per_s"),
+    ("router", "plans_per_s"),
+)
+
+
+def run_micro(hw):
+    """All units; returns ``unit -> result dict``."""
+    return {
+        "miss_table": run_miss_table_micro(),
+        "workflow": run_workflow_micro(hw),
+        "router": run_router_micro(),
+    }
+
+
+def emit_micro(results, baseline=None):
+    rows = []
+    for unit, metric in UNITS:
+        cell = results[unit]
+        pinned = (baseline or {}).get("units", {}).get(unit, {}).get(metric)
+        rows.append([
+            unit, metric, format_rate(cell[metric]),
+            format_rate(pinned) if pinned else "-",
+            f"{cell[metric] / pinned:.2f}x" if pinned else "-",
+        ])
+    emit("BENCH_hotpath_micro_report", format_table(
+        ["unit", "metric", "measured", "pinned", "ratio"],
+        rows,
+        title="Hot-path micro-benchmarks (layer-level throughput)",
+    ))
+    emit_json("BENCH_hotpath_micro", {
+        "min_fraction": MIN_FRACTION,
+        "units": results,
+    })
+
+
+def check_micro(results, baseline):
+    """Throughput floors vs the pinned baseline; returns violations."""
+    violations = []
+    min_fraction = float(baseline.get("min_fraction", MIN_FRACTION))
+    for unit, metric in UNITS:
+        pinned = baseline.get("units", {}).get(unit, {}).get(metric)
+        if pinned is None:
+            violations.append(f"{unit}/{metric}: missing from baseline")
+            continue
+        measured = results[unit][metric]
+        if measured < min_fraction * float(pinned):
+            violations.append(
+                f"{unit}/{metric}: {measured:.3g}/s is below "
+                f"{min_fraction:.0%} of pinned {float(pinned):.3g}/s"
+            )
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--pin", action="store_true",
+        help="rewrite the pinned baseline from this run's measurements",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/results/BENCH_hotpath_micro_baseline.json",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under HotPathProfiler and emit profile_micro.json",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.profiling import HotPathProfiler, maybe_section
+
+    hw = default_platform()
+    profiler = HotPathProfiler() if args.profile else None
+    with maybe_section(profiler, "micro_units"):
+        results = run_micro(hw)
+
+    if args.pin:
+        emit_json("BENCH_hotpath_micro_baseline", {
+            "min_fraction": MIN_FRACTION,
+            "units": results,
+        })
+        emit_micro(results)
+        print("\npinned new hot-path micro baseline")
+        if profiler is not None:
+            profiler.emit("profile_micro", bench="hotpath_micro",
+                          mode="full")
+        return 0
+
+    import os
+
+    baseline = (
+        load_artifact(args.baseline) if os.path.exists(args.baseline)
+        else None
+    )
+    emit_micro(results, baseline)
+    if profiler is not None:
+        profiler.emit("profile_micro", bench="hotpath_micro", mode="full")
+    if baseline is None:
+        print(f"\nno pinned baseline at {args.baseline}; gate skipped "
+              "(run with --pin to create one)")
+        return 0
+    violations = check_micro(results, baseline)
+    if violations:
+        print("\nHOT-PATH REGRESSIONS:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("\nhot-path micro-benchmarks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

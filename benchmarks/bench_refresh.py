@@ -254,27 +254,39 @@ def main(argv=None):
         "--smoke", action="store_true",
         help="reduced quantum x rate sweep with the same invariant checks",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under HotPathProfiler and emit profile_refresh.json",
+    )
     args = parser.parse_args(argv)
 
     from repro import default_platform
+    from repro.bench.profiling import HotPathProfiler, maybe_section
 
+    mode = "smoke" if args.smoke else "full"
     hw = default_platform()
+    profiler = HotPathProfiler() if args.profile else None
     started = time.perf_counter()
     if args.smoke:
         rates = (REFERENCE_RATE, 800_000)
         quanta = (128, REFERENCE_QUANTUM)
-        cells, baselines, aggressive = run_refresh_sweep(
-            hw, rates=rates, quanta=quanta, num_requests=1_200, rounds=8,
+        sweep_kwargs = dict(
+            rates=rates, quanta=quanta, num_requests=1_200, rounds=8,
         )
     else:
         rates, quanta = RATES, QUANTA
-        cells, baselines, aggressive = run_refresh_sweep(hw)
+        sweep_kwargs = dict()
+    with maybe_section(profiler, "refresh_sweep"):
+        cells, baselines, aggressive = run_refresh_sweep(
+            hw, **sweep_kwargs
+        )
     emit_refresh_sweep(cells, baselines, aggressive, rates=rates,
                        quanta=quanta,
                        runtime_s=time.perf_counter() - started)
     check_refresh_sweep(cells, baselines)
-    print("\nrefresh sweep OK "
-          f"({'smoke' if args.smoke else 'full'} mode)")
+    if profiler is not None:
+        profiler.emit("profile_refresh", bench="refresh", mode=mode)
+    print(f"\nrefresh sweep OK ({mode} mode)")
 
 
 if __name__ == "__main__":

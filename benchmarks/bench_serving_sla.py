@@ -17,6 +17,8 @@ Runs standalone too: ``python benchmarks/bench_serving_sla.py --smoke``
 executes a reduced sweep with the same invariant checks (the CI smoke).
 """
 
+import copy
+
 import numpy as np
 
 from repro import FlecheConfig, SpanTracer
@@ -156,8 +158,25 @@ def run_depth_sweep(hw, replicas=REPLICAS, depths=SWEEP_DEPTHS,
             num_requests
         )
 
-        def make_server(cls, **kwargs):
-            store = EmbeddingStore(dataset.table_specs(), hw)
+        # One host store per replica, shared by every server config (like
+        # ``model``): table lookups are pure functions of (table, id), so
+        # sharing the lazily-materialised rows changes no output while
+        # skipping three redundant re-materialisations of the corpus.
+        store = EmbeddingStore(dataset.table_specs(), hw)
+
+        # Warm once, clone per config.  Every server config replays the
+        # same warm stream through the same deterministic engine, so the
+        # post-warm (cache, registry, tuner) state is identical across
+        # configs — serve it once and deep-copy the warmed engine into
+        # each server (store/model/hw stay shared; they are pure).
+        proto = InferenceServer(
+            dataset,
+            FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw),
+            hw, policy=policy, model=model, include_dense=True,
+        )
+        proto.serve(warm)
+
+        def make_server(cls, steal=False, **kwargs):
             layer = FlecheEmbeddingLayer(
                 store, FlecheConfig(cache_ratio=0.05), hw
             )
@@ -165,14 +184,30 @@ def run_depth_sweep(hw, replicas=REPLICAS, depths=SWEEP_DEPTHS,
                 dataset, layer, hw, policy=policy, model=model,
                 include_dense=True, **kwargs,
             )
-            server.serve(warm)
+            if steal:
+                # Last consumer of the warmed engine: take it directly.
+                server.engine = proto.engine
+            else:
+                scheme0 = proto.engine.scheme
+                server.engine = copy.deepcopy(
+                    proto.engine,
+                    {
+                        id(store): store, id(model): model, id(hw): hw,
+                        # Pure memo caches (kernel specs / fusion plans
+                        # keyed on pure inputs): share, don't deep-copy.
+                        id(scheme0._spec_memo): scheme0._spec_memo,
+                        id(scheme0._fusion_memo): scheme0._fusion_memo,
+                    },
+                )
+            server.scheme = server.engine.scheme
             return server
 
         seq_report = make_server(InferenceServer).serve(reqs)
         summaries[(rname, "sequential")] = _summarise(seq_report, 0)
         for depth in depths:
             report = make_server(
-                PipelinedInferenceServer, depth=depth
+                PipelinedInferenceServer, depth=depth,
+                steal=depth == depths[-1],
             ).serve(reqs)
             summaries[(rname, f"depth{depth}")] = _summarise(report, depth)
             if depth == 1:
@@ -215,8 +250,16 @@ def check_depth_sweep(summaries, checks, depths=SWEEP_DEPTHS):
     assert total_coalesced > 0
 
 
-def emit_depth_sweep(summaries, depths=SWEEP_DEPTHS, runtime_s=None):
-    """Text table + BENCH_serving.json from depth-sweep summaries."""
+def emit_depth_sweep(summaries, depths=SWEEP_DEPTHS, runtime_s=None,
+                     extra_name=None):
+    """Text table + BENCH_serving.json from depth-sweep summaries.
+
+    ``extra_name`` writes the same artifact under a second name — the
+    full-mode CLI run uses it so ``BENCH_serving_full.json`` survives the
+    smoke run overwriting ``BENCH_serving.json``, and
+    ``check_regression.py`` can hold the full run to the two-sided
+    runtime gate.
+    """
     rows = []
     payload = {}
     for (rname, label), s in sorted(summaries.items()):
@@ -245,6 +288,8 @@ def emit_depth_sweep(summaries, depths=SWEEP_DEPTHS, runtime_s=None):
     if runtime_s is not None:
         artifact["runtime_s"] = runtime_s
     emit_json("BENCH_serving", artifact)
+    if extra_name is not None:
+        emit_json(extra_name, artifact)
 
 
 def test_serving_pipeline_depth_sweep(hw, run_once):
@@ -337,31 +382,51 @@ def main(argv=None):
         "--smoke", action="store_true",
         help="reduced depth sweep with the same invariant checks",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under HotPathProfiler and emit profile.json",
+    )
     args = parser.parse_args(argv)
 
     from repro import default_platform
+    from repro.bench.profiling import (
+        HotPathProfiler, maybe_section, serving_baseline,
+    )
 
+    mode = "smoke" if args.smoke else "full"
     hw = default_platform()
+    profiler = HotPathProfiler() if args.profile else None
     started = time.perf_counter()
     if args.smoke:
         depths = (1, 2)
-        summaries, checks = run_depth_sweep(
-            hw, depths=depths, num_requests=1_500
-        )
+        sweep_kwargs = dict(depths=depths, num_requests=1_500)
     else:
         depths = SWEEP_DEPTHS
-        summaries, checks = run_depth_sweep(hw, depths=depths)
+        sweep_kwargs = dict(depths=depths)
+    with maybe_section(profiler, "depth_sweep"):
+        summaries, checks = run_depth_sweep(hw, **sweep_kwargs)
     emit_depth_sweep(
         summaries, depths=depths,
         runtime_s=time.perf_counter() - started,
+        extra_name=None if args.smoke else "BENCH_serving_full",
     )
     check_depth_sweep(summaries, checks, depths=depths)
-    report, tracer, collector = run_traced_observability(
-        hw, num_requests=800 if args.smoke else 2_000
-    )
+    # Side section stays out of the cProfile attribution: the pinned
+    # pre-rewrite layer profile covers the depth sweep only.
+    with maybe_section(profiler, "traced_observability", cprofile=False):
+        report, tracer, collector = run_traced_observability(
+            hw, num_requests=800 if args.smoke else 2_000
+        )
     emit_observability_artifacts(report, tracer, collector)
+    if profiler is not None:
+        # Pinned pre-rewrite layer profile covers the depth sweep, the
+        # section the 5x claim is made on.
+        profiler.emit(
+            "profile", bench="serving_sla", mode=mode,
+            baseline_layers_s=serving_baseline(mode),
+        )
     print("\nserving depth sweep OK "
-          f"({'smoke' if args.smoke else 'full'} mode)")
+          f"({mode} mode)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,117 @@
+"""AST lint enforcing the hot-path vectorization contract.
+
+The serving hot path was rewritten so that steady-state work is array-wide
+numpy — no per-key or per-request Python loops (``docs/performance.md``).
+This check keeps it that way: functions marked with a ``# hot-path:
+vectorized`` comment on (or immediately above) their ``def`` line must not
+contain ``for``/``while`` statements, unless the loop's own line carries a
+``# lint: allow-loop`` annotation stating why it is *not* per-key (loops
+over dim groups, segments, replicas, or cuckoo rounds are bounded by
+structure, not by key count).
+
+Comprehensions and generator expressions are not flagged — the contract
+is about the steady-state statement loops profiling showed dominating,
+and a comprehension feeding ``np.fromiter`` is part of the vectorized
+idiom.  Adding a new loop to a marked function requires either
+vectorizing it or annotating it with a justification, which is exactly
+the review friction we want.
+
+Usage::
+
+    python benchmarks/check_hotpath.py   # exit 1 on violations
+
+Exits 2 when a file lists no marked functions (the markers must not
+silently disappear).
+"""
+
+import ast
+import sys
+
+#: Files under the vectorization contract.  Every file must contain at
+#: least one marked function; the expected count is asserted so a marker
+#: cannot be dropped without editing this table.
+HOT_PATH_FILES = {
+    "src/repro/serving/pipeline.py": 3,   # match / publish / retire
+    "src/repro/core/workflow.py": 3,      # encode / dedup / _query_stages
+    "src/repro/cluster/router.py": 2,     # plan_primary_streams / fault-free
+    "src/repro/serving/batcher.py": 1,    # form_batches
+    "src/repro/hashindex/slab_hash.py": 3,  # lookup / insert / erase
+    "src/repro/tables/embedding_table.py": 1,  # lookup
+}
+
+MARKER = "# hot-path: vectorized"
+ALLOW = "# lint: allow-loop"
+
+
+def marked_functions(tree: ast.Module, lines):
+    """Yield function nodes carrying the hot-path marker."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # Decorators shift node.lineno in some Python versions; scan the
+        # def line itself and the line above it.
+        def_line = lines[node.lineno - 1]
+        above = lines[node.lineno - 2] if node.lineno >= 2 else ""
+        if MARKER in def_line or MARKER in above:
+            yield node
+
+
+def check_file(path: str, expected_marks: int):
+    """Returns (marked function count, violation strings)."""
+    with open(path) as f:
+        source = f.read()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=path)
+    violations = []
+    count = 0
+    for func in marked_functions(tree, lines):
+        count += 1
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            loop_line = lines[node.lineno - 1]
+            if ALLOW in loop_line:
+                continue
+            kind = "for" if isinstance(node, ast.For) else "while"
+            violations.append(
+                f"{path}:{node.lineno}: {kind}-loop inside hot-path "
+                f"function {func.name!r} — vectorize it or annotate the "
+                f"loop line with {ALLOW!r} and a bounded-by-structure "
+                "reason"
+            )
+    if count != expected_marks:
+        violations.append(
+            f"{path}: expected {expected_marks} functions marked "
+            f"{MARKER!r}, found {count} — update HOT_PATH_FILES if the "
+            "contract surface changed deliberately"
+        )
+    return count, violations
+
+
+def main(argv=None) -> int:
+    total = 0
+    violations = []
+    for path, expected in sorted(HOT_PATH_FILES.items()):
+        try:
+            count, file_violations = check_file(path, expected)
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        total += count
+        violations.extend(file_violations)
+    if not total:
+        print("no marked hot-path functions found; markers must not "
+              "silently disappear", file=sys.stderr)
+        return 2
+    if violations:
+        print("HOT-PATH CONTRACT VIOLATIONS:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"hot-path contract OK ({total} marked functions, "
+          f"{len(HOT_PATH_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -152,11 +152,17 @@ def compare_refresh(baseline: dict, candidate: dict,
 
 def runtime_gate(baseline: dict, candidate: dict, label: str,
                  runtime_tolerance: float = RUNTIME_TOLERANCE):
-    """One-sided wall-clock gate; returns (rows, violations).
+    """Wall-clock gate; returns (rows, violations).
 
     Applies only when the baseline carries a ``runtime_s`` stamp; a
     stamped baseline with an unstamped candidate is a violation (the
-    stamp must not silently disappear).  Getting faster never fails.
+    stamp must not silently disappear).  One-sided by default — the
+    candidate must finish within ``runtime_tolerance`` x the pinned
+    runtime, and getting faster never fails.  A baseline that also pins
+    ``min_speedup`` makes the gate *two-sided*: the candidate must beat
+    ``runtime_s / min_speedup`` — losing a claimed speedup fails CI
+    exactly like getting slower, so a vectorized hot path cannot quietly
+    rot back to per-key Python.
     """
     base = baseline.get("runtime_s")
     if base is None:
@@ -164,15 +170,26 @@ def runtime_gate(baseline: dict, candidate: dict, label: str,
     cand = candidate.get("runtime_s")
     if cand is None:
         return [], [f"{label}: baseline has runtime_s but candidate lost it"]
-    limit = float(base) * runtime_tolerance
+    min_speedup = baseline.get("min_speedup")
+    if min_speedup is not None:
+        limit = float(base) / float(min_speedup)
+        budget = f"required <= {limit:.4g}s ({float(min_speedup):.3g}x)"
+        over = (
+            f"must run >={float(min_speedup):.3g}x faster than the pinned "
+            f"{float(base):.3g}s (limit {limit:.3g}s)"
+        )
+    else:
+        limit = float(base) * runtime_tolerance
+        budget = f"limit {limit:.4g}s"
+        over = f"over {runtime_tolerance:.1f}x budget"
     ok = float(cand) <= limit
     rows = [[
         label, "-", "runtime_s", f"{float(base):.4g}", f"{float(cand):.4g}",
-        f"limit {limit:.4g}s", "ok" if ok else "FAIL",
+        budget, "ok" if ok else "FAIL",
     ]]
     violations = [] if ok else [
         f"{label}/runtime_s: baseline {float(base):.3g}s -> candidate "
-        f"{float(cand):.3g}s (over {runtime_tolerance:.1f}x budget)"
+        f"{float(cand):.3g}s ({over})"
     ]
     return rows, violations
 
@@ -244,6 +261,14 @@ def main(argv=None) -> int:
         "--candidate", default="benchmarks/results/BENCH_serving.json"
     )
     parser.add_argument(
+        "--full-baseline",
+        default="benchmarks/results/BENCH_serving_full_baseline.json",
+    )
+    parser.add_argument(
+        "--full-candidate",
+        default="benchmarks/results/BENCH_serving_full.json",
+    )
+    parser.add_argument(
         "--refresh-baseline",
         default="benchmarks/results/BENCH_refresh_baseline.json",
     )
@@ -292,6 +317,37 @@ def main(argv=None) -> int:
     ))
 
     import os
+
+    if os.path.exists(args.full_baseline) and os.path.exists(
+        args.full_candidate
+    ):
+        full_baseline = load_artifact(args.full_baseline)
+        full_candidate = load_artifact(args.full_candidate)
+        full_rows, full_violations = compare(
+            full_baseline, full_candidate,
+            rel_tolerance=args.rel_tolerance,
+            abs_sla_tolerance=args.abs_sla_tolerance,
+        )
+        runtime_rows, runtime_violations = runtime_gate(
+            full_baseline, full_candidate, "serving-full",
+            runtime_tolerance=args.runtime_tolerance,
+        )
+        full_rows.extend(runtime_rows)
+        violations.extend(full_violations)
+        violations.extend(runtime_violations)
+        print()
+        print(format_table(
+            ["replica", "server", "metric", "baseline", "candidate",
+             "drift", "status"],
+            full_rows,
+            title=(
+                "Full-mode serving gate (two-sided runtime: the pinned "
+                "min_speedup must hold)"
+            ),
+        ))
+    else:
+        print(f"\nno full-mode pair at {args.full_baseline} + "
+              f"{args.full_candidate}; full serving gate skipped")
 
     if os.path.exists(args.refresh_baseline):
         refresh_baseline = load_artifact(args.refresh_baseline)

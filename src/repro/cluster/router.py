@@ -228,6 +228,29 @@ class ClusterReport:
         return payload
 
 
+# hot-path: vectorized
+def plan_primary_streams(
+    owners: np.ndarray,
+    arrivals: np.ndarray,
+    request_ids: np.ndarray,
+) -> "Dict[int, np.ndarray]":
+    """Group fault-free primary dispatches into per-replica streams.
+
+    The planning kernel of :meth:`ClusterRouter._serve_fault_free` (and
+    the unit ``bench_hotpath_micro.py`` times): one ``np.lexsort`` per
+    owning replica orders its stream by ``(arrival, request_id)`` with
+    ties kept stable — ``np.lexsort``'s last key is primary.  Returns
+    ``owner -> member index array`` in ascending owner order.
+    """
+    streams: Dict[int, np.ndarray] = {}
+    for owner in np.unique(owners).tolist():  # lint: allow-loop (per replica)
+        member = np.flatnonzero(owners == owner)
+        streams[owner] = member[
+            np.lexsort((request_ids[member], arrivals[member]))
+        ]
+    return streams
+
+
 class ClusterRouter(Observable):
     """N cache-equipped serving replicas behind one routed front end."""
 
@@ -375,6 +398,98 @@ class ClusterRouter(Observable):
 
     # ------------------------------------------------------------ serving
 
+    def _fault_free(self, episodes: Dict[int, _CrashEpisode]) -> bool:
+        """True when no fault machinery can engage in this run.
+
+        Requires an empty fault schedule (so every slow factor is 1.0 and
+        nothing is ever lost), no crash episodes, and every precomputed
+        health timeline pinned at healthy — under which the per-request
+        planner reduces to "dispatch each request to its primary".
+        """
+        if episodes or self.schedule.events:
+            return False
+        return all(
+            len(h.transitions) == 1 and h.transitions[0].state == HEALTHY
+            for h in self.health.values()
+        )
+
+    # hot-path: vectorized
+    def _serve_fault_free(
+        self,
+        requests: Sequence,
+        episodes: Dict[int, _CrashEpisode],
+        horizon: float,
+        before,
+    ) -> Optional[ClusterReport]:
+        """Steady-state serving as per-replica array operations.
+
+        The hot path of a healthy cluster: plan every primary in one
+        vectorised policy call, group requests per replica with one
+        lexsort, and skip the dispatch-copy merge entirely (exactly one
+        valid primary completion per request, so the winner is known).
+        Byte-identical to the general planner because on an empty
+        schedule every slow factor is 1.0 (``x * 1.0 == x``), no hedge
+        or failover can fire, and the per-stream execution order —
+        ``(arrival, request_id)``, stable — is reproduced by the
+        lexsort.  Returns None whenever any fault machinery could
+        engage; the exact per-request planner runs instead.
+        """
+        if not self._fault_free(episodes):
+            return None
+        owners = self.policy.primary_many(requests)
+        if owners is None:
+            return None
+        reg = self.obs
+        cfg = self.config
+        n = len(requests)
+        arrivals = np.fromiter(
+            (r.arrival_time for r in requests), np.float64, count=n
+        )
+        request_ids = np.fromiter(
+            (r.request_id for r in requests), np.int64, count=n
+        )
+        latencies = np.full(n, inf)
+        stream_counts: Dict[Tuple[int, int], int] = {}
+        plans = plan_primary_streams(owners, arrivals, request_ids)
+        for owner, member in plans.items():  # lint: allow-loop (per replica)
+            stream = self.replicas[owner].serve(
+                [requests[i] for i in member]
+            )
+            # finish = at + latency * slow_factor with factor == 1.0.
+            finish = arrivals[member] + np.asarray(
+                stream.latencies, dtype=np.float64
+            )
+            latencies[member] = finish - arrivals[member]
+            stream_counts[(owner, 0)] = int(member.size)
+        dispositions: List[str] = [DISPATCH_PRIMARY] * n
+        reg.inc("cluster.served_primary", n)
+        reg.inc("cluster.served_failover", 0)
+        reg.inc("cluster.served_hedge", 0)
+        reg.inc("cluster.shed", 0)
+
+        alerts = (
+            self.monitor.health_alerts(self.health) if cfg.failover else []
+        )
+        alerts.extend(self._staleness_alerts(episodes, horizon))
+        for replica in self.replicas:  # lint: allow-loop (per replica)
+            if replica.subscriber is not None:
+                replica.subscriber.catch_up(horizon)
+                replica.subscriber.refresh_gauges(horizon)
+        per_replica = self._replica_summaries(stream_counts, horizon)
+
+        reg.check()
+        delta = reg.snapshot().diff(before)
+        return ClusterReport(
+            latencies=latencies,
+            arrival_times=arrivals,
+            dispositions=dispositions,
+            per_replica=per_replica,
+            health=self.health,
+            alerts=alerts,
+            episodes=[],
+            metrics=delta,
+        )
+
     def serve(self, requests: Sequence) -> ClusterReport:
         if not requests:
             raise WorkloadError("no requests to serve")
@@ -413,6 +528,10 @@ class ClusterRouter(Observable):
             horizon, replay_seconds=replay_seconds
         )
         episodes = self._episodes()
+
+        report = self._serve_fault_free(requests, episodes, horizon, before)
+        if report is not None:
+            return report
 
         streams: Dict[Tuple[int, int], List[_Dispatch]] = {}
         per_index: List[List[_Dispatch]] = [[] for _ in range(n)]
@@ -555,17 +674,47 @@ class ClusterRouter(Observable):
             run_stream(key)
 
         # ------------------------------------------------------- merging
+        # Per request the earliest valid completion wins; ties prefer
+        # primary over failover over hedge, then plan order — i.e. the
+        # first minimum of ``(finish, kind_rank)`` in each request's
+        # dispatch list.  One lexsort over every valid dispatch finds
+        # all winners at once: sort by (index, finish, rank, seq) and
+        # take each index's first row (seq = plan order, so ties
+        # reproduce Python ``min``'s first-wins behaviour).
         latencies = np.full(n, inf)
         dispositions: List[str] = [SHED] * n
-        for index, request in enumerate(requests):
-            valid = [d for d in per_index[index] if d.valid]
-            if not valid:
-                continue
-            winner = min(
-                valid, key=lambda d: (d.finish, _KIND_RANK[d.kind])
+        valid_d = [d for lst in per_index for d in lst if d.valid]
+        if valid_d:
+            m = len(valid_d)
+            d_index = np.fromiter(
+                (d.index for d in valid_d), np.int64, count=m
             )
-            latencies[index] = winner.finish - request.arrival_time
-            dispositions[index] = winner.kind
+            d_finish = np.fromiter(
+                (d.finish for d in valid_d), np.float64, count=m
+            )
+            d_rank = np.fromiter(
+                (_KIND_RANK[d.kind] for d in valid_d), np.int64, count=m
+            )
+            order = np.lexsort(
+                (np.arange(m), d_rank, d_finish, d_index)
+            )
+            served_idx, first = np.unique(
+                d_index[order], return_index=True
+            )
+            winners = order[first]
+            arrival_arr = np.fromiter(
+                (r.arrival_time for r in requests), np.float64, count=n
+            )
+            latencies[served_idx] = (
+                d_finish[winners] - arrival_arr[served_idx]
+            )
+            kind_by_rank = (
+                DISPATCH_PRIMARY, DISPATCH_FAILOVER, DISPATCH_HEDGE
+            )
+            for i, rank in zip(
+                served_idx.tolist(), d_rank[winners].tolist()
+            ):
+                dispositions[i] = kind_by_rank[rank]
         counts = {k: 0 for k in (*_KIND_RANK, SHED)}
         for d in dispositions:
             counts[d] += 1
@@ -587,7 +736,9 @@ class ClusterRouter(Observable):
             if replica.subscriber is not None:
                 replica.subscriber.catch_up(horizon)
                 replica.subscriber.refresh_gauges(horizon)
-        per_replica = self._replica_summaries(streams, horizon)
+        per_replica = self._replica_summaries(
+            {key: len(v) for key, v in streams.items()}, horizon
+        )
 
         reg.check()
         delta = reg.snapshot().diff(before)
@@ -666,13 +817,13 @@ class ClusterRouter(Observable):
         return alerts
 
     def _replica_summaries(
-        self, streams: Dict[Tuple[int, int], List[_Dispatch]], now: float
+        self, stream_counts: Dict[Tuple[int, int], int], now: float
     ) -> Dict[int, dict]:
         summaries: Dict[int, dict] = {}
         for replica in self.replicas:
             r = replica.replica_id
             dispatched = sum(
-                len(v) for (rid, _), v in streams.items() if rid == r
+                v for (rid, _), v in stream_counts.items() if rid == r
             )
             state = self.health[r].state_at(now) if self.health else HEALTHY
             self.obs.set_gauge(

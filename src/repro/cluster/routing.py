@@ -58,6 +58,18 @@ class RoutingPolicy:
     def primary(self, request: Request, healthy: Sequence[int]) -> int:
         raise NotImplementedError
 
+    def primary_many(
+        self, requests: Sequence[Request]
+    ) -> Optional[np.ndarray]:
+        """Vectorised primaries for a whole arrival stream, assuming every
+        replica is routable throughout.
+
+        Returns None when the policy cannot answer in bulk (load-aware
+        policies depend on dispatch history and the per-request healthy
+        set); the router then falls back to per-request planning.
+        """
+        return None
+
     def note_dispatch(self, replica: int, at: float) -> None:
         """Hook for load-aware policies; stateless policies ignore it."""
 
@@ -66,6 +78,16 @@ class RoutingPolicy:
         if len(ids) == 0:
             return request.request_id
         return int(ids[0])
+
+    def _routing_keys(
+        self, requests: Sequence[Request], table: int
+    ) -> np.ndarray:
+        """Routing keys of a whole stream as one uint64 array."""
+        return np.fromiter(
+            (self._routing_key(r, table) for r in requests),
+            dtype=np.uint64,
+            count=len(requests),
+        )
 
 
 class ConsistentHashPolicy(RoutingPolicy):
@@ -86,6 +108,12 @@ class ConsistentHashPolicy(RoutingPolicy):
             dtype=np.uint64,
         )
         return int(self._partitioner.owner_of(key)[0])
+
+    def primary_many(
+        self, requests: Sequence[Request]
+    ) -> Optional[np.ndarray]:
+        keys = self._routing_keys(requests, self.routing_table)
+        return self._partitioner.owner_of(keys)
 
 
 class TableShardPolicy(RoutingPolicy):
@@ -114,6 +142,13 @@ class TableShardPolicy(RoutingPolicy):
     def primary(self, request: Request, healthy: Sequence[int]) -> int:
         shard = self._routing_key(request, self.routing_table) % self.num_shards
         return int(self._partitioner.owner_of_tables([shard])[0])
+
+    def primary_many(
+        self, requests: Sequence[Request]
+    ) -> Optional[np.ndarray]:
+        keys = self._routing_keys(requests, self.routing_table)
+        shards = keys % np.uint64(self.num_shards)
+        return self._partitioner.owner_of_tables(shards)
 
 
 class LeastOutstandingPolicy(RoutingPolicy):

@@ -68,6 +68,9 @@ class TableCode:
         """True when every feature ID of the table fits without hashing."""
         return self.corpus_size <= (1 << self.feature_bits)
 
+    def __deepcopy__(self, memo):
+        return self  # frozen, all-scalar: safe to share across clones
+
 
 @dataclass(frozen=True)
 class CodecLayout:

@@ -72,14 +72,36 @@ class HostHashTable:
         if self._size + len(keys) > self.table_size:
             raise SimulationError("host hash table overflow")
         slots = _slot_of(keys, self.table_size)
-        for i in range(len(keys)):
-            slot = int(slots[i])
-            while self._rows[slot] != _EMPTY and self._keys[slot] != keys[i]:
-                slot = (slot + 1) % self.table_size
-            if self._rows[slot] == _EMPTY:
-                self._size += 1
-            self._keys[slot] = keys[i]
-            self._rows[slot] = rows[i]
+        n = len(keys)
+        pos = 0
+        chunk = 128
+        while pos < n:
+            stop = min(pos + chunk, n)
+            cslots = slots[pos:stop]
+            # Bulk fast path: when every key's *initial* slot is currently
+            # empty and no two keys in the chunk share one, sequential
+            # probing would place each key exactly at its initial slot —
+            # so one vectorised scatter reproduces the sequential layout
+            # bit-for-bit.  Any contention falls back to the exact loop.
+            if (self._rows[cslots] == _EMPTY).all() and (
+                np.unique(cslots).size == cslots.size
+            ):
+                self._keys[cslots] = keys[pos:stop]
+                self._rows[cslots] = rows[pos:stop]
+                self._size += int(cslots.size)
+                pos = stop
+                continue
+            for i in range(pos, stop):
+                slot = int(slots[i])
+                while (
+                    self._rows[slot] != _EMPTY and self._keys[slot] != keys[i]
+                ):
+                    slot = (slot + 1) % self.table_size
+                if self._rows[slot] == _EMPTY:
+                    self._size += 1
+                self._keys[slot] = keys[i]
+                self._rows[slot] = rows[i]
+            pos = stop
 
     def lookup_many(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorised batched probe; returns (found_mask, rows)."""

@@ -126,6 +126,7 @@ class SlabHashIndex:
 
     # ------------------------------------------------------------------ lookup
 
+    # hot-path: vectorized
     def lookup(
         self, keys: np.ndarray, stamp: Optional[int] = None
     ) -> Tuple[np.ndarray, np.ndarray, ProbeStats]:
@@ -159,6 +160,7 @@ class SlabHashIndex:
 
     # ------------------------------------------------------------------ insert
 
+    # hot-path: vectorized
     def insert(
         self,
         keys: np.ndarray,
@@ -186,20 +188,28 @@ class SlabHashIndex:
         keys, values = keys[np.sort(first)], values[np.sort(first)]
         landed = np.full(len(keys), -1, dtype=np.int64)
 
+        # Round assignment, computed once: key i runs in round r where r
+        # is i's rank among same-bucket keys in batch order — exactly the
+        # "first key per bucket per round" schedule the old per-round
+        # dedup produced, without re-sorting the shrinking pending set.
+        all_buckets = _bucket_of(keys, self.num_buckets)
+        order = np.argsort(all_buckets, kind="stable")
+        sorted_b = all_buckets[order]
+        run_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_b[1:] != sorted_b[:-1]))
+        )
+        run_lengths = np.diff(np.concatenate((run_starts, [len(keys)])))
+        rank = np.arange(len(keys)) - np.repeat(run_starts, run_lengths)
+        round_of = np.empty(len(keys), dtype=np.int64)
+        round_of[order] = rank
+
         evicted_chunks = []
         transactions = 0
-        pending = np.arange(len(keys))
         rounds = 0
-        while pending.size:
+        for r in range(int(run_lengths.max())):  # lint: allow-loop (per insert round: max keys per bucket, not key count)
             rounds += 1
-            buckets = _bucket_of(keys[pending], self.num_buckets)
-            # Process only the first key landing in each bucket this round,
-            # so vectorised scatter writes never race within the batch.
-            _, first_pos = np.unique(buckets, return_index=True)
-            take = np.zeros(len(pending), dtype=bool)
-            take[first_pos] = True
-            active = pending[take]
-            act_buckets = buckets[take]
+            active = np.flatnonzero(round_of == r)
+            act_buckets = all_buckets[active]
             act_keys = keys[active]
             act_values = values[active]
             transactions += 2 * len(active)  # read slab + write back
@@ -234,7 +244,6 @@ class SlabHashIndex:
             self._stamps[slots] = stamp
             self._size += int(use_vacant.sum())
             landed[active] = slots
-            pending = pending[~take]
 
         stats = ProbeStats(len(keys), transactions, float(rounds))
         evicted = (
@@ -246,6 +255,7 @@ class SlabHashIndex:
 
     # ------------------------------------------------------------------ erase
 
+    # hot-path: vectorized
     def erase(self, keys: np.ndarray) -> Tuple[np.ndarray, ProbeStats]:
         """Remove ``keys``; returns (mask of keys actually removed, stats)."""
         keys = np.ascontiguousarray(keys, dtype=np.uint64)

@@ -52,6 +52,34 @@ class SlabClass:
     def slot_bytes(self) -> int:
         return self.dim * 4  # float32 embeddings
 
+    def __deepcopy__(self, memo):
+        # free_slots holds immutable ints: a shallow list copy is exact,
+        # and ~100x cheaper than element-wise deepcopy for large pools.
+        # Storage only carries over its *live* rows: free slots are never
+        # read (every read goes through hash-index locations, and a
+        # reallocated slot is written before it is republished), so their
+        # stale bytes are unobservable and skipping them keeps the clone
+        # cost proportional to occupancy, not capacity.
+        # np.zeros (calloc) over zeros_like: pages materialise lazily, so
+        # the clone faults in only the rows actually written below.
+        storage = np.zeros(self.storage.shape, dtype=self.storage.dtype)
+        if self.live:
+            occupied = np.ones(self.capacity, dtype=bool)
+            if self.free_slots:
+                occupied[np.asarray(self.free_slots, dtype=np.int64)] = False
+            rows = np.flatnonzero(occupied)
+            storage[rows] = self.storage[rows]
+        clone = SlabClass(
+            class_id=self.class_id,
+            dim=self.dim,
+            capacity=self.capacity,
+            storage=storage,
+            free_slots=list(self.free_slots),
+            live=self.live,
+        )
+        memo[id(self)] = clone
+        return clone
+
     def allocate(self, count: int) -> np.ndarray:
         """Take ``count`` free slots; raises :class:`CapacityError` if short."""
         if count > len(self.free_slots):

@@ -35,10 +35,15 @@ class CrossNetwork:
 
     def forward(self, x0: np.ndarray) -> np.ndarray:
         """Apply every cross layer to batch ``x0`` (shape B x D)."""
-        x = x0.astype(np.float32)
+        x = x0.astype(np.float32, copy=False)
         for w, b in zip(self.weights, self.biases):
             interaction = x @ w  # (B,)
-            x = x0 * interaction[:, None] + b + x
+            # Same op order as ``x0 * interaction + b + x``, accumulated
+            # in place on the fresh product to avoid two temporaries.
+            nxt = x0 * interaction[:, None]
+            nxt += b
+            nxt += x
+            x = nxt
         return x
 
     def flops(self, batch_size: int) -> float:

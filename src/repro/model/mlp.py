@@ -16,11 +16,19 @@ from ..gpusim.kernel import KernelSpec
 
 
 def _relu(x: np.ndarray) -> np.ndarray:
-    return np.maximum(x, 0.0)
+    # In-place on a freshly produced activation: same op, zero extra
+    # allocation (callers only ever pass arrays they own).
+    return np.maximum(x, 0.0, out=x)
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+    # Same IEEE op sequence as 1/(1+exp(-clip(x))), applied in place.
+    np.clip(x, -30.0, 30.0, out=x)
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += 1.0
+    np.divide(1.0, x, out=x)
+    return x
 
 
 class MLP:
@@ -50,9 +58,10 @@ class MLP:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Compute the per-sample click probability."""
-        h = x.astype(np.float32)
+        h = x.astype(np.float32, copy=False)
         for i, (w, b) in enumerate(zip(self.weights, self.biases)):
-            h = h @ w + b
+            h = h @ w
+            h += b  # in place on the fresh GEMM output
             h = _sigmoid(h) if i == self.num_layers - 1 else _relu(h)
         return h[:, 0]
 

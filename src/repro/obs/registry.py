@@ -57,6 +57,13 @@ _TOL = 1e-9
 
 
 def _labelset(labels: Dict[str, object]) -> LabelSet:
+    # Hot path: the overwhelmingly common cases — no labels, one label —
+    # skip the generator + sort machinery entirely.
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        ((key, value),) = labels.items()
+        return ((key, str(value)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -166,6 +173,9 @@ class Conservation:
     def __post_init__(self) -> None:
         if self.op not in _OPS:
             raise ConfigError(f"conservation op must be one of {_OPS}, got {self.op!r}")
+
+    def __deepcopy__(self, memo):
+        return self  # frozen, immutable fields: safe to share across clones
 
     def holds(self, resolve: Callable[[str], float]) -> Tuple[bool, str]:
         left = sum(resolve(name) for name in self.lhs)
@@ -318,8 +328,51 @@ class MetricsRegistry:
         self._histograms[key] = stats.observe(value, weight)
 
     def observe_many(self, name: str, values: Sequence[float], **labels: object) -> None:
-        for value in values:
-            self.observe(name, float(value), **labels)
+        """Observe a batch of values — one vectorised histogram update.
+
+        Bit-identical to observing each value in order: bucket indices
+        come from ``searchsorted`` with the same ``le`` convention as
+        :meth:`HistogramStats.observe`'s ``bisect_left``, and the running
+        ``total`` is reproduced with a seeded left-to-right accumulate so
+        float summation order matches the sequential path exactly.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        if n < 16:  # small batches: the plain loop beats array setup
+            for value in values:
+                self.observe(name, float(value), **labels)
+            return
+        import numpy as np
+
+        arr = np.asarray(values, dtype=np.float64)
+        key = (name, _labelset(labels))
+        stats = self._histograms.get(key)
+        if stats is None:
+            stats = HistogramStats(bounds=self._buckets.get(name, ()))
+        buckets = stats.bucket_counts
+        if stats.bounds:
+            if not buckets:
+                buckets = (0,) * len(stats.bounds)
+            index = np.searchsorted(
+                np.asarray(stats.bounds), arr, side="left"
+            )
+            fell = np.bincount(
+                index[index < len(stats.bounds)],
+                minlength=len(stats.bounds),
+            )
+            buckets = tuple(
+                int(have) + int(add) for have, add in zip(buckets, fell)
+            )
+        running = np.add.accumulate(np.concatenate(([stats.total], arr)))
+        self._histograms[key] = HistogramStats(
+            count=stats.count + n,
+            total=float(running[-1]),
+            minimum=min(stats.minimum, float(arr.min())),
+            maximum=max(stats.maximum, float(arr.max())),
+            bounds=stats.bounds,
+            bucket_counts=buckets,
+        )
 
     # ------------------------------------------------------------- querying
 
@@ -401,8 +454,25 @@ class MetricsRegistry:
             if not outcome:
                 suffix = f": {detail}" if detail else ""
                 violations.append(f"check {name!r} failed{suffix}")
+        # Aggregate name -> total once (hooks above may have moved
+        # gauges), instead of re-scanning every metric per law term:
+        # resolution order matches :meth:`_resolve` — a name with any
+        # counter key (even zero-valued) resolves as a counter total,
+        # otherwise as a gauge sum.
+        totals: Dict[str, float] = {}
+        for (n, _), v in self._counters.items():
+            totals[n] = totals.get(n, 0) + v
+        gauge_totals: Dict[str, float] = {}
+        for (n, _), v in self._gauges.items():
+            gauge_totals[n] = gauge_totals.get(n, 0.0) + v
+
+        def resolve(name: str) -> float:
+            if name in totals:
+                return totals[name]
+            return gauge_totals.get(name, 0.0)
+
         for law in self.laws:
-            ok, detail = law.holds(self._resolve)
+            ok, detail = law.holds(resolve)
             if not ok:
                 violations.append(f"law {law.name!r} violated: {detail}")
         return violations

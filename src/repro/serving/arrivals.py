@@ -8,7 +8,7 @@ cache sees realistic locality under load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 import numpy as np
@@ -26,6 +26,13 @@ class Request:
     arrival_time: float
     #: per-table feature IDs (``ids_per_field`` each).
     feature_ids: tuple
+    #: optional fast-path handle ``(cube, row)``: the source stream's
+    #: ``(count, tables, ids)`` id array plus this request's row in it.
+    #: ``feature_ids`` are views into that row, so batch assembly can
+    #: gather whole batches from the cube in one indexing op instead of
+    #: re-stacking per-request tuples.  Purely an accelerator: identity,
+    #: equality, and repr ignore it.
+    source: tuple = field(default=None, compare=False, repr=False)
 
 
 class _FeatureSource:
@@ -41,6 +48,21 @@ class _FeatureSource:
     def draw(self) -> tuple:
         k = self.dataset.ids_per_field
         return tuple(s.sample(k) for s in self._samplers)
+
+    def draw_batch(self, count: int) -> tuple:
+        """``(cube, feature tuples)`` for ``count`` requests in one pass.
+
+        Each sampler draws ``count * k`` ids in a single vectorised call
+        — bit-identical to ``count`` sequential ``k``-draws from the same
+        generator.  The draws are stacked into one ``(count, tables, k)``
+        cube; per-request tuples are row views into it, and the cube
+        itself rides along on each :class:`Request` (via ``source``) so
+        batch assembly can gather ids without per-request re-stacking.
+        """
+        k = self.dataset.ids_per_field
+        cols = [s.sample(count * k).reshape(count, k) for s in self._samplers]
+        cube = np.stack(cols, axis=1)
+        return cube, [tuple(row) for row in cube]
 
 
 class PoissonArrivals:
@@ -58,9 +80,10 @@ class PoissonArrivals:
         if count <= 0:
             raise WorkloadError("count must be positive")
         gaps = self._rng.exponential(1.0 / self.rate, size=count)
-        times = np.cumsum(gaps)
+        times = np.cumsum(gaps).tolist()
+        cube, features = self._features.draw_batch(count)
         return [
-            Request(i, float(times[i]), self._features.draw())
+            Request(i, times[i], features[i], source=(cube, i))
             for i in range(count)
         ]
 
@@ -75,18 +98,23 @@ class PoissonArrivals:
         """
         if horizon <= 0:
             raise WorkloadError("horizon must be positive")
-        requests: List[Request] = []
+        # Gap draws stay sequential (the arrival count is unknown up
+        # front and over-drawing would advance the RNG differently);
+        # feature draws batch once the times are known.
+        times: List[float] = []
         now = 0.0
-        while len(requests) < max_count:
+        while len(times) < max_count:
             now += float(self._rng.exponential(1.0 / self.rate))
             if now >= horizon:
                 break
-            requests.append(
-                Request(len(requests), now, self._features.draw())
-            )
-        if not requests:
+            times.append(now)
+        if not times:
             raise WorkloadError("horizon too short: no arrivals")
-        return requests
+        cube, features = self._features.draw_batch(len(times))
+        return [
+            Request(i, times[i], features[i], source=(cube, i))
+            for i in range(len(times))
+        ]
 
 
 class BurstyArrivals:
@@ -121,16 +149,22 @@ class BurstyArrivals:
     def generate(self, count: int) -> List[Request]:
         if count <= 0:
             raise WorkloadError("count must be positive")
-        requests: List[Request] = []
+        # Phase/gap draws stay sequential (phase boundaries depend on the
+        # draws); feature draws batch once all times are known — the
+        # feature samplers hold their own generators, so moving their
+        # draws after the clock loop leaves every stream bit-identical.
+        times: List[float] = []
         now = 0.0
-        while len(requests) < count:
+        while len(times) < count:
             bursting = self._rng.random() < self.burst_fraction
             rate = self.burst_rate if bursting else self.base_rate
             phase_end = now + self.phase_length
-            while now < phase_end and len(requests) < count:
+            while now < phase_end and len(times) < count:
                 now += float(self._rng.exponential(1.0 / rate))
-                requests.append(
-                    Request(len(requests), now, self._features.draw())
-                )
+                times.append(now)
             now = phase_end
-        return requests
+        cube, features = self._features.draw_batch(count)
+        return [
+            Request(i, times[i], features[i], source=(cube, i))
+            for i in range(count)
+        ]

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError
 from .arrivals import Request
 
@@ -48,6 +50,7 @@ class FormedBatch:
         return min(r.arrival_time for r in self.requests)
 
 
+# hot-path: vectorized
 def form_batches(
     requests: Sequence[Request], policy: BatchingPolicy
 ) -> List[FormedBatch]:
@@ -57,6 +60,39 @@ def form_batches(
     next arrival would make its oldest member exceed ``max_delay`` of
     waiting (the batch then seals at exactly ``oldest + max_delay``).
     """
+    batches: List[FormedBatch] = []
+    n = len(requests)
+    if n == 0:
+        return batches
+    requests = list(requests)
+    times = np.fromiter(
+        (r.arrival_time for r in requests), dtype=np.float64, count=n
+    )
+    # One iteration per *batch*: a batch starting at ``start`` seals at
+    # the earlier of (a) the request filling it to max size — sealed at
+    # that request's arrival — or (b) the first later arrival strictly
+    # past ``times[start] + max_delay`` — sealed at the deadline itself.
+    # The stream is arrival-ordered, so (b) is a single searchsorted.
+    if n > 1 and not bool((times[1:] >= times[:-1]).all()):
+        return _form_batches_unsorted(requests, policy)
+    start = 0
+    while start < n:  # lint: allow-loop (per formed batch)
+        deadline = times[start] + policy.max_delay
+        stop = int(np.searchsorted(times, deadline, side="right"))
+        if stop - start >= policy.max_batch_size:
+            stop = start + policy.max_batch_size
+            formed_at = float(times[stop - 1])
+        else:
+            formed_at = float(deadline)
+        batches.append(FormedBatch(tuple(requests[start:stop]), formed_at))
+        start = stop
+    return batches
+
+
+def _form_batches_unsorted(
+    requests: Sequence[Request], policy: BatchingPolicy
+) -> List[FormedBatch]:
+    """Reference per-request scan, kept for out-of-order streams."""
     batches: List[FormedBatch] = []
     pending: List[Request] = []
     for request in requests:

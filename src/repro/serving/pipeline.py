@@ -86,6 +86,18 @@ class CoalescingStats:
     retired_keys: int = 0
 
 
+class _Segment:
+    """One publish call's keys, sorted, with sort-ordered vector rows."""
+
+    __slots__ = ("owner", "keys", "rows", "degraded")
+
+    def __init__(self, owner, keys, rows, degraded):
+        self.owner = owner
+        self.keys = keys
+        self.rows = rows
+        self.degraded = degraded
+
+
 class InFlightMissTable(Observable):
     """Pending-fetch table shared by concurrently in-flight batches.
 
@@ -98,65 +110,106 @@ class InFlightMissTable(Observable):
     therefore missed — matches the table in its fetch stage and shares
     the result: the fetch is issued exactly once, and so is the cache
     insertion.
+
+    Hot path (vectorization contract: no per-key Python in steady
+    state).  Entries live in per-publish *segments* — a sorted uint64
+    key array plus the matching vector rows — so :meth:`match` is one
+    ``np.searchsorted`` probe per live segment, :meth:`publish` is one
+    argsort, and :meth:`retire` drops whole segments by owner tag.  A
+    key is published at most once while in flight (misses are matched
+    against the table before the leader fetches), so live segments hold
+    disjoint key sets.
     """
 
     def __init__(self):
-        #: flat key -> (owner batch tag, vector, served-degraded flag)
-        self._entries: Dict[int, tuple] = {}
+        #: Per-publish segments, in publish order (later segments win).
+        self._segments: List[_Segment] = []
+        self._size = 0
         self._owner = None
         self.stats = CoalescingStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._size
 
     def set_owner(self, tag) -> None:
         """Tag subsequent :meth:`publish` calls with the executing batch."""
         self._owner = tag
 
-    def match(self, flat_keys: np.ndarray, dim: int):
+    def match(self, flat_keys: np.ndarray, dim: int):  # hot-path: vectorized
         """Split a miss list against the in-flight table.
 
         Returns ``(mask, rows, degraded)``: which of ``flat_keys`` are
-        already in flight, their vectors (``mask.sum() x dim``), and how
-        many of those carried a degraded vector.
+        already in flight, their vectors (``mask.sum() x dim``, in
+        ``flat_keys`` order), and how many of those carried a degraded
+        vector.
         """
         n = len(flat_keys)
         mask = np.zeros(n, dtype=bool)
-        rows = np.zeros((n, dim), dtype=np.float32)
         degraded = 0
-        if self._entries:
-            for i in range(n):
-                entry = self._entries.get(int(flat_keys[i]))
-                if entry is None:
-                    continue
-                mask[i] = True
-                rows[i] = entry[1]
-                degraded += int(entry[2])
-        shared_rows = rows[mask]
-        matched = int(mask.sum())
+        matched = 0
+        if self._segments and n:
+            keys = np.asarray(flat_keys).astype(np.uint64, copy=False)
+            seg_of = np.zeros(n, dtype=np.intp)
+            row_of = np.zeros(n, dtype=np.intp)
+            for si, seg in enumerate(self._segments):  # lint: allow-loop (per live segment, bounded by pipeline depth)
+                pos = np.searchsorted(seg.keys, keys)
+                np.clip(pos, 0, seg.keys.size - 1, out=pos)
+                hit = seg.keys[pos] == keys
+                mask |= hit
+                seg_of[hit] = si
+                row_of[hit] = pos[hit]
+            matched_idx = np.flatnonzero(mask)
+            matched = int(matched_idx.size)
+            shared_rows = np.empty((matched, dim), dtype=np.float32)
+            if matched:
+                seg_sel = seg_of[matched_idx]
+                for si in np.unique(seg_sel):  # lint: allow-loop (per matched segment)
+                    seg = self._segments[si]
+                    where = seg_sel == si
+                    shared_rows[where] = seg.rows[row_of[matched_idx[where]]]
+                    if seg.degraded:
+                        degraded += int(where.sum())
+        else:
+            shared_rows = np.empty((0, dim), dtype=np.float32)
         self.stats.coalesced_keys += matched
         self.obs.inc("coalescer.coalesced", matched)
         return mask, shared_rows, degraded
 
+    # hot-path: vectorized
     def publish(
         self, flat_keys: np.ndarray, vectors: np.ndarray, degraded: bool = False
     ) -> None:
         """Record a leading batch's freshly fetched keys."""
-        owner = self._owner
-        flag = bool(degraded)
-        for i in range(len(flat_keys)):
-            self._entries[int(flat_keys[i])] = (owner, vectors[i], flag)
-        self.stats.published_keys += len(flat_keys)
-        self.obs.inc("coalescer.published", len(flat_keys))
+        count = len(flat_keys)
+        if count:
+            keys = np.asarray(flat_keys).astype(np.uint64, copy=False)
+            order = np.argsort(keys, kind="stable")
+            rows = np.ascontiguousarray(
+                np.asarray(vectors, dtype=np.float32)[order]
+            )
+            self._segments.append(
+                _Segment(self._owner, keys[order], rows, bool(degraded))
+            )
+            self._size += count
+        self.stats.published_keys += count
+        self.obs.inc("coalescer.published", count)
 
-    def retire(self, owner) -> int:
+    def retire(self, owner) -> int:  # hot-path: vectorized
         """Drop every entry owned by ``owner`` (its batch completed)."""
-        dead = [k for k, e in self._entries.items() if e[0] == owner]
-        for key in dead:
-            del self._entries[key]
-        self.stats.retired_keys += len(dead)
-        self.obs.inc("coalescer.retired", len(dead))
-        return len(dead)
+        dead = 0
+        if self._segments:
+            kept = []
+            for seg in self._segments:  # lint: allow-loop (per live segment)
+                if seg.owner == owner:
+                    dead += seg.keys.size
+                else:
+                    kept.append(seg)
+            if dead:
+                self._segments = kept
+                self._size -= dead
+        self.stats.retired_keys += dead
+        self.obs.inc("coalescer.retired", dead)
+        return dead
 
 
 # --------------------------------------------------------------------------
@@ -236,6 +289,18 @@ class PipelinedInferenceServer(InferenceServer):
             collector.begin_run(min(r.arrival_time for r in requests))
 
         n = len(batches)
+        # Per-request arrival instants, batch-partition offsets: batches
+        # partition ``requests`` contiguously in order, so per-batch
+        # latency bookkeeping is an array slice, not a Python loop.
+        arrival_arr = np.fromiter(
+            (r.arrival_time for r in requests), dtype=np.float64,
+            count=len(requests),
+        )
+        sizes_arr = np.fromiter(
+            (b.size for b in batches), dtype=np.intp, count=n,
+        )
+        offsets = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(sizes_arr, out=offsets[1:])
         #: Latest occupied instant across every shared resource; the gap
         #: up to the next dispatch is a provably idle slot the refresher
         #: may fill.  Refresh work is hard-capped at the dispatch instant
@@ -354,10 +419,10 @@ class PipelinedInferenceServer(InferenceServer):
                     # stage holds the serial GPU resource through each
                     # batch's finish, so this batch's counter delta folds
                     # into the window containing its completion.
+                    lo, hi = offsets[chosen.index], offsets[chosen.index + 1]
                     collector.observe_batch(
                         chosen.ready_at,
-                        [chosen.ready_at - r.arrival_time
-                         for r in chosen.formed.requests],
+                        (chosen.ready_at - arrival_arr[lo:hi]).tolist(),
                     )
                 completed[chosen.index] = True
                 while frontier < n and completed[frontier]:
@@ -393,18 +458,14 @@ class PipelinedInferenceServer(InferenceServer):
             collector.flush(max(finish_times))
 
         # Flatten per-request latencies in batch order (identical request
-        # ordering to the sequential loop).
-        latencies: List[float] = []
-        arrivals: List[float] = []
-        sizes: List[int] = []
-        for i, formed in enumerate(batches):
-            sizes.append(formed.size)
-            for request in formed.requests:
-                latencies.append(finish_times[i] - request.arrival_time)
-                arrivals.append(request.arrival_time)
+        # ordering to the sequential loop): repeat each batch's finish
+        # over its contiguous request slice and subtract arrivals.
+        finish_arr = np.asarray(finish_times, dtype=np.float64)
+        latencies = np.repeat(finish_arr, sizes_arr) - arrival_arr
 
         report = self._finalize_report(
-            requests, latencies, arrivals, sizes, max(finish_times), before,
+            requests, latencies, arrival_arr, sizes_arr.tolist(),
+            max(finish_times), before,
         )
         dense = [p for p in probabilities if p is not None]
         if dense:

@@ -184,15 +184,51 @@ class InferenceServer:
         return self.engine.obs
 
     def _to_trace_batch(self, batch: FormedBatch) -> TraceBatch:
-        ids_per_table = []
-        for table in range(self.dataset.num_tables):
-            ids_per_table.append(
-                np.concatenate(
-                    [r.feature_ids[table] for r in batch.requests]
-                ).astype(np.uint64)
+        # Hot path: when every table draws the same number of ids per
+        # request (the common workload shape), one C-level stack builds a
+        # (requests, tables, ids) cube and each table's id column is a
+        # single reshape — no per-request concatenate loop.
+        requests = batch.requests
+        # Fastest path: every request carries a (cube, row) source handle
+        # into one shared id cube — the whole batch is a single gather.
+        src = getattr(requests[0], "source", None)
+        if src is not None:
+            cube = src[0]
+            rows = np.empty(len(requests), dtype=np.intp)
+            for i, r in enumerate(requests):
+                s = r.source
+                if s is None or s[0] is not cube:
+                    rows = None
+                    break
+                rows[i] = s[1]
+            if rows is not None and cube.ndim == 3:
+                stacked = cube[rows]
+                ids_per_table = [
+                    stacked[:, table, :].reshape(-1)
+                    for table in range(self.dataset.num_tables)
+                ]
+                return TraceBatch(ids_per_table=ids_per_table,
+                                  batch_size=len(requests))
+        try:
+            stacked = np.asarray(
+                [r.feature_ids for r in requests], dtype=np.uint64
             )
+        except ValueError:
+            stacked = None
+        if stacked is not None and stacked.ndim == 3:
+            ids_per_table = [
+                stacked[:, table, :].reshape(-1)
+                for table in range(self.dataset.num_tables)
+            ]
+        else:  # ragged per-table id counts: exact per-table fallback
+            ids_per_table = [
+                np.concatenate(
+                    [r.feature_ids[table] for r in requests]
+                ).astype(np.uint64)
+                for table in range(self.dataset.num_tables)
+            ]
         return TraceBatch(ids_per_table=ids_per_table,
-                          batch_size=len(batch.requests))
+                          batch_size=len(requests))
 
     @property
     def _fault_store(self):
@@ -218,8 +254,8 @@ class InferenceServer:
     def _finalize_report(
         self,
         requests: Sequence[Request],
-        latencies: List[float],
-        arrivals: List[float],
+        latencies: Sequence[float],
+        arrivals: Sequence[float],
         sizes: List[int],
         last_finish: float,
         before: MetricsSnapshot,
@@ -306,8 +342,20 @@ class InferenceServer:
         if collector is not None:
             collector.begin_run(min(r.arrival_time for r in requests))
         gpu_free_at = 0.0
-        latencies: List[float] = []
-        arrivals: List[float] = []
+        # Batches partition ``requests`` contiguously in order, so each
+        # batch's latency bookkeeping is one array slice (no per-request
+        # Python loop on the hot path).
+        arrival_arr = np.fromiter(
+            (r.arrival_time for r in requests), dtype=np.float64,
+            count=len(requests),
+        )
+        offsets = np.zeros(len(batches) + 1, dtype=np.intp)
+        np.cumsum(
+            np.fromiter((b.size for b in batches), dtype=np.intp,
+                        count=len(batches)),
+            out=offsets[1:],
+        )
+        latencies: List[np.ndarray] = []
         sizes: List[int] = []
         probabilities: List[np.ndarray] = []
         for i, batch in enumerate(batches):
@@ -330,17 +378,15 @@ class InferenceServer:
                 probabilities.append(batch_probs)
             if obs.total("tier.degraded_keys") > degraded_before:
                 obs.inc("serving.degraded_requests", batch.size)
-            batch_latencies = [
-                finish - request.arrival_time for request in batch.requests
-            ]
-            latencies.extend(batch_latencies)
-            arrivals.extend(r.arrival_time for r in batch.requests)
+            batch_latencies = finish - arrival_arr[offsets[i]:offsets[i + 1]]
+            latencies.append(batch_latencies)
             if collector is not None:
-                collector.observe_batch(finish, batch_latencies)
+                collector.observe_batch(finish, batch_latencies.tolist())
         if collector is not None:
             collector.flush(gpu_free_at)
         report = self._finalize_report(
-            requests, latencies, arrivals, sizes, gpu_free_at, before,
+            requests, np.concatenate(latencies), arrival_arr, sizes,
+            gpu_free_at, before,
         )
         if probabilities:
             report.probabilities = np.concatenate(probabilities)

@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import WorkloadError
-from ..hashindex.host_hash import HostHashTable
 from .table_spec import TableSpec
 
 _MIX1 = np.uint64(0xFF51AFD7ED558CCD)
@@ -59,19 +58,23 @@ class EmbeddingTable:
 
     def __init__(self, spec: TableSpec):
         self.spec = spec
-        self._index = HostHashTable(capacity=max(spec.corpus_size, 8))
+        # Feature ids are dense in [0, corpus_size): a direct id -> row
+        # array replaces hash probing on the hot path (-1 = not yet
+        # materialised).  Device-side probing costs are modelled by
+        # :func:`~repro.hashindex.host_hash.host_query_cost`, not here.
+        self._row_of = np.full(spec.corpus_size, -1, dtype=np.int64)
         self._rows = np.zeros((0, spec.dim), dtype=np.float32)
         self._row_count = 0
 
     def __len__(self) -> int:
         return self._row_count
 
-    def _ensure_rows(self, feature_ids: np.ndarray) -> None:
-        """Materialise rows for any IDs not yet present."""
-        found, _ = self._index.lookup_many(feature_ids)
-        missing = np.unique(feature_ids[~found])
-        if not missing.size:
-            return
+    def _materialise(self, missing: np.ndarray) -> int:
+        """Generate + index rows for sorted-unique ``missing`` ids.
+
+        Returns the first new row number (``missing[i]`` lands in row
+        ``start + i``).
+        """
         if (missing >= self.spec.corpus_size).any():
             raise WorkloadError(
                 f"table {self.spec.table_id}: feature id beyond corpus size "
@@ -85,16 +88,46 @@ class EmbeddingTable:
             grown[:start] = self._rows[:start]
             self._rows = grown
         self._rows[start:start + len(missing)] = new_rows
-        self._index.insert_many(
-            missing, np.arange(start, start + len(missing), dtype=np.int64)
+        self._row_of[missing] = np.arange(
+            start, start + len(missing), dtype=np.int64
         )
         self._row_count += len(missing)
+        return start
 
-    def lookup(self, feature_ids: np.ndarray) -> np.ndarray:
-        """Return the embedding matrix for ``feature_ids`` (always hits)."""
+    def _ensure_rows(self, feature_ids: np.ndarray) -> None:
+        """Materialise rows for any IDs not yet present."""
+        feature_ids = self._bounded(feature_ids)
+        rows = self._row_of[feature_ids]
+        missing = np.unique(feature_ids[rows < 0])
+        if missing.size:
+            self._materialise(missing)
+
+    def _bounded(self, feature_ids: np.ndarray) -> np.ndarray:
         feature_ids = np.ascontiguousarray(feature_ids, dtype=np.uint64)
+        if feature_ids.size and int(feature_ids.max()) >= self.spec.corpus_size:
+            raise WorkloadError(
+                f"table {self.spec.table_id}: feature id beyond corpus size "
+                f"{self.spec.corpus_size}"
+            )
+        return feature_ids
+
+    # hot-path: vectorized
+    def lookup(self, feature_ids: np.ndarray) -> np.ndarray:
+        """Return the embedding matrix for ``feature_ids`` (always hits).
+
+        Hot path: one direct-address gather.  IDs not yet materialised
+        get rows derived from their position in the sorted-unique
+        missing set — no second gather.
+        """
+        feature_ids = self._bounded(feature_ids)
         if feature_ids.size == 0:
             return np.zeros((0, self.spec.dim), dtype=np.float32)
-        self._ensure_rows(feature_ids)
-        _, rows = self._index.lookup_many(feature_ids)
+        rows = self._row_of[feature_ids]
+        absent = rows < 0
+        if absent.any():
+            missing = np.unique(feature_ids[absent])
+            start = self._materialise(missing)
+            rows[absent] = start + np.searchsorted(
+                missing, feature_ids[absent]
+            )
         return self._rows[rows]

@@ -109,17 +109,28 @@ class EmbeddingStore:
             zero = host_query_cost(self.hw, 0, 0)
             return StoreQueryResult(np.zeros((0, 0), np.float32), zero)
 
-        dims = {self.specs[int(t)].dim for t in np.unique(table_ids)}
+        # Group by table over one stable sort (each table's ids keep
+        # their original relative order, so per-table lookups see exactly
+        # the sequence the per-table mask loop fed them).
+        order = np.argsort(table_ids, kind="stable")
+        sorted_tables = table_ids[order]
+        bounds = np.flatnonzero(np.concatenate(
+            ([True], sorted_tables[1:] != sorted_tables[:-1])
+        ))
+        run_tables = [int(sorted_tables[b]) for b in bounds]
+
+        dims = {self.specs[t].dim for t in run_tables}
         if len(dims) != 1:
             raise WorkloadError("query_many: tables must share one dimension")
         dim = dims.pop()
 
         vectors = np.zeros((len(table_ids), dim), dtype=np.float32)
         payload = 0
-        for table_id in np.unique(table_ids):
-            mask = table_ids == table_id
-            vectors[mask] = self._tables[int(table_id)].lookup(feature_ids[mask])
-            payload += int(mask.sum()) * self.specs[int(table_id)].value_bytes
+        stops = list(bounds[1:]) + [len(order)]
+        for t, start, stop in zip(run_tables, bounds, stops):
+            run = order[start:stop]
+            vectors[run] = self._tables[t].lookup(feature_ids[run])
+            payload += (int(stop) - int(start)) * self.specs[t].value_bytes
 
         if indexed_mask is None:
             keys_to_index = len(table_ids)

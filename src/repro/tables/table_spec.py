@@ -28,6 +28,9 @@ class TableSpec:
         if self.dim <= 0:
             raise ConfigError(f"table {self.table_id}: dim must be > 0")
 
+    def __deepcopy__(self, memo):
+        return self  # frozen, all-scalar: safe to share across clones
+
     @property
     def value_bytes(self) -> int:
         """Bytes of one float32 embedding vector."""

@@ -18,6 +18,42 @@ import numpy as np
 
 from ..errors import WorkloadError
 
+#: Memoized CDF arrays keyed on ``(corpus_size, alpha)`` — the CDF is a
+#: pure function of those two, so benches building many samplers (one
+#: per table per replica per run) share one array.  Treated as
+#: read-only by construction; bounded to keep long sweeps from
+#: accumulating arrays.
+_CDF_CACHE: dict = {}
+#: Memoized rank->id permutations keyed on ``(corpus_size, seed)``.
+_PERM_CACHE: dict = {}
+_CACHE_CAP = 64
+
+
+def _cached_cdf(corpus_size: int, alpha: float) -> np.ndarray:
+    key = (corpus_size, alpha)
+    cdf = _CDF_CACHE.get(key)
+    if cdf is None:
+        ranks = np.arange(1, corpus_size + 1, dtype=np.float64)
+        weights = ranks ** alpha
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        if len(_CDF_CACHE) >= _CACHE_CAP:
+            _CDF_CACHE.clear()
+        _CDF_CACHE[key] = cdf
+    return cdf
+
+
+def _cached_permutation(corpus_size: int, seed: int) -> np.ndarray:
+    key = (corpus_size, seed)
+    perm = _PERM_CACHE.get(key)
+    if perm is None:
+        perm_rng = np.random.default_rng(seed ^ 0x5EED)
+        perm = perm_rng.permutation(corpus_size).astype(np.uint64)
+        if len(_PERM_CACHE) >= _CACHE_CAP:
+            _PERM_CACHE.clear()
+        _PERM_CACHE[key] = perm
+    return perm
+
 
 class ZipfSampler:
     """Draws feature IDs from a power-law popularity distribution."""
@@ -36,15 +72,9 @@ class ZipfSampler:
         self.corpus_size = int(corpus_size)
         self.alpha = float(alpha)
         self._rng = np.random.default_rng(seed)
-        ranks = np.arange(1, self.corpus_size + 1, dtype=np.float64)
-        weights = ranks ** self.alpha
-        self._cdf = np.cumsum(weights)
-        self._cdf /= self._cdf[-1]
+        self._cdf = _cached_cdf(self.corpus_size, self.alpha)
         if permute:
-            perm_rng = np.random.default_rng(seed ^ 0x5EED)
-            self._rank_to_id = perm_rng.permutation(self.corpus_size).astype(
-                np.uint64
-            )
+            self._rank_to_id = _cached_permutation(self.corpus_size, seed)
         else:
             self._rank_to_id = np.arange(self.corpus_size, dtype=np.uint64)
 

@@ -1,0 +1,142 @@
+"""Property-based tests for the sorted-segment in-flight miss table.
+
+The vectorized :class:`~repro.serving.pipeline.InFlightMissTable` stores
+each publish call as a sorted key array plus sort-ordered vector rows.
+These properties pin its contract against a plain dict model:
+
+- **match is a dict lookup**: a key matches iff some live segment
+  published it, and the returned row is that key's published vector (in
+  probe order), however the probe is ordered or duplicated;
+- **exactly-once publish**: the lifecycle counters conserve
+  (published == retired once every owner is retired), and a retired
+  owner's keys stop matching;
+- **owner retirement is exact**: retiring one owner never disturbs other
+  owners' entries.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.pipeline import InFlightMissTable
+
+DIM = 4
+
+key_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**48 - 1), min_size=0, max_size=40
+)
+
+#: Several publishes with disjoint key sets (the table's precondition:
+#: misses are matched against the table before a leader fetches, so live
+#: segments never share a key).
+publish_batches = st.lists(key_arrays, min_size=0, max_size=5).map(
+    lambda batches: _disjoint(batches)
+)
+
+
+def _disjoint(batches):
+    seen = set()
+    out = []
+    for batch in batches:
+        fresh = [k for k in dict.fromkeys(batch) if k not in seen]
+        seen.update(fresh)
+        out.append(fresh)
+    return out
+
+
+def _vectors_for(keys):
+    """Deterministic per-key rows so matches are checkable per element."""
+    arr = np.asarray(keys, dtype=np.uint64)
+    cols = np.arange(DIM, dtype=np.float64)
+    return ((arr[:, None] % 1021).astype(np.float64) + cols / 8.0).astype(
+        np.float32
+    )
+
+
+def _publish_all(table, batches):
+    reference = {}
+    for owner, batch in enumerate(batches):
+        keys = np.asarray(batch, dtype=np.uint64)
+        vectors = _vectors_for(keys)
+        table.set_owner(owner)
+        table.publish(keys, vectors)
+        for i, k in enumerate(batch):
+            reference[k] = (owner, vectors[i])
+    return reference
+
+
+@settings(max_examples=80, deadline=None)
+@given(batches=publish_batches, probes=key_arrays)
+def test_match_is_a_dict_lookup(batches, probes):
+    table = InFlightMissTable()
+    reference = _publish_all(table, batches)
+    probe = np.asarray(probes, dtype=np.uint64)
+    mask, rows, degraded = table.match(probe, DIM)
+    assert mask.shape == (len(probes),)
+    assert degraded == 0
+    expected_mask = np.array(
+        [k in reference for k in probes], dtype=bool
+    )
+    np.testing.assert_array_equal(mask, expected_mask)
+    assert rows.shape == (int(expected_mask.sum()), DIM)
+    matched_keys = probe[mask]
+    for row, k in zip(rows, matched_keys.tolist()):
+        np.testing.assert_array_equal(row, reference[k][1])
+
+
+@settings(max_examples=80, deadline=None)
+@given(batches=publish_batches)
+def test_exactly_once_publish_and_retire_conserve(batches):
+    table = InFlightMissTable()
+    _publish_all(table, batches)
+    published = sum(len(batch) for batch in batches)
+    assert table.stats.published_keys == published
+    assert len(table) == published
+    # Retire in an arbitrary-but-deterministic order; each owner retires
+    # exactly its own keys, and retiring twice retires nothing.
+    total_retired = 0
+    for owner in reversed(range(len(batches))):
+        dead = table.retire(owner)
+        assert dead == len(batches[owner])
+        assert table.retire(owner) == 0
+        total_retired += dead
+    assert total_retired == published
+    assert table.stats.retired_keys == published
+    assert len(table) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(batches=publish_batches, victim=st.integers(0, 4))
+def test_retire_leaves_other_owners_intact(batches, victim):
+    table = InFlightMissTable()
+    reference = _publish_all(table, batches)
+    table.retire(victim)
+    survivors = [
+        k for k, (owner, _) in reference.items() if owner != victim
+    ]
+    gone = [k for k, (owner, _) in reference.items() if owner == victim]
+    assert len(table) == len(survivors)
+    if survivors:
+        probe = np.asarray(survivors, dtype=np.uint64)
+        mask, rows, _ = table.match(probe, DIM)
+        assert mask.all()
+        for row, k in zip(rows, survivors):
+            np.testing.assert_array_equal(row, reference[k][1])
+    if gone:
+        probe = np.asarray(gone, dtype=np.uint64)
+        mask, _, _ = table.match(probe, DIM)
+        assert not mask.any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(batches=publish_batches, probes=key_arrays)
+def test_match_counts_coalesced_keys(batches, probes):
+    """The stats counter advances by exactly the matched-key count."""
+    table = InFlightMissTable()
+    reference = _publish_all(table, batches)
+    probe = np.asarray(probes, dtype=np.uint64)
+    before = table.stats.coalesced_keys
+    mask, _, _ = table.match(probe, DIM)
+    matched = sum(1 for k in probes if k in reference)
+    assert int(mask.sum()) == matched
+    assert table.stats.coalesced_keys - before == matched
