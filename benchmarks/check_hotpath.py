@@ -37,6 +37,8 @@ HOT_PATH_FILES = {
     "src/repro/serving/batcher.py": 1,    # form_batches
     "src/repro/hashindex/slab_hash.py": 3,  # lookup / insert / erase
     "src/repro/tables/embedding_table.py": 1,  # lookup
+    "src/repro/core/precision.py": 2,      # quantize / dequantize rows
+    "src/repro/core/admission.py": 2,      # sketch observe / estimate
 }
 
 MARKER = "# hot-path: vectorized"

@@ -17,6 +17,14 @@ silently.  Likewise for ``BENCH_cluster_baseline.json`` and the cluster
 drill (``bench_cluster.py --smoke`` output): per sweep cell and for the
 routed/unrouted drill, SLA attainment within the absolute tolerance.
 
+``BENCH_precision_baseline.json`` (pinned from ``bench_precision.py
+--smoke``) gates the mixed-precision cache: per tier split, the hit rate
+stays within the absolute tolerance and the effective-capacity
+multiplier within the relative one; the int8-tail AUC delta must stay
+under the pinned epsilon; and the pinned-fp32 run must remain exactly
+identical to plain fleche (the golden no-op guarantee, re-checked on
+every build).
+
 Every artifact that carries a ``runtime_s`` stamp is also gated on
 wall-clock runtime: the candidate must finish within
 ``RUNTIME_TOLERANCE`` x the pinned baseline runtime, so a bench that
@@ -33,6 +41,9 @@ Usage::
         [--refresh-candidate benchmarks/results/BENCH_refresh.json] \
         [--cluster-baseline benchmarks/results/BENCH_cluster_baseline.json] \
         [--cluster-candidate benchmarks/results/BENCH_cluster.json] \
+        [--precision-baseline \
+            benchmarks/results/BENCH_precision_baseline.json] \
+        [--precision-candidate benchmarks/results/BENCH_precision.json] \
         [--rel-tolerance 0.15] [--abs-sla-tolerance 0.05] \
         [--runtime-tolerance 5.0]
 
@@ -252,6 +263,77 @@ def compare_cluster(baseline: dict, candidate: dict,
     return rows, violations
 
 
+#: (metric key, kind) pairs compared per mixed-precision tier split.
+PRECISION_SPLIT_METRICS = (
+    ("hit_rate", "abs"),
+    ("effective_capacity_x", "rel"),
+)
+
+
+def compare_precision(baseline: dict, candidate: dict,
+                      rel_tolerance: float = REL_TOLERANCE,
+                      abs_sla_tolerance: float = ABS_SLA_TOLERANCE):
+    """Compare two BENCH_precision payloads; returns (rows, violations).
+
+    Per tier split, the hit rate is gated absolutely (it is a fraction)
+    and the effective-capacity multiplier relatively.  Two candidate-only
+    invariants ride along: ``pinned_identical`` must be true (the
+    fp32-pinned golden no-op), and the int8-tail AUC delta must stay
+    under the payload's own pinned epsilon — both rechecked here so a
+    bench edit cannot quietly drop them.
+    """
+    rows = []
+    violations = []
+    for name, base_cell in sorted(baseline.get("splits", {}).items()):
+        cand_cell = candidate.get("splits", {}).get(name)
+        if cand_cell is None:
+            violations.append(f"splits/{name}: missing from candidate")
+            continue
+        for metric, kind in PRECISION_SPLIT_METRICS:
+            base = float(base_cell[metric])
+            cand = float(cand_cell[metric])
+            if kind == "rel":
+                drift = (cand - base) / base if base else 0.0
+                ok = abs(drift) <= rel_tolerance
+                shown = f"{drift:+.1%}"
+            else:
+                drift = cand - base
+                ok = abs(drift) <= abs_sla_tolerance
+                shown = f"{drift:+.3f}"
+            rows.append([
+                "splits", name, metric, f"{base:.4g}", f"{cand:.4g}",
+                shown, "ok" if ok else "FAIL",
+            ])
+            if not ok:
+                violations.append(
+                    f"splits/{name}/{metric}: baseline {base:.4g} -> "
+                    f"candidate {cand:.4g} ({shown} outside tolerance)"
+                )
+    pinned = bool(candidate.get("pinned_identical", False))
+    rows.append([
+        "golden", "pinned-fp32", "identical", "true", str(pinned).lower(),
+        "-", "ok" if pinned else "FAIL",
+    ])
+    if not pinned:
+        violations.append(
+            "pinned-fp32 precision run diverged from plain fleche"
+        )
+    auc = candidate.get("auc", {})
+    delta = float(auc.get("delta", 0.0))
+    epsilon = float(auc.get("epsilon", 0.0))
+    auc_ok = bool(auc) and delta <= epsilon
+    rows.append([
+        "auc", "int8-tail", "delta", f"<= {epsilon:.4g}", f"{delta:.4g}",
+        "-", "ok" if auc_ok else "FAIL",
+    ])
+    if not auc_ok:
+        violations.append(
+            f"auc/int8-tail: delta {delta:.4g} exceeds epsilon "
+            f"{epsilon:.4g}" if auc else "auc section missing from candidate"
+        )
+    return rows, violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -283,6 +365,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cluster-candidate",
         default="benchmarks/results/BENCH_cluster.json",
+    )
+    parser.add_argument(
+        "--precision-baseline",
+        default="benchmarks/results/BENCH_precision_baseline.json",
+    )
+    parser.add_argument(
+        "--precision-candidate",
+        default="benchmarks/results/BENCH_precision.json",
     )
     parser.add_argument("--rel-tolerance", type=float, default=REL_TOLERANCE)
     parser.add_argument(
@@ -407,6 +497,36 @@ def main(argv=None) -> int:
     else:
         print(f"\nno cluster baseline at {args.cluster_baseline}; "
               "cluster gate skipped")
+
+    if os.path.exists(args.precision_baseline):
+        precision_baseline = load_artifact(args.precision_baseline)
+        precision_candidate = load_artifact(args.precision_candidate)
+        precision_rows, precision_violations = compare_precision(
+            precision_baseline, precision_candidate,
+            rel_tolerance=args.rel_tolerance,
+            abs_sla_tolerance=args.abs_sla_tolerance,
+        )
+        runtime_rows, runtime_violations = runtime_gate(
+            precision_baseline, precision_candidate, "precision",
+            runtime_tolerance=args.runtime_tolerance,
+        )
+        precision_rows.extend(runtime_rows)
+        violations.extend(precision_violations)
+        violations.extend(runtime_violations)
+        print()
+        print(format_table(
+            ["section", "cell", "metric", "baseline", "candidate", "drift",
+             "status"],
+            precision_rows,
+            title=(
+                "Mixed-precision regression gate "
+                f"(hit rate ±{args.abs_sla_tolerance:.2f}, "
+                f"capacity ±{args.rel_tolerance:.0%})"
+            ),
+        ))
+    else:
+        print(f"\nno precision baseline at {args.precision_baseline}; "
+              "precision gate skipped")
 
     if violations:
         print("\nREGRESSIONS:", file=sys.stderr)

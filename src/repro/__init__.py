@@ -58,6 +58,7 @@ from .workloads import (
 from .workloads.synthetic import uniform_tables_spec
 from .core import (
     FlecheConfig,
+    PrecisionConfig,
     FlecheEmbeddingLayer,
     FlatCache,
     InferenceEngine,
@@ -114,6 +115,7 @@ __all__ = [
     "criteo_kaggle_replica",
     "criteo_tb_replica",
     "FlecheConfig",
+    "PrecisionConfig",
     "FlecheEmbeddingLayer",
     "FlatCache",
     "InferenceEngine",

@@ -10,6 +10,7 @@
 """
 
 from .config import FlecheConfig
+from .precision import PrecisionConfig
 from .cache_base import CacheQueryResult, EmbeddingCacheScheme
 from .flat_cache import FlatCache
 from .fusion import FusionPlan, build_fusion_plan, identify_thread
@@ -20,6 +21,7 @@ from .updates import UpdateApplier, UpdateOutcome
 
 __all__ = [
     "FlecheConfig",
+    "PrecisionConfig",
     "CacheQueryResult",
     "EmbeddingCacheScheme",
     "FlatCache",

@@ -62,6 +62,12 @@ class CacheQueryResult:
             serving only; always 0 on the sequential path).
         coalesced_degraded: coalesced keys whose shared fetch had served a
             degraded (stale/default) vector.
+        promoted_keys: cached entries moved to a hotter (more precise)
+            tier during this query's hit pass (mixed-precision schemes
+            only; always 0 otherwise).  Entry counts — the step-weighted
+            ``precision.promotions``/``precision.demotions`` counters are
+            incremented by the cache itself.
+        demoted_keys: entries moved to a colder tier, same convention.
         per_table_hits: per-access hit counts by table index (duplicates
             weighted), parallel to the batch's tables; empty when the
             scheme does not break hits down by table.
@@ -77,6 +83,8 @@ class CacheQueryResult:
     total_keys: int = 0
     coalesced_keys: int = 0
     coalesced_degraded: int = 0
+    promoted_keys: int = 0
+    demoted_keys: int = 0
     per_table_hits: List[int] = field(default_factory=list)
     per_table_misses: List[int] = field(default_factory=list)
 

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import ConfigError
+from .precision import PrecisionConfig
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,10 @@ class FlecheConfig:
             index may occupy (tuned at runtime by
             :class:`repro.core.unified_index.UnifiedIndexTuner`).
         index_load_factor: target load factor of the slab-hash index.
+        precision: mixed-precision tiering of cache entries
+            (:class:`repro.core.precision.PrecisionConfig`); disabled by
+            default, in which case the cache takes exactly the fp32-only
+            code path.
     """
 
     cache_ratio: float = 0.05
@@ -43,6 +48,7 @@ class FlecheConfig:
     unified_index_fraction: float = 0.5
     index_load_factor: float = 0.75
     seed: int = 0
+    precision: PrecisionConfig = field(default_factory=PrecisionConfig)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.cache_ratio <= 1.0:

@@ -50,6 +50,10 @@ class InferenceResult:
     hits: int = 0
     misses: int = 0
     unified_hits: int = 0
+    #: cached entries moved across precision tiers over the run
+    #: (mixed-precision schemes only; always 0 otherwise).
+    promotions: int = 0
+    demotions: int = 0
     breakdown: Optional[TimeBreakdown] = None
     #: final batch's click probabilities (for correctness checks).
     last_probabilities: Optional[np.ndarray] = None
@@ -221,6 +225,8 @@ class InferenceEngine:
             result.hits += query.hits
             result.misses += query.misses
             result.unified_hits += query.unified_hits
+            result.promotions += query.promoted_keys
+            result.demotions += query.demoted_keys
             if probabilities is not None:
                 result.last_probabilities = probabilities
             if collector is not None:

@@ -31,8 +31,14 @@ from ..mempool.epoch import EpochReclaimer
 from ..mempool.slab_pool import SlabMemoryPool
 from ..obs.registry import Observable
 from ..tables.table_spec import TableSpec
-from .admission import AdmissionFilter
+from .admission import AdmissionFilter, FrequencyEstimator
 from .config import FlecheConfig
+from .precision import (
+    TIER_CODES,
+    TIERS,
+    make_eviction_policy,
+    slot_payload_bytes,
+)
 from .unified_index import (
     is_dram_pointer,
     tag_cache_location,
@@ -94,10 +100,26 @@ class FlatCache(Observable):
         bytes_per_dim: Dict[int, int] = {}
         for s in specs:
             bytes_per_dim[s.dim] = bytes_per_dim.get(s.dim, 0) + s.param_bytes
+        precision = config.precision
+        self.precision = precision
+        self.quantizing = precision.quantizing
         class_capacities = {}
-        for dim, dim_bytes in bytes_per_dim.items():
-            share = budget * (dim_bytes / total_bytes)
-            class_capacities[dim] = max(16, int(share // (dim * 4 + index_overhead)))
+        if not self.quantizing:
+            for dim, dim_bytes in bytes_per_dim.items():
+                share = budget * (dim_bytes / total_bytes)
+                class_capacities[dim] = max(16, int(share // (dim * 4 + index_overhead)))
+        else:
+            # Each dimension's byte share splits across precision tiers by
+            # the configured fractions; slimmer slots buy more slots at
+            # the same byte budget (the effective-capacity multiplier).
+            for dim, dim_bytes in bytes_per_dim.items():
+                share = budget * (dim_bytes / total_bytes)
+                for tier in precision.tiers_in_use():
+                    tier_share = share * precision.share_of(tier)
+                    cost = slot_payload_bytes(dim, tier) + index_overhead
+                    class_capacities[(dim, tier)] = max(
+                        16, int(tier_share // cost)
+                    )
         self.pool = SlabMemoryPool(class_capacities)
 
         total_slots = sum(class_capacities.values())
@@ -106,8 +128,27 @@ class FlatCache(Observable):
             capacity=total_slots + unified_slots,
             load_factor=config.index_load_factor,
         )
-        self.admission = AdmissionFilter(
-            config.admission_probability, seed=config.seed
+        if precision.needs_estimator:
+            self._estimator: Optional[FrequencyEstimator] = FrequencyEstimator(
+                width=precision.sketch_width,
+                depth=precision.sketch_depth,
+                seed=config.seed,
+            )
+            self.admission = AdmissionFilter(
+                config.admission_probability,
+                seed=config.seed,
+                estimator=self._estimator,
+                hot_min_count=precision.hot_min_count,
+                warm_min_count=precision.warm_min_count,
+            )
+        else:
+            self._estimator = None
+            self.admission = AdmissionFilter(
+                config.admission_probability, seed=config.seed
+            )
+        self._eviction_policy = make_eviction_policy(
+            precision.eviction_policy,
+            recency_weight=precision.hybrid_recency_weight,
         )
         self.reclaimer = EpochReclaimer()
         self._clock = 0
@@ -134,7 +175,9 @@ class FlatCache(Observable):
         free = sum(self.pool.free_of(d) for d in self.pool.dims())
         live = capacity - free
         pending = self.reclaimer.pending
-        cached = self.live_entries()
+        _, values, _ = self.index.scan()
+        cache_mask = ~is_dram_pointer(values)
+        cached = int(cache_mask.sum())
         obs = self.obs
         obs.set_gauge("pool.capacity", capacity)
         obs.set_gauge("pool.live", live)
@@ -142,9 +185,37 @@ class FlatCache(Observable):
         obs.set_gauge("pool.pending_reclaim", pending)
         obs.set_gauge("cache.live_entries", cached)
         obs.set_gauge("cache.unified_entries", self.unified_entries)
+        if self.quantizing:
+            self._refresh_precision_gauges(untag(values[cache_mask]), cached)
         ok = live == cached + pending
         return ok, (f"pool occupies {live} slots but index scan sees "
                     f"{cached} live + {pending} pending reclaim")
+
+    def _refresh_precision_gauges(
+        self, locations: np.ndarray, cached: int
+    ) -> None:
+        """Per-tier entry/byte/drift gauges from one live index scan.
+
+        Feeds the ``precision.entry-split`` / ``precision.bytes-bounded``
+        / ``precision.tier-drift`` conservation laws — only emitted on
+        quantizing caches, so a pinned-fp32 configuration never grows a
+        ``precision.*`` key.
+        """
+        obs = self.obs
+        codes = self.pool.tier_codes_of_locations(locations)
+        payload = self.pool.payload_bytes_of_locations(locations)
+        obs.set_gauge("precision.cached_entries", cached)
+        for tier, code in TIER_CODES.items():
+            mask = codes == code
+            obs.set_gauge(f"precision.entries_{tier}", int(mask.sum()))
+            obs.set_gauge(f"precision.bytes_{tier}", int(payload[mask].sum()))
+        obs.set_gauge("precision.byte_budget", self.pool.total_bytes)
+        drift = (
+            self.pool.born_of_locations(locations).astype(np.int64)
+            - codes.astype(np.int64)
+        )
+        obs.set_gauge("precision.drift_up_live", int(drift[drift > 0].sum()))
+        obs.set_gauge("precision.drift_dn_live", int(-drift[drift < 0].sum()))
 
     # ------------------------------------------------------------------ info
 
@@ -166,6 +237,13 @@ class FlatCache(Observable):
         freed = self.reclaimer.collect()
         if len(freed):
             self.pool.release(freed)
+        interval = self.precision.aging_interval
+        if (
+            self._estimator is not None
+            and interval
+            and self._clock % interval == 0
+        ):
+            self._estimator.age()
         return self._clock
 
     # ------------------------------------------------------------------ encode
@@ -239,6 +317,10 @@ class FlatCache(Observable):
         positions = np.nonzero(admitted)[0]
         if len(positions) == 0:
             return inserted_mask, ProbeStats(0, 0, 0.0)
+        if self.quantizing:
+            return self._insert_tiered(
+                flat_keys, vectors, dim, dram_mask, positions, inserted_mask
+            )
 
         free = self.pool.free_of(dim)
         if free < len(positions):
@@ -270,6 +352,167 @@ class FlatCache(Observable):
         inserted_mask[positions] = True
         self.obs.inc("cache.inserted", len(positions))
         return inserted_mask, result.stats
+
+    def _insert_tiered(
+        self,
+        flat_keys: np.ndarray,
+        vectors: np.ndarray,
+        dim: int,
+        dram_mask: Optional[np.ndarray],
+        positions: np.ndarray,
+        inserted_mask: np.ndarray,
+    ) -> Tuple[np.ndarray, ProbeStats]:
+        """Mixed-precision replacement: admitted keys land in the tier the
+        admission filter's frequency estimate assigns them (hot → fp32,
+        warm → fp16, tail → int8).
+
+        Tier classes fill under *spill* pressure: when a class has fewer
+        free slots than candidates, the highest-estimate candidates take
+        the free slots and the overflow demotes to the next colder tier —
+        a hot key served at reduced precision still hits, which beats
+        churning another hot entry out of the cache.  Only the coldest
+        tier evicts, so total entry capacity is the binding constraint
+        (the effective-capacity multiplier the tiering is for); on-hit
+        retiering later promotes spilled keys as fp32 room opens up.
+        """
+        codes = self._clamp_codes(
+            dim, self.admission.tier_codes(flat_keys[positions])
+        )
+        available = sorted(TIER_CODES[t] for t in self.pool.tiers_of(dim))
+        for i, code in enumerate(available[:-1]):
+            sel = np.nonzero(codes == code)[0]
+            free = self.pool.free_of(dim, TIERS[code])
+            if len(sel) > free:
+                counts = self._estimator.estimate(
+                    flat_keys[positions[sel]]
+                )
+                keep = np.argsort(-counts, kind="stable")[:free]
+                spill = np.setdiff1d(sel, sel[keep], assume_unique=True)
+                codes[spill] = available[i + 1]
+        stats = ProbeStats(0, 0, 0.0)
+        for code in np.unique(codes):
+            tier = TIERS[code]
+            sel = positions[codes == code]
+            free = self.pool.free_of(dim, tier)
+            if free < len(sel):
+                self._evict(dim, need=len(sel) - free, tier=tier)
+                free = self.pool.free_of(dim, tier)
+                if free < len(sel):
+                    sel = sel[:free]
+            if len(sel) == 0:
+                continue
+            keys = flat_keys[sel]
+            rows = vectors[sel]
+            if dram_mask is not None:
+                promoted = int(dram_mask[sel].sum())
+            else:
+                found, pointers, _ = self.index.lookup(keys)
+                promoted = int((found & is_dram_pointer(pointers)).sum())
+            self.unified_entries = max(0, self.unified_entries - promoted)
+            locations = self.pool.allocate(dim, len(keys), tier=tier)
+            self.pool.write(locations, rows)  # quantize-on-insert
+            self.pool.set_born(locations, code)
+            result = self.index.insert(
+                keys, tag_cache_location(locations), stamp=self._clock
+            )
+            self._release_displaced(result.evicted_values)
+            inserted_mask[sel] = True
+            stats = stats.merged_with(result.stats)
+        inserted = int(inserted_mask.sum())
+        if inserted:
+            self.obs.inc("cache.inserted", inserted)
+        return inserted_mask, stats
+
+    def _clamp_codes(self, dim: int, codes: np.ndarray) -> np.ndarray:
+        """Clamp desired tier codes to tiers that have a slab class.
+
+        A tier with zero byte share gets no class; its keys fall to the
+        nearest *hotter* tier present (fp32 always exists when enabled).
+        """
+        available = [TIER_CODES[t] for t in self.pool.tiers_of(dim)]
+        if len(available) == len(TIERS):
+            return codes
+        lookup = np.zeros(len(TIERS), dtype=np.int8)
+        for code in range(len(TIERS)):
+            hotter = [a for a in available if a <= code]
+            lookup[code] = max(hotter) if hotter else min(available)
+        return lookup[codes]
+
+    # ------------------------------------------------------------ promotion
+
+    def observe_keys(self, flat_keys: np.ndarray) -> None:
+        """Feed one batch's deduplicated keys to the frequency estimator."""
+        if self._estimator is not None:
+            self.admission.observe(flat_keys)
+
+    def retier_hits(
+        self,
+        flat_keys: np.ndarray,
+        locations: np.ndarray,
+        rows: np.ndarray,
+        dim: int,
+    ) -> Tuple[int, int]:
+        """Move hit entries whose frequency crossed a tier boundary.
+
+        ``rows`` are the freshly gathered (dequantized) vectors, so no
+        second pool read is needed.  Moves are opportunistic: an entry
+        only moves when its target tier has a free slot — the hit path
+        never triggers an eviction.  The old slot is retired through the
+        epoch reclaimer (read-after-delete safety for concurrent
+        pipelined readers); the entry's *born* tier rides along so the
+        drift audit stays exact.  Returns ``(promoted, demoted)`` entry
+        counts; the matching ``precision.promotions`` / ``.demotions``
+        counters are rank-step weighted (int8 → fp32 counts two steps)
+        so they balance the drift gauges in the tier-drift law.
+        """
+        if not self.quantizing or len(flat_keys) == 0:
+            return 0, 0
+        desired = self._clamp_codes(
+            dim, self.admission.tier_codes(flat_keys)
+        )
+        current = self.pool.tier_codes_of_locations(locations)
+        moved = desired != current
+        if not moved.any():
+            return 0, 0
+        promoted = demoted = 0
+        promotion_steps = demotion_steps = 0
+        for code in np.unique(desired[moved]):
+            tier = TIERS[code]
+            sel = np.nonzero(moved & (desired == code))[0]
+            free = self.pool.free_of(dim, tier)
+            if free < len(sel):
+                sel = sel[:free]
+            if len(sel) == 0:
+                continue
+            old_locations = locations[sel]
+            born = self.pool.born_of_locations(old_locations)
+            new_locations = self.pool.allocate(dim, len(sel), tier=tier)
+            self.pool.write(new_locations, rows[sel])
+            self.pool.set_born(new_locations, born)
+            result = self.index.insert(
+                flat_keys[sel],
+                tag_cache_location(new_locations),
+                stamp=self._clock,
+            )
+            # Overwriting a live key's pointer leaves its old slot
+            # unreferenced: retire it ourselves (the entry itself lives
+            # on, so this is *not* an entry death for the drift audit).
+            self.reclaimer.retire(old_locations)
+            self._release_displaced(result.evicted_values)
+            steps = current[sel].astype(np.int64) - int(code)
+            promoted += int((steps > 0).sum())
+            demoted += int((steps < 0).sum())
+            promotion_steps += int(steps[steps > 0].sum())
+            demotion_steps += int(-steps[steps < 0].sum())
+        if promotion_steps:
+            self.obs.inc("precision.promotions", promotion_steps)
+        if demotion_steps:
+            self.obs.inc("precision.demotions", demotion_steps)
+        return promoted, demoted
+
+    def read_payload_bytes(self, locations: np.ndarray) -> int:
+        """Total stored payload bytes behind ``locations`` (gather size)."""
+        return int(self.pool.payload_bytes_of_locations(locations).sum())
 
     # ------------------------------------------------------------------ unified
 
@@ -306,8 +549,31 @@ class FlatCache(Observable):
         dram = is_dram_pointer(displaced)
         cache_ptrs = displaced[~dram]
         if len(cache_ptrs):
-            self.reclaimer.retire(untag(cache_ptrs))
+            locations = untag(cache_ptrs)
+            self._record_entry_death(locations)
+            self.reclaimer.retire(locations)
         self.unified_entries -= int(dram.sum())
+
+    def _record_entry_death(self, locations: np.ndarray) -> None:
+        """Fold dying entries' net tier drift into the retired counters.
+
+        An entry's drift (born tier rank minus current rank) leaves the
+        live gauges when the entry leaves the pool; accumulating it here
+        keeps ``promotions - demotions == net tier drift`` exact across
+        the entry's whole lifetime (the ``precision.tier-drift`` law).
+        """
+        if not self.quantizing or len(locations) == 0:
+            return
+        drift = (
+            self.pool.born_of_locations(locations).astype(np.int64)
+            - self.pool.tier_codes_of_locations(locations).astype(np.int64)
+        )
+        up = int(drift[drift > 0].sum())
+        down = int(-drift[drift < 0].sum())
+        if up:
+            self.obs.inc("precision.drift_up_retired", up)
+        if down:
+            self.obs.inc("precision.drift_dn_retired", down)
 
     def invalidate_dram_pointers(self, flat_keys: np.ndarray) -> int:
         """Erase unified-index entries whose DRAM target no longer exists.
@@ -389,37 +655,50 @@ class FlatCache(Observable):
             tag_dram_pointer(cache_keys[victims]),
             stamp=self._clock,
         )
+        self._record_entry_death(cache_locations[victims])
         self.reclaimer.retire(cache_locations[victims])
         self.unified_entries += len(victims)
         self.obs.inc("cache.demotions", len(victims))
 
     # ------------------------------------------------------------------ evict
 
-    def _evict(self, dim: int, need: int) -> None:
+    def _evict(self, dim: int, need: int, tier: Optional[str] = None) -> None:
         """Full-scan eviction (§3.1): drop cold entries of slab class ``dim``.
 
         Runs when the slab class cannot satisfy an allocation (utilisation
         above the high watermark); evicts the coldest entries until
         utilisation falls to the low watermark (or ``need`` is satisfied).
-        Freed slots are retired through the epoch reclaimer, so concurrent
-        readers never observe reuse (read-after-delete safety).
+        Victim order comes from the configured eviction policy — pure
+        recency by default (byte-identical to the pre-tiering scan), or a
+        frequency-aware LFU/hybrid score over the estimator's counts.  On
+        a mixed-precision pool each (dim, tier) class evicts
+        independently.  Freed slots are retired through the epoch
+        reclaimer, so concurrent readers never observe reuse
+        (read-after-delete safety).
         """
         keys, values, stamps = self.index.scan()
         cache_mask = ~is_dram_pointer(values)
         locations = untag(values[cache_mask])
         dims = self.pool.dim_of_locations(locations)
         in_class = dims == dim
+        if tier is not None:
+            tier_codes = self.pool.tier_codes_of_locations(locations)
+            in_class &= tier_codes == TIER_CODES[tier]
         class_keys = keys[cache_mask][in_class]
         class_stamps = stamps[cache_mask][in_class]
         class_locations = locations[in_class]
         if len(class_keys) == 0:
             return
 
-        capacity = self.pool.capacity_of(dim)
+        capacity = self.pool.capacity_of(dim, tier)
         target_live = int(capacity * self.config.evict_low_watermark)
         to_evict = max(need, len(class_keys) - target_live)
         to_evict = min(to_evict, len(class_keys))
-        order = np.argsort(class_stamps)  # coldest first
+        counts = (
+            self._estimator.estimate(class_keys)
+            if self._estimator is not None else None
+        )
+        order = self._eviction_policy.victim_order(class_stamps, counts)
         victims = order[:to_evict]
         victim_keys = class_keys[victims]
 

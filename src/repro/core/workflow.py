@@ -71,18 +71,34 @@ def _index_kernel_spec(name: str, num_keys: int, hops: float = 1.0) -> KernelSpe
     )
 
 
-def _copy_kernel_spec(name: str, rows: int, dim: int, hw: HardwareSpec) -> KernelSpec:
+def _copy_kernel_spec(
+    name: str,
+    rows: int,
+    dim: int,
+    hw: HardwareSpec,
+    read_bytes: Optional[int] = None,
+) -> KernelSpec:
     """Decoupled copying kernel: threads scale with embedding dimension.
 
     Reads are gathers of whole embeddings (coalesced transactions), writes
     are dense; with many threads per embedding the kernel is throughput-
     bound, the improvement §3.3 credits to decoupling.
+
+    ``read_bytes`` is the total *stored* payload behind the gather: a
+    mixed-precision cache reads fp16/int8 lines (the dequant is ALU work
+    fused into the same pass) while still writing fp32 rows, so its read
+    side streams fewer bytes than the write side.
     """
     row_bytes = coalesced_bytes(dim * 4, hw.gpu.transaction_bytes)
+    if read_bytes is None:
+        read_side = rows * row_bytes
+    else:
+        per_row = -(-read_bytes // rows) if rows else 0
+        read_side = rows * coalesced_bytes(per_row, hw.gpu.transaction_bytes)
     return KernelSpec(
         name=name,
         threads=max(rows, 1) * min(max(dim, _WARP), 256),
-        stream_bytes=2 * rows * row_bytes,
+        stream_bytes=read_side + rows * row_bytes,
     )
 
 
@@ -361,6 +377,9 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
         # decoupling decides whether the copy rides inside it (coupled) or
         # in separate gather kernels (phase 4a).
         outcome = self.cache.index_lookup(unique_keys)
+        # Frequency estimation rides the indexing pass: one sketch fold of
+        # the deduplicated keys (no-op unless mixed precision / LFU is on).
+        self.cache.observe_keys(unique_keys)
         # Pin the reclamation epoch for the resolve -> gather window: the
         # locations just read from the index must stay readable through
         # phase 4a even if a concurrently pipelined batch's replacement
@@ -454,6 +473,14 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             )
 
         # --- Phase 4a: decoupled copy kernel(s) for the hits (async).
+        # On the mixed-precision path the dequant fuses into this gather
+        # (the spec's read side shrinks to the stored payload bytes) and a
+        # hit doubles as a retier opportunity: keys whose frequency
+        # estimate crossed a tier threshold move to their new tier while
+        # their fp32 rows are already in registers.
+        quantizing = self.cache.quantizing
+        promoted_keys = 0
+        demoted_keys = 0
         hit_rows_by_group = {}
         for group in groups:  # lint: allow-loop (per dim group)
             hit_here = outcome.cache_hit[group.positions]
@@ -461,17 +488,38 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             locations = outcome.locations[group.positions][hit_here]
             if config.decouple_copy:
                 rows = len(locations)
-                spec = self._memo_spec(
-                    ("copy", group.dim, rows),
-                    lambda dim=group.dim, rows=rows: _copy_kernel_spec(
-                        f"fc_copy_d{dim}", rows, dim, self.hw
-                    ),
-                )
+                if quantizing:
+                    read_bytes = self.cache.read_payload_bytes(locations)
+                    spec = self._memo_spec(
+                        ("copy", group.dim, rows, read_bytes),
+                        lambda dim=group.dim, rows=rows, rb=read_bytes:
+                            _copy_kernel_spec(
+                                f"fc_copy_d{dim}", rows, dim, self.hw,
+                                read_bytes=rb,
+                            ),
+                    )
+                else:
+                    spec = self._memo_spec(
+                        ("copy", group.dim, rows),
+                        lambda dim=group.dim, rows=rows: _copy_kernel_spec(
+                            f"fc_copy_d{dim}", rows, dim, self.hw
+                        ),
+                    )
                 executor.launch(
                     spec, stream=copy_stream, category=Category.CACHE_COPY
                 )
             if len(locations):
-                unique_vectors[group.dim][hit_here] = self.cache.gather(locations)
+                gathered = self.cache.gather(locations)
+                unique_vectors[group.dim][hit_here] = gathered
+                if quantizing:
+                    up, down = self.cache.retier_hits(
+                        group.unique_keys[hit_here],
+                        locations,
+                        gathered,
+                        group.dim,
+                    )
+                    promoted_keys += up
+                    demoted_keys += down
         self.cache.reclaimer.unpin(read_epoch)
 
         # --- Phase 4b/5: DRAM query for the misses (overlaps with copies
@@ -675,6 +723,8 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             total_keys=len(flat_keys),
             coalesced_keys=coalesced_keys,
             coalesced_degraded=coalesced_degraded,
+            promoted_keys=promoted_keys,
+            demoted_keys=demoted_keys,
             per_table_hits=[int(h) for h in per_table_hits],
             per_table_misses=[int(m) for m in per_table_misses],
         )

@@ -5,6 +5,14 @@ per-call latency of ``cudaMalloc``); inside it, one *slab class* exists per
 embedding dimension, since every embedding of a table has the same size
 known in advance — this is how Fleche sidesteps fragmentation (§3.1).
 
+With mixed-precision tiering (:mod:`repro.core.precision`) a dimension may
+be split into up to three classes — (dim, fp32), (dim, fp16), (dim, int8)
+— each with its own storage dtype; quantization is fused into ``write``
+and dequantization into ``read``, so callers always speak float32 and the
+copy kernels stay plain vectorised gathers.  A pool built from the legacy
+``dim -> capacity`` mapping is pure fp32 and byte-identical to the
+pre-tiering behaviour.
+
 Slot handles are encoded as ``class_id << 32 | slot`` so a single uint64
 payload in the GPU hash index identifies both the slab class and the slot.
 The actual vectors are stored in one numpy matrix per class, making the
@@ -14,7 +22,7 @@ copy kernels plain vectorised gathers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +30,37 @@ from ..errors import CapacityError, SimulationError
 
 _CLASS_SHIFT = np.uint64(32)
 _SLOT_MASK = np.uint64(0xFFFFFFFF)
+
+#: Tier names and codes, kept in sync with :mod:`repro.core.precision`
+#: (duplicated here as plain data so the pool never imports ``core`` at
+#: module load — the packages initialise in either order).
+_TIER_FP32 = "fp32"
+_TIER_CODES = {"fp32": 0, "fp16": 1, "int8": 2}
+_TIER_NAMES = ("fp32", "fp16", "int8")
+_STORAGE_DTYPE = {"fp32": np.float32, "fp16": np.float16, "int8": np.int8}
+
+_quant_fns = None
+
+
+def _quant():
+    """Lazy import of the quantization kernels (non-fp32 classes only)."""
+    global _quant_fns
+    if _quant_fns is None:
+        from ..core.precision import dequantize_rows, quantize_rows
+
+        _quant_fns = (quantize_rows, dequantize_rows)
+    return _quant_fns
+
+
+def _payload_bytes(dim: int, tier: str) -> int:
+    """Stored bytes per slot: values plus (for int8) the per-row scale."""
+    if tier == "fp32":
+        return dim * 4
+    if tier == "fp16":
+        return dim * 2
+    if tier == "int8":
+        return dim + 4
+    raise SimulationError(f"unknown precision tier {tier!r}")
 
 
 def pack_location(class_id: int, slot: int) -> int:
@@ -39,7 +78,7 @@ def unpack_locations(locations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 @dataclass
 class SlabClass:
-    """All slots of one embedding dimension."""
+    """All slots of one (embedding dimension, precision tier) pair."""
 
     class_id: int
     dim: int
@@ -47,10 +86,17 @@ class SlabClass:
     storage: np.ndarray
     free_slots: List[int] = field(default_factory=list)
     live: int = 0
+    tier: str = _TIER_FP32
+    #: per-slot float32 dequant scale (int8 classes only).
+    scales: Optional[np.ndarray] = None
+    #: per-slot tier code the entry was *born* into (tiered pools only);
+    #: carried across promotion/demotion so the drift audit can compare
+    #: each live entry's birth tier against its current class.
+    born: Optional[np.ndarray] = None
 
     @property
     def slot_bytes(self) -> int:
-        return self.dim * 4  # float32 embeddings
+        return _payload_bytes(self.dim, self.tier)
 
     def __deepcopy__(self, memo):
         # free_slots holds immutable ints: a shallow list copy is exact,
@@ -76,6 +122,9 @@ class SlabClass:
             storage=storage,
             free_slots=list(self.free_slots),
             live=self.live,
+            tier=self.tier,
+            scales=None if self.scales is None else self.scales.copy(),
+            born=None if self.born is None else self.born.copy(),
         )
         memo[id(self)] = clone
         return clone
@@ -100,34 +149,56 @@ class SlabClass:
 
 
 class SlabMemoryPool:
-    """Memory pool with one slab class per embedding dimension.
+    """Memory pool with one slab class per (dimension[, tier]).
 
     Args:
-        class_capacities: mapping ``dim -> slot count`` describing how many
-            embeddings of each dimension the pool can hold.  Capacities are
-            derived by the cache from its byte budget.
+        class_capacities: either the legacy mapping ``dim -> slot count``
+            (every class fp32) or ``(dim, tier) -> slot count`` for a
+            mixed-precision pool.  Capacities are derived by the cache
+            from its byte budget.
     """
 
-    def __init__(self, class_capacities: Dict[int, int]):
+    def __init__(self, class_capacities: Dict):
         if not class_capacities:
             raise SimulationError("memory pool needs at least one slab class")
+        normalized: Dict[Tuple[int, str], int] = {}
+        for key, capacity in class_capacities.items():
+            dim, tier = key if isinstance(key, tuple) else (key, _TIER_FP32)
+            if tier not in _TIER_CODES:
+                raise SimulationError(f"unknown precision tier {tier!r}")
+            normalized[(int(dim), tier)] = capacity
+        self._tiered = any(
+            isinstance(key, tuple) for key in class_capacities
+        )
         self._classes: Dict[int, SlabClass] = {}
-        self._class_by_dim: Dict[int, int] = {}
-        for class_id, (dim, capacity) in enumerate(sorted(class_capacities.items())):
+        self._class_by_key: Dict[Tuple[int, str], int] = {}
+        ordered = sorted(
+            normalized.items(), key=lambda kv: (kv[0][0], _TIER_CODES[kv[0][1]])
+        )
+        for class_id, ((dim, tier), capacity) in enumerate(ordered):
             if dim <= 0 or capacity <= 0:
                 raise SimulationError(
                     f"invalid slab class dim={dim} capacity={capacity}"
                 )
-            storage = np.zeros((capacity, dim), dtype=np.float32)
+            storage = np.zeros((capacity, dim), dtype=_STORAGE_DTYPE[tier])
             slab = SlabClass(
                 class_id=class_id,
                 dim=dim,
                 capacity=capacity,
                 storage=storage,
                 free_slots=list(range(capacity)),
+                tier=tier,
+                scales=(
+                    np.zeros(capacity, dtype=np.float32)
+                    if tier == "int8" else None
+                ),
+                born=(
+                    np.full(capacity, _TIER_CODES[tier], dtype=np.int8)
+                    if self._tiered else None
+                ),
             )
             self._classes[class_id] = slab
-            self._class_by_dim[dim] = class_id
+            self._class_by_key[(dim, tier)] = class_id
         self._total_slots = sum(c.capacity for c in self._classes.values())
 
     # ------------------------------------------------------------------ info
@@ -135,7 +206,10 @@ class SlabMemoryPool:
     @property
     def total_bytes(self) -> int:
         """Bytes of HBM the pool's bulk allocation occupies."""
-        return sum(c.storage.nbytes for c in self._classes.values())
+        return sum(
+            c.storage.nbytes + (c.scales.nbytes if c.scales is not None else 0)
+            for c in self._classes.values()
+        )
 
     @property
     def utilization(self) -> float:
@@ -143,28 +217,53 @@ class SlabMemoryPool:
         live = sum(c.live for c in self._classes.values())
         return live / self._total_slots
 
-    def utilization_of(self, dim: int) -> float:
-        slab = self._classes[self._class_by_dim[dim]]
-        return slab.live / slab.capacity
+    def _slabs_of(self, dim: int, tier: Optional[str]) -> List[SlabClass]:
+        if tier is not None:
+            class_id = self._class_by_key[(dim, tier)]
+            return [self._classes[class_id]]
+        slabs = [
+            self._classes[cid]
+            for (d, _), cid in self._class_by_key.items()
+            if d == dim
+        ]
+        if not slabs:
+            raise KeyError(dim)
+        return slabs
+
+    def utilization_of(self, dim: int, tier: Optional[str] = None) -> float:
+        slabs = self._slabs_of(dim, tier)
+        return sum(s.live for s in slabs) / sum(s.capacity for s in slabs)
 
     def dims(self) -> List[int]:
-        return sorted(self._class_by_dim)
+        return sorted({dim for dim, _ in self._class_by_key})
 
-    def capacity_of(self, dim: int) -> int:
-        return self._classes[self._class_by_dim[dim]].capacity
+    def tiers_of(self, dim: int) -> List[str]:
+        """Tiers with a slab class for ``dim``, hottest first."""
+        return [
+            tier for tier in _TIER_NAMES
+            if (dim, tier) in self._class_by_key
+        ]
 
-    def free_of(self, dim: int) -> int:
-        return len(self._classes[self._class_by_dim[dim]].free_slots)
+    def capacity_of(self, dim: int, tier: Optional[str] = None) -> int:
+        return sum(s.capacity for s in self._slabs_of(dim, tier))
+
+    def free_of(self, dim: int, tier: Optional[str] = None) -> int:
+        return sum(len(s.free_slots) for s in self._slabs_of(dim, tier))
 
     # ------------------------------------------------------------------ alloc
 
-    def allocate(self, dim: int, count: int) -> np.ndarray:
+    def allocate(
+        self, dim: int, count: int, tier: str = _TIER_FP32
+    ) -> np.ndarray:
         """Allocate ``count`` slots of dimension ``dim``; returns locations."""
         if count == 0:
             return np.zeros(0, dtype=np.uint64)
-        class_id = self._class_by_dim.get(dim)
+        class_id = self._class_by_key.get((dim, tier))
         if class_id is None:
-            raise SimulationError(f"no slab class for embedding dimension {dim}")
+            raise SimulationError(
+                f"no slab class for embedding dimension {dim}"
+                + ("" if tier == _TIER_FP32 else f" tier {tier}")
+            )
         slots = self._classes[class_id].allocate(count)
         return (np.uint64(class_id) << _CLASS_SHIFT) | slots.astype(np.uint64)
 
@@ -182,7 +281,13 @@ class SlabMemoryPool:
     # ------------------------------------------------------------------ data
 
     def write(self, locations: np.ndarray, vectors: np.ndarray) -> None:
-        """Store ``vectors`` (all same dim) into ``locations``."""
+        """Store fp32 ``vectors`` (all same dim) into ``locations``.
+
+        Quantize-on-insert: a non-fp32 class quantizes the rows to its
+        storage dtype (and records per-row scales for int8) — the same
+        path serves inserts *and* in-place refresh writes, so a model
+        refresh re-quantizes at the entry's current tier automatically.
+        """
         if len(locations) == 0:
             return
         class_ids, slots = unpack_locations(np.asarray(locations))
@@ -195,18 +300,47 @@ class SlabMemoryPool:
                 f"write: expected shape {(len(locations), slab.dim)}, "
                 f"got {vectors.shape}"
             )
-        slab.storage[slots] = vectors
+        if slab.tier == _TIER_FP32:
+            slab.storage[slots] = vectors
+            return
+        quantize_rows, _ = _quant()
+        payload, scales = quantize_rows(vectors, slab.tier)
+        slab.storage[slots] = payload
+        if scales is not None:
+            slab.scales[slots] = scales
 
     def read(self, locations: np.ndarray) -> np.ndarray:
-        """Gather the vectors stored at ``locations`` (all same dim)."""
+        """Gather the fp32 vectors stored at ``locations`` (all same dim).
+
+        Dequantize-on-gather: non-fp32 classes reconstruct float32 rows
+        from their stored payload in one vectorised expression.  On a
+        tiered pool the locations may span the (dim, tier) classes of one
+        dimension — the gather groups per class and scatters into one
+        output in location order.
+        """
         if len(locations) == 0:
             return np.zeros((0, 0), dtype=np.float32)
         class_ids, slots = unpack_locations(np.asarray(locations))
         unique = np.unique(class_ids)
-        if len(unique) != 1:
+        if len(unique) == 1:
+            return self._read_class(self._classes[int(unique[0])], slots)
+        dims = {self._classes[int(c)].dim for c in unique}
+        if len(dims) != 1:
             raise SimulationError("read: locations span multiple slab classes")
-        slab = self._classes[int(unique[0])]
-        return slab.storage[slots]
+        out = np.empty((len(locations), dims.pop()), dtype=np.float32)
+        for class_id in unique:
+            mask = class_ids == class_id
+            out[mask] = self._read_class(
+                self._classes[int(class_id)], slots[mask]
+            )
+        return out
+
+    def _read_class(self, slab: SlabClass, slots: np.ndarray) -> np.ndarray:
+        if slab.tier == _TIER_FP32:
+            return slab.storage[slots]
+        _, dequantize_rows = _quant()
+        scales = slab.scales[slots] if slab.scales is not None else None
+        return dequantize_rows(slab.storage[slots], scales, slab.tier)
 
     def dim_of_locations(self, locations: np.ndarray) -> np.ndarray:
         """Per-location embedding dimension (vectorised)."""
@@ -215,3 +349,46 @@ class SlabMemoryPool:
         for class_id, slab in self._classes.items():
             dims[class_ids == class_id] = slab.dim
         return dims
+
+    def tier_codes_of_locations(self, locations: np.ndarray) -> np.ndarray:
+        """Per-location precision tier code (0=fp32, 1=fp16, 2=int8)."""
+        class_ids, _ = unpack_locations(np.asarray(locations))
+        codes = np.zeros(len(class_ids), dtype=np.int8)
+        for class_id, slab in self._classes.items():
+            codes[class_ids == class_id] = _TIER_CODES[slab.tier]
+        return codes
+
+    def payload_bytes_of_locations(self, locations: np.ndarray) -> np.ndarray:
+        """Per-location stored payload bytes (values + int8 scales)."""
+        class_ids, _ = unpack_locations(np.asarray(locations))
+        out = np.zeros(len(class_ids), dtype=np.int64)
+        for class_id, slab in self._classes.items():
+            out[class_ids == class_id] = slab.slot_bytes
+        return out
+
+    # ---------------------------------------------------------------- born
+
+    def born_of_locations(self, locations: np.ndarray) -> np.ndarray:
+        """Per-slot birth-tier codes (tiered pools only)."""
+        class_ids, slots = unpack_locations(np.asarray(locations))
+        codes = np.zeros(len(class_ids), dtype=np.int8)
+        for class_id in np.unique(class_ids):
+            slab = self._classes[int(class_id)]
+            if slab.born is None:
+                raise SimulationError("born-tier metadata needs a tiered pool")
+            mask = class_ids == class_id
+            codes[mask] = slab.born[slots[mask]]
+        return codes
+
+    def set_born(self, locations: np.ndarray, codes: np.ndarray) -> None:
+        """Record birth-tier codes for freshly written slots."""
+        if len(locations) == 0:
+            return
+        class_ids, slots = unpack_locations(np.asarray(locations))
+        codes = np.broadcast_to(np.asarray(codes, dtype=np.int8), len(slots))
+        for class_id in np.unique(class_ids):
+            slab = self._classes[int(class_id)]
+            if slab.born is None:
+                raise SimulationError("born-tier metadata needs a tiered pool")
+            mask = class_ids == class_id
+            slab.born[slots[mask]] = codes[mask]

@@ -237,10 +237,30 @@ class CollisionAucStudy:
         self.epochs = epochs
         self.seed = seed
 
-    def auc_with_codec(self, codec) -> float:
-        """Train with flat keys from ``codec``; return held-out AUC."""
+    def auc_with_codec(self, codec, weight_transform=None) -> float:
+        """Train with flat keys from ``codec``; return held-out AUC.
+
+        ``weight_transform``, if given, maps the trained weight table
+        ``(keys, weights) -> new_weights`` before prediction — the hook
+        the mixed-precision study uses to quantize a tier's worth of
+        weights and measure the AUC movement that quantization alone
+        causes (training itself is untouched).
+        """
         model = _HashedLogisticModel(epochs=self.epochs, seed=self.seed)
         model.fit(codec, self.task.train_features, self.task.train_labels)
+        if weight_transform is not None:
+            keys = np.fromiter(
+                model._weights.keys(), dtype=np.uint64,
+                count=len(model._weights),
+            )
+            weights = np.fromiter(
+                model._weights.values(), dtype=np.float64,
+                count=len(model._weights),
+            )
+            new_weights = weight_transform(keys, weights)
+            model._weights = {
+                int(k): float(w) for k, w in zip(keys, new_weights)
+            }
         scores = model.predict(codec, self.task.test_features)
         return auc_score(self.task.test_labels, scores)
 

@@ -67,6 +67,10 @@ class TieredParameterStore(Observable):
             resilient fetch path.
         degrade: what to serve when the remote tier cannot answer within
             its retry budget (default: stale values with zero fallback).
+        dram_storage_tier: precision at which the DRAM tier holds resident
+            rows (``"fp32"`` default / ``"fp16"`` / ``"int8"``) — a
+            lower tier multiplies the layer's effective capacity at the
+            cost of quantization error on DRAM hits.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class TieredParameterStore(Observable):
         dram_capacity: int,
         remote: Optional[RemoteParameterServer] = None,
         degrade: Optional[DegradeConfig] = None,
+        dram_storage_tier: str = "fp32",
     ):
         if not specs:
             raise WorkloadError("tiered store needs at least one table")
@@ -97,7 +102,10 @@ class TieredParameterStore(Observable):
             StaleStore() if self.remote.injector is not None else None
         )
 
-        self.dram = DramCacheLayer(specs, dram_capacity, self._backing_fetch)
+        self.dram = DramCacheLayer(
+            specs, dram_capacity, self._backing_fetch,
+            storage_tier=dram_storage_tier,
+        )
         self.dram.on_eviction(self._forward_invalidation)
 
     def _backing_fetch(self, table_id: int, feature_ids: np.ndarray):

@@ -555,6 +555,25 @@ def install_conservation_laws(registry: MetricsRegistry) -> MetricsRegistry:
         ["refresh.staged_keys"],
         ["refresh.published_keys", "refresh.coalesced_writes",
          "refresh.buffered_keys"])
+    # Mixed-precision tiering (gauges refreshed by the FlatCache audit
+    # hook; all zero — hence trivially true — outside precision runs).
+    # Entry-split: every cached entry sits in exactly one precision tier.
+    add("precision.entry-split",
+        ["precision.entries_fp32", "precision.entries_fp16",
+         "precision.entries_int8"],
+        ["precision.cached_entries"])
+    # Live payload bytes never exceed the pool's structural byte budget.
+    add("precision.bytes-bounded",
+        ["precision.bytes_fp32", "precision.bytes_fp16",
+         "precision.bytes_int8"],
+        ["precision.byte_budget"], op="<=")
+    # Tier drift: step-weighted promotions/demotions balance against the
+    # net born-vs-current drift of live and retired entries.
+    add("precision.tier-drift",
+        ["precision.promotions", "precision.drift_dn_live",
+         "precision.drift_dn_retired"],
+        ["precision.demotions", "precision.drift_up_live",
+         "precision.drift_up_retired"])
     return registry
 
 

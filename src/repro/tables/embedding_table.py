@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import WorkloadError
+from ..errors import ConfigError, WorkloadError
 from .table_spec import TableSpec
 
 _MIX1 = np.uint64(0xFF51AFD7ED558CCD)
@@ -54,10 +54,22 @@ class EmbeddingTable:
     Rows are materialised lazily: a feature ID's vector is generated on its
     first access and then pinned, so repeated lookups are stable (training
     would update rows in place; inference only reads).
+
+    ``storage_tier`` holds the table's values at a reduced precision
+    (``"fp16"``/``"int8"``): every row is passed through the tier's
+    quantize→dequantize round trip when materialised or updated, so
+    lookups see exactly what a payload stored at that tier reconstructs
+    to.  The default ``"fp32"`` stores rows verbatim (bit-exact against
+    :func:`reference_vectors`).
     """
 
-    def __init__(self, spec: TableSpec):
+    def __init__(self, spec: TableSpec, storage_tier: str = "fp32"):
+        from ..core.precision import TIERS
+
+        if storage_tier not in TIERS:
+            raise ConfigError(f"unknown table storage tier {storage_tier!r}")
         self.spec = spec
+        self.storage_tier = storage_tier
         # Feature ids are dense in [0, corpus_size): a direct id -> row
         # array replaces hash probing on the hot path (-1 = not yet
         # materialised).  Device-side probing costs are modelled by
@@ -65,6 +77,15 @@ class EmbeddingTable:
         self._row_of = np.full(spec.corpus_size, -1, dtype=np.int64)
         self._rows = np.zeros((0, spec.dim), dtype=np.float32)
         self._row_count = 0
+
+    def _at_tier(self, rows: np.ndarray) -> np.ndarray:
+        """Round-trip ``rows`` through the storage tier's quantization."""
+        if self.storage_tier == "fp32":
+            return rows
+        from ..core.precision import dequantize_rows, quantize_rows
+
+        payload, scales = quantize_rows(rows, self.storage_tier)
+        return dequantize_rows(payload, scales, self.storage_tier)
 
     def __len__(self) -> int:
         return self._row_count
@@ -80,7 +101,9 @@ class EmbeddingTable:
                 f"table {self.spec.table_id}: feature id beyond corpus size "
                 f"{self.spec.corpus_size}"
             )
-        new_rows = reference_vectors(self.spec.table_id, missing, self.spec.dim)
+        new_rows = self._at_tier(
+            reference_vectors(self.spec.table_id, missing, self.spec.dim)
+        )
         start = self._row_count
         if self._rows.shape[0] < start + len(missing):
             grow_to = max(start + len(missing), max(64, self._rows.shape[0] * 2))
@@ -131,3 +154,26 @@ class EmbeddingTable:
                 missing, feature_ids[absent]
             )
         return self._rows[rows]
+
+    def update_rows(
+        self, feature_ids: np.ndarray, vectors: np.ndarray
+    ) -> int:
+        """Write-through: overwrite rows with refreshed model values.
+
+        Each row is re-quantized at the table's storage tier before it
+        lands, so a refresh cannot silently upgrade a reduced-precision
+        table to fp32 values.  IDs not yet materialised are created
+        (an authoritative update, unlike a cache admission).  Returns
+        the number of rows written.
+        """
+        feature_ids = self._bounded(feature_ids)
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape != (len(feature_ids), self.spec.dim):
+            raise WorkloadError(
+                f"table {self.spec.table_id}: update_rows shape mismatch"
+            )
+        if feature_ids.size == 0:
+            return 0
+        self._ensure_rows(feature_ids)
+        self._rows[self._row_of[feature_ids]] = self._at_tier(vectors)
+        return len(feature_ids)

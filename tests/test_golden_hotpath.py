@@ -29,7 +29,8 @@ import numpy as np
 import pytest
 
 from repro import (
-    DeepCrossNetwork, FlecheConfig, SpanTracer, default_platform,
+    DeepCrossNetwork, FlecheConfig, PrecisionConfig, SpanTracer,
+    default_platform,
 )
 from repro.bench.harness import canonical_json
 from repro.cluster import ClusterConfig, ClusterRouter
@@ -67,13 +68,18 @@ def _json_digest(payload) -> str:
     return _sha(canonical_json(payload).encode())
 
 
-def _serving_fixture(hw, cls, **kwargs):
+def _serving_fixture(hw, cls, precision=None, **kwargs):
     """One deterministic serving run; shared by both serving scenarios."""
     dataset = uniform_tables_spec(
         num_tables=6, corpus_size=12_000, alpha=-1.2, dim=16,
     )
     store = EmbeddingStore(dataset.table_specs(), hw)
-    layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
+    config = (
+        FlecheConfig(cache_ratio=0.05)
+        if precision is None
+        else FlecheConfig(cache_ratio=0.05, precision=precision)
+    )
+    layer = FlecheEmbeddingLayer(store, config, hw)
     model = DeepCrossNetwork(
         num_tables=dataset.num_tables, embedding_dim=dataset.dim,
     )
@@ -202,6 +208,56 @@ def test_hotpath_golden(name, golden):
         if actual.get(key) != expected[key]
     }
     assert not mismatched, (name, mismatched)
+
+
+def test_pinned_fp32_matches_prepr_golden(golden):
+    """The golden no-op guarantee of the mixed-precision tentpole.
+
+    A precision config with every tier pinned to fp32 (and pure-LRU
+    eviction) must take exactly the pre-tiering code path: the depth-2
+    pipelined serving run is required to be byte-identical — metrics
+    JSON, latency arrays, probabilities, traces — to the pre-PR
+    ``serving_pipelined`` golden entry, and no ``precision.*`` metric
+    may appear anywhere.
+    """
+    hw = default_platform()
+    pinned = PrecisionConfig(
+        enabled=True, fp32_share=1.0, fp16_share=0.0, int8_share=0.0,
+        eviction_policy="lru",
+    )
+    assert not pinned.quantizing
+    actual = _serving_fixture(
+        hw, PipelinedInferenceServer, depth=2, precision=pinned,
+    )
+    expected = golden["serving_pipelined"]
+    mismatched = {
+        key: (expected[key], actual[key])
+        for key in expected
+        if actual.get(key) != expected[key]
+    }
+    assert not mismatched, mismatched
+
+
+def test_pinned_fp32_emits_no_precision_metrics():
+    hw = default_platform()
+    pinned = PrecisionConfig(
+        enabled=True, fp32_share=1.0, fp16_share=0.0, int8_share=0.0,
+    )
+    report_payload = _serving_fixture(
+        hw, InferenceServer, precision=pinned,
+    )
+    del report_payload  # digests checked by the golden test above
+    # Direct registry check on a fresh layer-level run.
+    dataset = uniform_tables_spec(
+        num_tables=3, corpus_size=4_000, alpha=-1.2, dim=16,
+    )
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    layer = FlecheEmbeddingLayer(
+        store, FlecheConfig(cache_ratio=0.05, precision=pinned), hw,
+    )
+    snap = layer.cache.obs.snapshot()
+    names = [n for (n, _) in snap.counters] + [n for (n, _) in snap.gauges]
+    assert not any(n.startswith("precision.") for n in names)
 
 
 def main(argv=None):  # pragma: no cover - regeneration entry point

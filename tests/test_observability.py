@@ -38,6 +38,7 @@ from repro.baselines.optimal_cache import (
 from repro.baselines.per_table_cache import PerTableCacheLayer, PerTableConfig
 from repro.baselines.reduction_cache import ReductionCache, co_occurrence_workload
 from repro.core.config import FlecheConfig
+from repro.core.precision import PrecisionConfig
 from repro.core.engine import InferenceEngine
 from repro.core.workflow import FlecheEmbeddingLayer
 from repro.errors import SimulationError
@@ -366,20 +367,41 @@ BACKENDS = {
     "no-cache": lambda store, hw: NoCacheLayer(store, hw),
 }
 
+# Mixed-precision backends join the law sweep only: their slimmer slots
+# buy extra capacity at the same byte budget, so the fp32-capacity-based
+# optimal hit-rate bound in the totals test does not apply to them.
+PRECISION_BACKENDS = {
+    "fleche-mixed": lambda store, hw: FlecheEmbeddingLayer(
+        store, FlecheConfig(cache_ratio=0.05, precision=PrecisionConfig(
+            enabled=True, fp32_share=0.25, fp16_share=0.25, int8_share=0.5,
+        )), hw),
+    "fleche-mixed-lfu": lambda store, hw: FlecheEmbeddingLayer(
+        store, FlecheConfig(cache_ratio=0.05, precision=PrecisionConfig(
+            enabled=True, fp32_share=0.1, fp16_share=0.1, int8_share=0.8,
+            eviction_policy="lfu",
+        )), hw),
+    "fleche-hybrid-evict": lambda store, hw: FlecheEmbeddingLayer(
+        store, FlecheConfig(cache_ratio=0.05, precision=PrecisionConfig(
+            enabled=True, fp32_share=1.0, fp16_share=0.0, int8_share=0.0,
+            eviction_policy="hybrid",
+        )), hw),
+}
+
 
 class TestConservationSweep:
     @pytest.fixture(scope="class")
     def accesses(self, small_trace):
         return sum(batch.total_ids for batch in small_trace)
 
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize(
+        "backend", sorted({**BACKENDS, **PRECISION_BACKENDS})
+    )
     def test_backend_passes_all_laws(
         self, backend, small_dataset, small_trace, hw, accesses
     ):
         store = EmbeddingStore(small_dataset.table_specs(), hw)
-        engine = InferenceEngine(
-            BACKENDS[backend](store, hw), hw, include_dense=False
-        )
+        make = {**BACKENDS, **PRECISION_BACKENDS}[backend]
+        engine = InferenceEngine(make(store, hw), hw, include_dense=False)
         engine.run(small_trace, Executor(hw))
         engine.obs.check()
         obs = engine.obs

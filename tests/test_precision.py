@@ -1,0 +1,441 @@
+"""Unit tests for mixed-precision, frequency-aware cache entries.
+
+Covers the tentpole end to end: config validation, tiered capacity
+arithmetic, quantize-on-insert / dequantize-on-gather through the flat
+cache, spill-under-pressure, on-hit retiering with conservation-counter
+accounting, the tier-preserving DRAM / embedding-table write-through
+paths, and the AUC-proxy regression gate (int8 tail within epsilon).
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.size_aware import SizeAwareCodec
+from repro.core.config import FlecheConfig
+from repro.core.flat_cache import FlatCache
+from repro.core.precision import (
+    PrecisionConfig,
+    TIER_CODES,
+    quantize_rows,
+    dequantize_rows,
+    slot_payload_bytes,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.hardware import default_platform
+from repro.mempool.slab_pool import SlabMemoryPool
+from repro.model.trainer import CollisionAucStudy, SyntheticCtrTask
+from repro.multitier.dram_cache import DramCacheLayer
+from repro.tables.embedding_table import (
+    EmbeddingTable, reference_vectors,
+)
+from repro.tables.store import EmbeddingStore
+from repro.tables.table_spec import TableSpec
+
+MIXED = PrecisionConfig(
+    enabled=True, fp32_share=0.4, fp16_share=0.3, int8_share=0.3,
+    eviction_policy="lfu",
+)
+
+
+def _cache(precision, ratio=0.5, corpus=1000, dim=16):
+    specs = [TableSpec(table_id=0, corpus_size=corpus, dim=dim)]
+    return FlatCache(
+        specs, FlecheConfig(cache_ratio=ratio, precision=precision)
+    )
+
+
+class TestPrecisionConfig:
+    def test_default_is_disabled_and_not_quantizing(self):
+        config = PrecisionConfig()
+        assert not config.enabled
+        assert not config.quantizing
+        assert not config.needs_estimator
+
+    def test_pinned_fp32_not_quantizing(self):
+        pinned = PrecisionConfig(
+            enabled=True, fp32_share=1.0, fp16_share=0.0, int8_share=0.0,
+        )
+        assert not pinned.quantizing
+        assert not pinned.needs_estimator
+        assert pinned.tiers_in_use() == ("fp32",)
+
+    def test_lfu_without_quantizing_still_needs_estimator(self):
+        config = PrecisionConfig(
+            enabled=True, fp32_share=1.0, fp16_share=0.0, int8_share=0.0,
+            eviction_policy="lfu",
+        )
+        assert not config.quantizing
+        assert config.needs_estimator
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            PrecisionConfig(enabled=True, fp32_share=0.5, fp16_share=0.5,
+                            int8_share=0.5)
+
+    def test_fp32_share_required(self):
+        with pytest.raises(ConfigError):
+            PrecisionConfig(enabled=True, fp32_share=0.0, fp16_share=0.5,
+                            int8_share=0.5)
+
+    def test_policy_requires_enabled(self):
+        with pytest.raises(ConfigError):
+            PrecisionConfig(eviction_policy="lfu")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            PrecisionConfig(enabled=True, eviction_policy="mru")
+
+    def test_threshold_ordering(self):
+        with pytest.raises(ConfigError):
+            PrecisionConfig(enabled=True, hot_min_count=2, warm_min_count=8)
+
+    def test_payload_bytes(self):
+        assert slot_payload_bytes(32, "fp32") == 128
+        assert slot_payload_bytes(32, "fp16") == 64
+        assert slot_payload_bytes(32, "int8") == 36
+
+
+class TestTieredPool:
+    def test_tiered_capacity_beats_fp32_at_matched_bytes(self):
+        plain = _cache(PrecisionConfig())
+        mixed = _cache(MIXED)
+        assert mixed.pool.total_bytes <= plain.pool.total_bytes * 1.01
+        assert (
+            mixed.pool.capacity_of(16) > plain.pool.capacity_of(16) * 1.4
+        )
+
+    def test_untier_pool_rejects_born_metadata(self):
+        pool = SlabMemoryPool({16: 32})
+        locs = pool.allocate(16, 4)
+        with pytest.raises(SimulationError):
+            pool.set_born(locs, 0)
+
+    def test_write_read_roundtrip_per_tier(self):
+        pool = SlabMemoryPool(
+            {(8, "fp32"): 16, (8, "fp16"): 16, (8, "int8"): 16}
+        )
+        rng = np.random.default_rng(1)
+        rows = rng.normal(size=(6, 8)).astype(np.float32)
+        for tier in ("fp32", "fp16", "int8"):
+            locs = pool.allocate(8, 6, tier=tier)
+            pool.write(locs, rows)
+            back = pool.read(locs)
+            payload, scales = quantize_rows(rows, tier)
+            np.testing.assert_array_equal(
+                back, dequantize_rows(payload, scales, tier)
+            )
+            assert (
+                pool.tier_codes_of_locations(locs) == TIER_CODES[tier]
+            ).all()
+
+    def test_mixed_tier_gather_orders_rows(self):
+        pool = SlabMemoryPool({(8, "fp32"): 16, (8, "fp16"): 16})
+        rows = np.arange(16, dtype=np.float32).reshape(2, 8)
+        a = pool.allocate(8, 1, tier="fp32")
+        b = pool.allocate(8, 1, tier="fp16")
+        pool.write(a, rows[:1])
+        pool.write(b, rows[1:])
+        both = np.concatenate([b, a])  # deliberately out of class order
+        out = pool.read(both)
+        np.testing.assert_array_equal(out[1], rows[0])
+        np.testing.assert_allclose(out[0], rows[1], rtol=1e-3)
+
+
+class TestTieredInsertAndGather:
+    def test_hot_keys_land_fp32_tail_lands_cold(self):
+        cache = _cache(MIXED)
+        keys = np.arange(40, dtype=np.uint64)
+        vecs = np.random.default_rng(0).normal(size=(40, 16)).astype(
+            np.float32
+        )
+        for _ in range(10):
+            cache.observe_keys(keys[:4])  # hot subset
+        cache.observe_keys(keys)
+        cache.admit_and_insert(keys, vecs, dim=16)
+        outcome = cache.index_lookup(keys)
+        assert outcome.cache_hit.all()
+        codes = cache.pool.tier_codes_of_locations(outcome.locations)
+        assert (codes[:4] == TIER_CODES["fp32"]).all()
+        assert (codes[4:] > TIER_CODES["fp32"]).all()
+
+    def test_gather_error_bounded_by_tier(self):
+        cache = _cache(MIXED)
+        keys = np.arange(30, dtype=np.uint64)
+        vecs = np.random.default_rng(2).normal(size=(30, 16)).astype(
+            np.float32
+        )
+        cache.observe_keys(keys)
+        cache.admit_and_insert(keys, vecs, dim=16)
+        outcome = cache.index_lookup(keys)
+        got = cache.gather(outcome.locations[outcome.cache_hit])
+        err = np.abs(got - vecs[outcome.cache_hit]).max(axis=1)
+        # int8 per-row error <= max|row|/127 * 0.51
+        bound = np.abs(vecs[outcome.cache_hit]).max(axis=1) / 127 * 0.51
+        assert (err <= bound + 1e-6).all()
+
+    def test_spill_keeps_overflow_cached_in_colder_tier(self):
+        # Tiny cache: fp32 class can't hold every "hot" key; overflow
+        # must still be cached (in a colder tier), not evicted.
+        precision = PrecisionConfig(
+            enabled=True, fp32_share=0.2, fp16_share=0.2, int8_share=0.6,
+            hot_min_count=1, warm_min_count=1,
+        )
+        cache = _cache(precision, ratio=0.1)
+        fp32_cap = cache.pool.capacity_of(16, "fp32")
+        n = fp32_cap + 10
+        keys = np.arange(n, dtype=np.uint64)
+        vecs = np.zeros((n, 16), dtype=np.float32)
+        for _ in range(3):
+            cache.observe_keys(keys)  # everything "hot"
+        inserted, _ = cache.admit_and_insert(keys, vecs, dim=16)
+        assert inserted.all()
+        outcome = cache.index_lookup(keys)
+        assert outcome.cache_hit.all()
+        codes = cache.pool.tier_codes_of_locations(outcome.locations)
+        assert (codes == TIER_CODES["fp32"]).sum() == fp32_cap
+        assert (codes != TIER_CODES["fp32"]).sum() == 10
+
+    def test_zero_share_tier_clamps_hotter(self):
+        precision = PrecisionConfig(
+            enabled=True, fp32_share=0.5, fp16_share=0.0, int8_share=0.5,
+        )
+        cache = _cache(precision)
+        # Desired codes include fp16 (1); the pool has no fp16 class.
+        codes = cache._clamp_codes(
+            16, np.array([0, 1, 2], dtype=np.int8)
+        )
+        np.testing.assert_array_equal(codes, [0, 0, 2])
+
+    def test_retier_promotes_on_frequency_crossing(self):
+        cache = _cache(MIXED)
+        keys = np.arange(20, dtype=np.uint64)
+        vecs = np.random.default_rng(3).normal(size=(20, 16)).astype(
+            np.float32
+        )
+        cache.observe_keys(keys)
+        cache.admit_and_insert(keys, vecs, dim=16)
+        out = cache.index_lookup(keys)
+        before = cache.pool.tier_codes_of_locations(out.locations)
+        assert (before > TIER_CODES["fp32"]).all()
+        for _ in range(10):
+            cache.observe_keys(keys)  # cross the hot threshold
+        out = cache.index_lookup(keys)
+        rows = cache.gather(out.locations)
+        promoted, demoted = cache.retier_hits(
+            keys, out.locations, rows, 16
+        )
+        assert promoted > 0 and demoted == 0
+        out2 = cache.index_lookup(keys)
+        after = cache.pool.tier_codes_of_locations(out2.locations)
+        assert (after < before).any()
+        # Step-weighted counters balance against live drift.
+        cache._audit_pool()
+        snap = cache.obs.snapshot()
+        assert snap.total("precision.promotions") == (
+            snap.gauge("precision.drift_up_live")
+            + snap.total("precision.drift_up_retired")
+        )
+
+    def test_entry_split_gauges_match(self):
+        cache = _cache(MIXED)
+        keys = np.arange(25, dtype=np.uint64)
+        vecs = np.zeros((25, 16), dtype=np.float32)
+        cache.observe_keys(keys)
+        cache.admit_and_insert(keys, vecs, dim=16)
+        cache._audit_pool()
+        snap = cache.obs.snapshot()
+        split = (
+            snap.gauge("precision.entries_fp32")
+            + snap.gauge("precision.entries_fp16")
+            + snap.gauge("precision.entries_int8")
+        )
+        assert split == snap.gauge("precision.cached_entries") == 25
+        byte_sum = (
+            snap.gauge("precision.bytes_fp32")
+            + snap.gauge("precision.bytes_fp16")
+            + snap.gauge("precision.bytes_int8")
+        )
+        assert 0 < byte_sum <= snap.gauge("precision.byte_budget")
+
+    def test_pinned_fp32_cache_identical_to_disabled(self):
+        pinned = PrecisionConfig(
+            enabled=True, fp32_share=1.0, fp16_share=0.0, int8_share=0.0,
+        )
+        a = _cache(PrecisionConfig())
+        b = _cache(pinned)
+        assert not b.quantizing
+        assert b.pool.capacity_of(16) == a.pool.capacity_of(16)
+        keys = np.arange(30, dtype=np.uint64)
+        vecs = np.random.default_rng(5).normal(size=(30, 16)).astype(
+            np.float32
+        )
+        for cache in (a, b):
+            cache.observe_keys(keys)
+            cache.admit_and_insert(keys, vecs, dim=16)
+        out_a = a.index_lookup(keys)
+        out_b = b.index_lookup(keys)
+        np.testing.assert_array_equal(
+            a.gather(out_a.locations), b.gather(out_b.locations)
+        )
+        snap = b.obs.snapshot()
+        names = [n for (n, _) in snap.counters]
+        assert not any(n.startswith("precision.") for n in names)
+
+
+class TestDramTier:
+    def _layer(self, tier):
+        specs = [TableSpec(table_id=0, corpus_size=500, dim=8)]
+
+        def fetch(table_id, ids):
+            return reference_vectors(table_id, ids, 8), 1e-6
+
+        return DramCacheLayer(specs, capacity=64, fetch=fetch,
+                              storage_tier=tier), specs
+
+    def test_fp32_layer_is_exact(self):
+        layer, _ = self._layer("fp32")
+        ids = np.arange(10, dtype=np.uint64)
+        vectors, _ = layer.lookup(0, ids)
+        np.testing.assert_array_equal(
+            vectors, reference_vectors(0, ids, 8)
+        )
+        again, _ = layer.lookup(0, ids)
+        np.testing.assert_array_equal(again, vectors)
+
+    @pytest.mark.parametrize("tier", ["fp16", "int8"])
+    def test_quantized_residency_roundtrips(self, tier):
+        layer, _ = self._layer(tier)
+        ids = np.arange(10, dtype=np.uint64)
+        truth = reference_vectors(0, ids, 8)
+        first, _ = layer.lookup(0, ids)  # fetch path: exact values served
+        hit, cost = layer.lookup(0, ids)  # resident: dequantized
+        assert cost == 0.0
+        payload, scales = quantize_rows(truth, tier)
+        np.testing.assert_array_equal(
+            hit, dequantize_rows(payload, scales, tier)
+        )
+
+    def test_refresh_requantizes_at_layer_tier(self):
+        layer, _ = self._layer("int8")
+        ids = np.arange(5, dtype=np.uint64)
+        layer.lookup(0, ids)
+        new_rows = np.full((5, 8), 0.5, dtype=np.float32)
+        updated = layer.refresh(0, ids, new_rows)
+        assert updated == 5
+        got, _ = layer.lookup(0, ids)
+        payload, scales = quantize_rows(new_rows, "int8")
+        np.testing.assert_array_equal(
+            got, dequantize_rows(payload, scales, "int8")
+        )
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigError):
+            self._layer("fp8")
+
+
+class TestTableTier:
+    def test_fp32_table_bit_exact(self):
+        spec = TableSpec(table_id=0, corpus_size=100, dim=8)
+        table = EmbeddingTable(spec)
+        ids = np.arange(10, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            table.lookup(ids), reference_vectors(0, ids, 8)
+        )
+
+    @pytest.mark.parametrize("tier", ["fp16", "int8"])
+    def test_reduced_table_serves_tier_values(self, tier):
+        spec = TableSpec(table_id=0, corpus_size=100, dim=8)
+        table = EmbeddingTable(spec, storage_tier=tier)
+        ids = np.arange(10, dtype=np.uint64)
+        truth = reference_vectors(0, ids, 8)
+        payload, scales = quantize_rows(truth, tier)
+        np.testing.assert_array_equal(
+            table.lookup(ids), dequantize_rows(payload, scales, tier)
+        )
+
+    def test_update_rows_requantizes(self):
+        spec = TableSpec(table_id=0, corpus_size=100, dim=8)
+        table = EmbeddingTable(spec, storage_tier="int8")
+        ids = np.arange(4, dtype=np.uint64)
+        rows = np.full((4, 8), 1.25, dtype=np.float32)
+        assert table.update_rows(ids, rows) == 4
+        payload, scales = quantize_rows(rows, "int8")
+        np.testing.assert_array_equal(
+            table.lookup(ids), dequantize_rows(payload, scales, "int8")
+        )
+
+    def test_store_value_tier_and_update(self):
+        hw = default_platform()
+        specs = [TableSpec(table_id=0, corpus_size=200, dim=8)]
+        store = EmbeddingStore(specs, hw, value_tier="fp16")
+        ids = np.arange(6, dtype=np.uint64)
+        truth = reference_vectors(0, ids, 8)
+        payload, scales = quantize_rows(truth, "fp16")
+        np.testing.assert_array_equal(
+            store.query(0, ids).vectors,
+            dequantize_rows(payload, scales, "fp16"),
+        )
+        rows = np.full((6, 8), 0.25, dtype=np.float32)
+        assert store.update_rows(0, ids, rows) == 6
+
+    def test_store_has_no_apply_update(self):
+        # Guard: the refresh subscriber duck-types ``apply_update`` on
+        # host stores; EmbeddingStore growing that name would silently
+        # change every cluster replica's write-through behavior.
+        assert not hasattr(EmbeddingStore, "apply_update")
+
+
+class TestAucProxyRegression:
+    """Exp #5's collision/AUC machinery, reused as the quantization gate:
+    int8-quantizing the *tail* tier's weights must not move held-out AUC
+    by more than the pinned epsilon."""
+
+    EPSILON = 0.01
+
+    @pytest.fixture(scope="class")
+    def task(self):
+        return SyntheticCtrTask(
+            corpus_sizes=[64, 256, 1024],
+            num_train=12000, num_test=3000, alpha=-0.8, seed=3,
+        )
+
+    def test_int8_tail_within_epsilon(self, task):
+        study = CollisionAucStudy(task, epochs=4)
+        codec = SizeAwareCodec(list(task.corpus_sizes), key_bits=32)
+        baseline = study.auc_with_codec(codec)
+
+        # Frequency split over the training stream: top-decile keys are
+        # "hot" (kept fp32), the rest are the int8 tail.
+        keys = np.zeros(task.train_features.shape, dtype=np.uint64)
+        for t in range(task.train_features.shape[1]):
+            keys[:, t] = codec.encode(t, task.train_features[:, t])
+        flat, counts = np.unique(keys, return_counts=True)
+        hot_cut = np.quantile(counts, 0.9)
+        hot = set(flat[counts >= hot_cut].tolist())
+
+        def tail_int8(weight_keys, weights):
+            mask = np.array(
+                [int(k) not in hot for k in weight_keys], dtype=bool
+            )
+            out = weights.astype(np.float64).copy()
+            tail = weights[mask].astype(np.float32)
+            if len(tail):
+                payload, scales = quantize_rows(tail[None, :], "int8")
+                out[mask] = dequantize_rows(
+                    payload, scales, "int8"
+                )[0].astype(np.float64)
+            return out
+
+        quantized = study.auc_with_codec(codec, weight_transform=tail_int8)
+        assert abs(baseline - quantized) <= self.EPSILON, (
+            baseline, quantized
+        )
+
+    def test_identity_transform_is_noop(self, task):
+        study = CollisionAucStudy(task, epochs=4)
+        codec = SizeAwareCodec(list(task.corpus_sizes), key_bits=32)
+        plain = study.auc_with_codec(codec)
+        identity = study.auc_with_codec(
+            codec, weight_transform=lambda keys, weights: weights
+        )
+        assert plain == pytest.approx(identity, abs=1e-12)
