@@ -25,6 +25,7 @@ import numpy as np
 from repro.bench.harness import (
     alert_timing,
     canonical_json,
+    emit_rootcause,
     fault_window,
     payload_digest,
 )
@@ -40,6 +41,7 @@ from repro.faults import (
 )
 from repro.model.trainer import EmbeddingDeltaTrainer
 from repro.multigpu.partition import HashPartitioner
+from repro.obs.reqtrace import TraceConfig
 from repro.refresh import UpdateLog, UpdatePublisher
 from repro.serving.arrivals import PoissonArrivals
 from repro.workloads.synthetic import uniform_tables_spec
@@ -196,9 +198,12 @@ def run_kill_drill(
     """Kill the hot-head owner mid-run; routed vs unrouted baseline.
 
     Both runs replay the *identical* ``(schedule, seed)``; only
-    ``failover`` differs.  Returns a deterministic payload — no wall
-    time, no environment — so re-running must reproduce it byte for
-    byte.
+    ``failover`` differs.  Returns ``(payload, reqtrace)``: a
+    deterministic drill payload — no wall time, no environment — so
+    re-running must reproduce it byte for byte, plus the routed run's
+    full sampled-trace artifact.  The payload embeds only the trace
+    artifact's *digest* (the full set is megabytes of JSON), so the
+    byte-identical replay check still covers every sampled trace.
     """
     dataset = _dataset()
     victim = hot_owner(dataset, num_replicas, seed=seed)
@@ -215,6 +220,8 @@ def run_kill_drill(
     ).generate_until(horizon)
 
     def run(failover):
+        # The routed run carries per-request tracing: tail capture must
+        # retain (and root-cause) 100% of its SLA violators.
         router = ClusterRouter(
             dataset, hw,
             ClusterConfig(
@@ -225,6 +232,9 @@ def run_kill_drill(
             schedule=schedule,
             update_log=_publish_rounds(dataset, horizon),
             warm_seed=seed,
+            trace=(
+                TraceConfig(sla_budget=SLA_BUDGET) if failover else None
+            ),
         )
         return router.serve(requests)
 
@@ -273,8 +283,11 @@ def run_kill_drill(
         },
         "routed": routed.to_payload(SLA_BUDGET),
         "unrouted": unrouted.to_payload(SLA_BUDGET),
+        "rootcause": routed.rootcause,
     }
-    return payload
+    reqtrace = routed.trace_payload(SLA_BUDGET)
+    payload["reqtrace_digest"] = payload_digest(reqtrace)
+    return payload, reqtrace
 
 
 def check_kill_drill(payload):
@@ -293,6 +306,13 @@ def check_kill_drill(payload):
     assert payload["convergence"]["version_lag"] == 0, payload["convergence"]
     assert payload["failovers_dispatched"] > 0, payload
     assert payload["post_rejoin_sla"] >= 0.90, payload["post_rejoin_sla"]
+    # Root-cause contract: every SLA-violating request carries a tag,
+    # and every sampled trace's segments telescope to its latency.
+    rootcause = payload["rootcause"]
+    assert rootcause["coverage"] == 1.0, rootcause
+    conservation = rootcause["conservation"]
+    assert conservation["checked"] > 0, conservation
+    assert conservation["ok"] == conservation["checked"], conservation
 
 
 def emit_kill_drill(payload, determinism):
@@ -315,6 +335,14 @@ def emit_kill_drill(payload, determinism):
         ["final version lag", payload["convergence"]["version_lag"]],
         ["byte-identical replay", determinism["identical"]],
     ]
+    rootcause = payload["rootcause"]
+    rows.append([
+        "SLA-miss rootcause coverage", f"{rootcause['coverage']:.0%}"
+    ])
+    for cause in sorted(rootcause["causes"]):
+        rows.append([
+            f"  violations: {cause}", rootcause["causes"][cause]
+        ])
     emit("cluster_kill_drill", format_table(
         ["measure", "value"],
         rows,
@@ -329,7 +357,7 @@ def emit_kill_drill(payload, determinism):
 def run_drill_determinism(hw, payload, **drill_kwargs):
     """Re-run the drill from the same ``(schedule, seed)``; the canonical
     JSON encodings must match byte for byte."""
-    replay = run_kill_drill(hw, **drill_kwargs)
+    replay, _ = run_kill_drill(hw, **drill_kwargs)
     first = canonical_json(payload)
     second = canonical_json(replay)
     return {
@@ -341,7 +369,7 @@ def run_drill_determinism(hw, payload, **drill_kwargs):
 
 def test_cluster_kill_drill(hw, run_once):
     kwargs = dict(rate=100_000.0, horizon=0.04)
-    payload = run_once(run_kill_drill, hw, **kwargs)
+    payload, _ = run_once(run_kill_drill, hw, **kwargs)
     check_kill_drill(payload)
     determinism = run_drill_determinism(hw, payload, **kwargs)
     assert determinism["identical"], determinism
@@ -479,11 +507,14 @@ def main(argv=None):
     emit_policy_sweep(cells)
 
     with maybe_section(profiler, "kill_drill"):
-        drill = run_kill_drill(hw, **drill_kwargs)
+        drill, reqtrace = run_kill_drill(hw, **drill_kwargs)
     check_kill_drill(drill)
     determinism = run_drill_determinism(hw, drill, **drill_kwargs)
     assert determinism["identical"], determinism
     emit_kill_drill(drill, determinism)
+    # The CI cluster smoke uploads these two: the raw sampled traces and
+    # their critical-path / root-cause analysis.
+    emit_rootcause("cluster_reqtrace", reqtrace)
 
     with maybe_section(profiler, "hedge_study"):
         hedging = run_hedge_study(hw, **hedge_kwargs)

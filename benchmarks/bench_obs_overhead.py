@@ -15,6 +15,14 @@ Two questions gate turning the windowed collector on by default:
    but cost more closes; the detection sweep prints time-to-detect /
    time-to-recover per window size for the same outage.
 
+3. **What does request tracing cost?**  The per-request tracer records
+   one ``BatchTraceRecord`` per batch and materializes full traces only
+   for the sampled set, so its cost should track the head-sampling
+   interval, not the request count.  The tracing sweep pairs traced and
+   untraced runs across sampling interval x pipeline depth and reports
+   the median wall-clock ratio; at the default interval it must stay
+   under :data:`TRACE_OVERHEAD_LIMIT` (5%).
+
 Runs standalone: ``python benchmarks/bench_obs_overhead.py --smoke``.
 """
 
@@ -34,7 +42,12 @@ from repro.faults import (
 )
 from repro.multitier.hierarchy import TieredParameterStore
 from repro.multitier.remote_ps import RemoteParameterServer
-from repro.obs import WindowedCollector, default_serving_slos
+from repro.obs import (
+    RequestTracer,
+    TraceConfig,
+    WindowedCollector,
+    default_serving_slos,
+)
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.pipeline import PipelinedInferenceServer
@@ -48,6 +61,16 @@ WINDOW_SIZES = (2.5e-4, 1e-3, 4e-3)
 DEFAULT_WINDOW = 1e-3
 #: Wall-clock overhead budget for the default window.
 OVERHEAD_LIMIT = 0.05
+
+#: Head-sampling intervals swept for the tracing cost study; the serving
+#: default is :class:`~repro.obs.reqtrace.TraceConfig`'s ``head_interval``
+#: (interval 1 traces every request — the worst case).
+TRACE_INTERVALS = (1, 16, 64)
+DEFAULT_TRACE_INTERVAL = TraceConfig().head_interval
+#: Pipeline depths the tracing sweep crosses with the intervals.
+TRACE_DEPTHS = (1, 2, 4)
+#: Wall-clock overhead budget for tracing at the default interval.
+TRACE_OVERHEAD_LIMIT = 0.05
 
 #: Offered load for the overhead sweep (saturating, like the depth sweep).
 RATE = 2_400_000.0
@@ -65,13 +88,17 @@ NUM_SHARDS = 4
 # ---------------------------------------------------------------------------
 
 
-def _serve_once(hw, dataset, requests, warm, window=None):
+def _serve_once(hw, dataset, requests, warm, window=None, depth=2,
+                trace_interval=None):
     """One pipelined serving run; returns wall-clock seconds of ``serve``.
 
     A fresh server (fresh cache, fresh registry) per run so every
     measurement replays identical work; the collector — when ``window``
     is given — carries the default serving SLO engine, matching how the
-    serving benchmarks run it.
+    serving benchmarks run it.  When ``trace_interval`` is given a
+    request tracer with that head-sampling interval is attached *after*
+    the warm run (one tracer traces one run), so the timed section pays
+    exactly the steady-state tracing cost.
     """
     store = EmbeddingStore(dataset.table_specs(), hw)
     layer = FlecheEmbeddingLayer(store, FlecheConfig(cache_ratio=0.05), hw)
@@ -82,11 +109,15 @@ def _serve_once(hw, dataset, requests, warm, window=None):
             engine=default_serving_slos(SLA_BUDGET),
         )
     server = PipelinedInferenceServer(
-        dataset, layer, hw, depth=2,
+        dataset, layer, hw, depth=depth,
         policy=BatchingPolicy(max_batch_size=512, max_delay=5e-4),
         collector=collector,
     )
     server.serve(warm)
+    if trace_interval is not None:
+        server.reqtracer = RequestTracer(TraceConfig(
+            head_interval=trace_interval, sla_budget=SLA_BUDGET,
+        ))
     # GC control around the timed section (pyperf-style): collect the
     # previous run's garbage (each run builds a fresh ~10 MB store), then
     # keep the cyclic collector from firing mid-measurement — its pauses
@@ -103,6 +134,9 @@ def _serve_once(hw, dataset, requests, warm, window=None):
     assert report.served == len(requests)
     if collector is not None:
         assert collector.closed_windows > 0
+    if trace_interval is not None:
+        assert report.traced_requests == len(requests)
+        assert report.sampled_traces > 0
     return elapsed
 
 
@@ -170,6 +204,116 @@ def test_collector_overhead(hw, run_once):
     results = run_once(run_overhead_sweep, hw)
     emit_overhead_sweep(results)
     check_overhead_sweep(results)
+
+
+# ---------------------------------------------------------------------------
+# Tracing overhead vs sampling interval x depth
+# ---------------------------------------------------------------------------
+
+
+def run_tracing_overhead_sweep(hw, num_requests=16_000, repeats=8,
+                               depths=TRACE_DEPTHS,
+                               intervals=TRACE_INTERVALS):
+    """Wall-clock cost of request tracing vs sampling interval and depth.
+
+    Same round-robin protocol as :func:`run_overhead_sweep` (each depth
+    gets its own untraced baseline, every configuration measured once
+    per round), reporting two estimators per point: **best vs best**
+    (``min(traced) / min(untraced) - 1`` across rounds — timing noise
+    on a shared machine is one-sided, preemption and allocator stalls
+    only ever *add* time, so the minima converge on the true cost) and
+    the **median of per-round paired ratios** (robust to a few
+    contaminated rounds).  They fail on different noise modes — a burst
+    spanning several rounds skews the median but rarely *both* minima;
+    a burst hitting exactly the baseline minima skews best-vs-best but
+    not the median — so the gate accepts whichever is smaller.  Returns
+    one row dict per ``(depth, interval)`` point.
+    """
+    dataset = uniform_tables_spec(
+        num_tables=8, corpus_size=20_000, alpha=-1.2, dim=32,
+    )
+    warm = PoissonArrivals(dataset, 200_000.0, seed=1).generate(400)
+    requests = PoissonArrivals(dataset, RATE, seed=2).generate(num_requests)
+
+    points = [(d, i) for d in depths for i in (None,) + tuple(intervals)]
+    times = {point: [] for point in points}
+    for _ in range(repeats):
+        for depth, interval in points:
+            times[(depth, interval)].append(_serve_once(
+                hw, dataset, requests, warm,
+                depth=depth, trace_interval=interval,
+            ))
+
+    rows = []
+    for depth in depths:
+        base = times[(depth, None)]
+        for interval in intervals:
+            traced = times[(depth, interval)]
+            rows.append({
+                "depth": depth,
+                "interval": interval,
+                "wall_s": min(traced),
+                "base_wall_s": min(base),
+                "overhead": min(traced) / min(base) - 1.0,
+                "median_overhead": statistics.median(
+                    paired / b for paired, b in zip(traced, base)
+                ) - 1.0,
+            })
+    return rows
+
+
+def emit_tracing_overhead_sweep(rows):
+    table_rows = []
+    for r in rows:
+        label = f"1/{r['interval']}"
+        if r["interval"] == DEFAULT_TRACE_INTERVAL:
+            label += " (default)"
+        table_rows.append([
+            r["depth"], label,
+            f"{r['base_wall_s'] * 1e3:.1f} ms",
+            f"{r['wall_s'] * 1e3:.1f} ms",
+            f"{r['overhead']:+.1%}",
+            f"{r['median_overhead']:+.1%}",
+        ])
+    emit("obs_trace_overhead", format_table(
+        ["depth", "sampling", "untraced", "traced", "overhead",
+         "median/round"],
+        table_rows,
+        title="Request tracing: wall-clock overhead vs sampling x depth",
+    ))
+
+
+def check_tracing_overhead_sweep(rows):
+    """At the default sampling interval tracing costs < 5% wall clock.
+
+    Gated on the smaller of the two estimators (see
+    :func:`run_tracing_overhead_sweep`): the true cost must leak
+    through *both* for the gate to trip, which is what distinguishes a
+    real hot-loop regression from one noisy measurement window.
+    """
+    checked = 0
+    for r in rows:
+        if r["interval"] != DEFAULT_TRACE_INTERVAL:
+            continue
+        checked += 1
+        overhead = min(r["overhead"], r["median_overhead"])
+        assert overhead < TRACE_OVERHEAD_LIMIT, (
+            f"tracing overhead {overhead:.1%} (best/best "
+            f"{r['overhead']:.1%}, paired median "
+            f"{r['median_overhead']:.1%}) at the default "
+            f"1/{DEFAULT_TRACE_INTERVAL} sampling (depth {r['depth']}) "
+            f"exceeds the {TRACE_OVERHEAD_LIMIT:.0%} budget"
+        )
+    assert checked, "sweep never measured the default sampling interval"
+
+
+def test_tracing_overhead(hw, run_once):
+    rows = run_once(
+        run_tracing_overhead_sweep, hw,
+        depths=(2,), intervals=(1, DEFAULT_TRACE_INTERVAL),
+    )
+    emit_tracing_overhead_sweep(rows)
+    check_tracing_overhead_sweep(rows)
 
 
 # ---------------------------------------------------------------------------
@@ -296,6 +440,13 @@ def main(argv=None):
             )
         else:
             results = run_overhead_sweep(hw)
+    with maybe_section(profiler, "tracing_overhead_sweep"):
+        if args.smoke:
+            trace_rows = run_tracing_overhead_sweep(
+                hw, depths=(2,), intervals=(1, DEFAULT_TRACE_INTERVAL),
+            )
+        else:
+            trace_rows = run_tracing_overhead_sweep(hw)
     with maybe_section(profiler, "detection_vs_window"):
         if args.smoke:
             rows = run_detection_vs_window(hw, windows=(1e-3,))
@@ -303,6 +454,8 @@ def main(argv=None):
             rows = run_detection_vs_window(hw)
     emit_overhead_sweep(results)
     check_overhead_sweep(results)
+    emit_tracing_overhead_sweep(trace_rows)
+    check_tracing_overhead_sweep(trace_rows)
     emit_detection_vs_window(rows)
     check_detection_vs_window(rows)
     if profiler is not None:

@@ -27,7 +27,13 @@ from repro.bench.reporting import (
     emit, emit_json, emit_observability, emit_timeseries, format_table,
     format_time,
 )
-from repro.obs import WindowedCollector, default_serving_slos
+from repro.bench.harness import emit_rootcause
+from repro.obs import (
+    RequestTracer,
+    TraceConfig,
+    WindowedCollector,
+    default_serving_slos,
+)
 from repro.core.workflow import FlecheEmbeddingLayer
 from repro.serving.arrivals import PoissonArrivals
 from repro.serving.batcher import BatchingPolicy
@@ -304,13 +310,17 @@ def test_serving_pipeline_depth_sweep(hw, run_once):
 
 
 def run_traced_observability(hw, num_requests=1_200, depth=2):
-    """One pipelined traced run; returns ``(report, tracer, collector)``.
+    """One pipelined traced run; returns
+    ``(report, tracer, collector, reqtracer)``.
 
     The server's registry is audited (every conservation law and hook)
     at both run barriers inside ``serve``; the report's ``metrics``
-    snapshot, the tracer's span list and the windowed collector's series
-    (with the default serving SLOs attached) are the artifacts the CI
-    uploads.
+    snapshot, the tracer's span list, the windowed collector's series
+    (with the default serving SLOs attached) and the request tracer's
+    ``reqtrace`` payload are the artifacts the CI uploads.  The request
+    tracer is attached after the warm run (one tracer traces one run)
+    with the default head interval plus the serving SLA budget, so tail
+    capture retains every violator.
     """
     dataset = uniform_tables_spec(
         num_tables=8, corpus_size=20_000, alpha=-1.2, dim=32,
@@ -334,6 +344,8 @@ def run_traced_observability(hw, num_requests=1_200, depth=2):
     warm = PoissonArrivals(dataset, 200_000.0, seed=1).generate(400)
     server.serve(warm)
     tracer.clear()
+    reqtracer = RequestTracer(TraceConfig(sla_budget=SLA_BUDGET))
+    server.reqtracer = reqtracer
     reqs = PoissonArrivals(dataset, SATURATING_RATE, seed=2).generate(
         num_requests
     )
@@ -345,27 +357,36 @@ def run_traced_observability(hw, num_requests=1_200, depth=2):
     assert report.metrics is not None
     assert tracer.span_list(), "traced run produced no spans"
     assert collector.closed_windows > 0, "collector captured no windows"
-    return report, tracer, collector
+    assert report.traced_requests == num_requests
+    assert report.sampled_traces > 0, "tracer sampled no requests"
+    return report, tracer, collector, reqtracer
 
 
-def emit_observability_artifacts(report, tracer, collector=None):
+def emit_observability_artifacts(report, tracer, collector=None,
+                                 reqtracer=None):
     paths = emit_observability(report.metrics, tracer)
     if collector is not None:
         paths.extend(emit_timeseries(collector))
+    if reqtracer is not None:
+        paths.extend(emit_rootcause("reqtrace", reqtracer.to_payload()))
     counters = report.metrics.to_dict()["counters"]
     print("observability artifacts:")
     for path in paths:
         print(f"  {path}")
     windows = collector.closed_windows if collector is not None else 0
+    sampled = len(reqtracer.traces) if reqtracer is not None else 0
     print(f"  ({len(counters)} counters, "
           f"{len(tracer.span_list())} spans, "
           f"{len(tracer.tracks())} tracks, "
-          f"{windows} windows)")
+          f"{windows} windows, "
+          f"{sampled} sampled traces)")
 
 
 def test_serving_observability_artifacts(hw, run_once):
-    report, tracer, collector = run_once(run_traced_observability, hw)
-    emit_observability_artifacts(report, tracer, collector)
+    report, tracer, collector, reqtracer = run_once(
+        run_traced_observability, hw
+    )
+    emit_observability_artifacts(report, tracer, collector, reqtracer)
 
 
 # ---------------------------------------------------------------------------
@@ -414,10 +435,10 @@ def main(argv=None):
     # Side section stays out of the cProfile attribution: the pinned
     # pre-rewrite layer profile covers the depth sweep only.
     with maybe_section(profiler, "traced_observability", cprofile=False):
-        report, tracer, collector = run_traced_observability(
+        report, tracer, collector, reqtracer = run_traced_observability(
             hw, num_requests=800 if args.smoke else 2_000
         )
-    emit_observability_artifacts(report, tracer, collector)
+    emit_observability_artifacts(report, tracer, collector, reqtracer)
     if profiler is not None:
         # Pinned pre-rewrite layer profile covers the depth sweep, the
         # section the 5x claim is made on.

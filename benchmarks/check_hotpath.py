@@ -39,6 +39,7 @@ HOT_PATH_FILES = {
     "src/repro/tables/embedding_table.py": 1,  # lookup
     "src/repro/core/precision.py": 2,      # quantize / dequantize rows
     "src/repro/core/admission.py": 2,      # sketch observe / estimate
+    "src/repro/obs/reqtrace.py": 1,        # sample_masks
 }
 
 MARKER = "# hot-path: vectorized"

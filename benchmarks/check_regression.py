@@ -260,6 +260,36 @@ def compare_cluster(baseline: dict, candidate: dict,
     determinism = candidate.get("determinism", {})
     if determinism and not determinism.get("identical", False):
         violations.append("drill replay was not byte-identical")
+
+    # Candidate-only invariants of the traced drill (present once the
+    # routed run carries request tracing): every SLA violator must be
+    # root-caused, and every sampled trace's segment decomposition must
+    # telescope to its latency.
+    rootcause = cand_drill.get("rootcause")
+    if rootcause is not None:
+        coverage = float(rootcause.get("coverage", 0.0))
+        rows.append([
+            "drill", "rootcause", "coverage", "1", f"{coverage:.4g}",
+            "-", "ok" if coverage == 1.0 else "FAIL",
+        ])
+        if coverage != 1.0:
+            violations.append(
+                "drill/rootcause: SLA-miss coverage "
+                f"{coverage:.4g} != 1.0 (untagged violators)"
+            )
+        conservation = rootcause.get("conservation", {})
+        checked = int(conservation.get("checked", 0))
+        ok_count = int(conservation.get("ok", -1))
+        conserved = checked > 0 and ok_count == checked
+        rows.append([
+            "drill", "rootcause", "conservation", str(checked),
+            str(ok_count), "-", "ok" if conserved else "FAIL",
+        ])
+        if not conserved:
+            violations.append(
+                "drill/rootcause: segment conservation failed "
+                f"({ok_count}/{checked} traces conserve)"
+            )
     return rows, violations
 
 

@@ -248,3 +248,21 @@ def emit_drill(name: str, text: str, payload) -> "tuple[str, str]":
     from .reporting import emit, emit_json
 
     return emit(name, text), emit_json(name, payload)
+
+
+def emit_rootcause(name: str, trace_payload: dict) -> "tuple[str, str]":
+    """Emit a ``reqtrace`` artifact plus its critical-path analysis.
+
+    Persists the raw trace payload as ``<name>.json`` and the
+    :func:`~repro.obs.critical_path.analyze_payload` summary — per-cause
+    SLA-miss counts and the top slowest requests with their segment
+    decompositions — as ``<name>_rootcause.json``, the pair the CI
+    cluster smoke uploads and ``repro obs critical-path`` consumes.
+    Returns both paths.
+    """
+    from ..obs.critical_path import analyze_payload
+    from .reporting import emit_json
+
+    trace_path = emit_json(name, trace_payload)
+    analysis = analyze_payload(trace_payload)
+    return trace_path, emit_json(f"{name}_rootcause", analysis)

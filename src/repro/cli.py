@@ -290,6 +290,32 @@ def _cmd_obs(args) -> int:
         snapshot = snapshot_from_payload(payload)
         sys.stdout.write(render_openmetrics(snapshot))
         return 0
+    if args.obs_command == "critical-path":
+        from .bench.reporting import emit_json
+        from .obs import analyze_payload, top_table_rows
+
+        payload = load_artifact(args.trace, kind="reqtrace")
+        analysis = analyze_payload(payload, top=args.top)
+        causes = analysis["rootcause"].get("causes", {})
+        budget = analysis.get("sla_budget_s")
+        print(
+            f"{analysis['sampled']} sampled of {analysis['requests']} "
+            f"requests"
+            + (f", SLA budget {budget * 1e3:.3f}ms" if budget else "")
+        )
+        if causes:
+            print(format_table(
+                ["root cause", "violations"],
+                [[k, str(causes[k])] for k in sorted(causes)],
+            ))
+        print(format_table(
+            ["request", "latency_ms", "dispatch", "rootcause",
+             "dominant segments"],
+            top_table_rows(analysis),
+        ))
+        if args.emit:
+            print(f"wrote {emit_json('critical_path', analysis)}")
+        return 0
     return 2  # pragma: no cover - argparse enforces the choice
 
 
@@ -658,6 +684,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--metrics", default="benchmarks/results/metrics.json",
                    help="path to an emitted metrics.json")
+    p = obs_sub.add_parser(
+        "critical-path",
+        help="top-k slowest traced requests with segment decomposition "
+             "and SLA-miss root causes",
+    )
+    p.add_argument("--trace", default="benchmarks/results/reqtrace.json",
+                   help="path to an emitted reqtrace.json artifact")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many slowest requests to show")
+    p.add_argument("--emit", action="store_true",
+                   help="persist the analysis as critical_path.json "
+                        "under benchmarks/results")
     p = sub.add_parser("refresh", help="model-refresh stream tooling")
     refresh_sub = p.add_subparsers(dest="refresh_command", required=True)
 

@@ -47,7 +47,15 @@ from ..errors import ConfigError, WorkloadError
 from ..faults.retry import BreakerConfig, CircuitBreaker
 from ..faults.schedule import FaultSchedule
 from ..obs.alerts import FIRING, RESOLVED, Alert
-from ..obs.registry import MetricsRegistry, Observable
+from ..obs.critical_path import classify
+from ..obs.registry import MetricsRegistry, Observable, install_reqtrace_laws
+from ..obs.reqtrace import (
+    RequestTrace,
+    RequestTracer,
+    TraceConfig,
+    TraceContext,
+    _finish_trace,
+)
 from .health import (
     HEALTHY,
     STATE_CODES,
@@ -116,6 +124,12 @@ class _Dispatch:
     kind: str
     finish: float = inf
     valid: bool = False
+    #: position within the sorted execution stream (set at run time;
+    #: the stream tracer's batch records are indexed by it).
+    pos: int = -1
+    #: why a failover was planned ("breaker", "timeout", "inflight",
+    #: "health") — distinguishes breaker fast-fails in the trace.
+    cause: str = ""
 
 
 @dataclass(frozen=True)
@@ -143,6 +157,9 @@ class ClusterReport:
         alerts: List[Alert],
         episodes: List[_CrashEpisode],
         metrics,
+        *,
+        traces=None,
+        rootcause=None,
     ):
         self.latencies = latencies
         self.arrival_times = arrival_times
@@ -152,6 +169,11 @@ class ClusterReport:
         self.alerts = alerts
         self.episodes = episodes
         self.metrics = metrics
+        #: sampled :class:`~repro.obs.reqtrace.RequestTrace` objects and
+        #: the SLA-miss root-cause summary; None unless the router was
+        #: built with a :class:`~repro.obs.reqtrace.TraceConfig`.
+        self.traces = traces
+        self.rootcause = rootcause
 
     # ------------------------------------------------------------- queries
 
@@ -225,7 +247,30 @@ class ClusterReport:
             ],
             "metrics": self.metrics.to_dict() if self.metrics else {},
         }
+        if self.rootcause is not None:
+            payload["rootcause"] = self.rootcause
         return payload
+
+    def trace_payload(self, sla_budget: Optional[float] = None) -> dict:
+        """Deterministic ``kind: reqtrace`` artifact of the sampled set.
+
+        Same shape as :meth:`~repro.obs.reqtrace.RequestTracer.
+        to_payload`, so ``repro obs critical-path`` and
+        :func:`~repro.obs.critical_path.analyze_payload` consume both.
+        """
+        traces = self.traces or []
+        causes: Dict[str, int] = {}
+        for t in traces:
+            if t.rootcause:
+                causes[t.rootcause] = causes.get(t.rootcause, 0) + 1
+        return {
+            "kind": "reqtrace",
+            "sla_budget_s": sla_budget,
+            "requests": len(self.latencies),
+            "sampled": len(traces),
+            "rootcause": {"causes": {k: causes[k] for k in sorted(causes)}},
+            "traces": [t.to_dict() for t in traces],
+        }
 
 
 # hot-path: vectorized
@@ -262,11 +307,17 @@ class ClusterRouter(Observable):
         schedule: Optional[FaultSchedule] = None,
         update_log=None,
         warm_seed: int = 0,
+        trace: Optional[TraceConfig] = None,
     ):
         self.dataset = dataset
         self.hw = hw
         self.config = config or ClusterConfig()
         self.schedule = schedule or FaultSchedule()
+        #: Per-request tracing contract (None = tracing off, every code
+        #: path byte-identical to an untraced router).  Sampling and all
+        #: ``reqtrace.*`` counters happen at router level, where the
+        #: end-to-end (cross-replica) latency is known.
+        self.trace_config = trace
         self.update_log = update_log
         self.warm_seed = warm_seed
         cfg = self.config
@@ -328,6 +379,7 @@ class ClusterRouter(Observable):
         registry.add_check(
             "cluster.fanout-conservation", self._audit_fanout
         )
+        install_reqtrace_laws(registry)
         self.monitor.bind_observability(registry)
 
     def _audit_fanout(self):
@@ -432,8 +484,13 @@ class ClusterRouter(Observable):
         or failover can fire, and the per-stream execution order —
         ``(arrival, request_id)``, stable — is reproduced by the
         lexsort.  Returns None whenever any fault machinery could
-        engage; the exact per-request planner runs instead.
+        engage; the exact per-request planner runs instead.  Tracing
+        also routes through the general planner — it needs per-dispatch
+        stream tracers — which is timing-safe precisely because the two
+        paths are equivalent.
         """
+        if self.trace_config is not None:
+            return None
         if not self._fault_free(episodes):
             return None
         owners = self.policy.primary_many(requests)
@@ -536,9 +593,11 @@ class ClusterRouter(Observable):
         streams: Dict[Tuple[int, int], List[_Dispatch]] = {}
         per_index: List[List[_Dispatch]] = [[] for _ in range(n)]
 
-        def plan(index, replica, at, kind):
+        def plan(index, replica, at, kind, cause=""):
             incarnation = self._incarnation_at(replica, at, episodes)
-            dispatch = _Dispatch(index, replica, incarnation, at, kind)
+            dispatch = _Dispatch(
+                index, replica, incarnation, at, kind, cause=cause
+            )
             streams.setdefault((replica, incarnation), []).append(dispatch)
             per_index[index].append(dispatch)
             self.policy.note_dispatch(replica, at)
@@ -548,11 +607,11 @@ class ClusterRouter(Observable):
                 reg.inc("cluster.hedges_fired")
             return dispatch
 
-        def plan_failover(index, owner, at):
+        def plan_failover(index, owner, at, cause):
             target = self._fallback_target(owner, at)
             if target is None:
                 return None
-            return plan(index, target, at, DISPATCH_FAILOVER)
+            return plan(index, target, at, DISPATCH_FAILOVER, cause=cause)
 
         for index, request in enumerate(requests):
             t = request.arrival_time
@@ -578,7 +637,7 @@ class ClusterRouter(Observable):
                 if t >= episode.rejoin_at:
                     plan(index, owner, t, DISPATCH_PRIMARY)
                 elif t >= episode.detect_at:
-                    plan_failover(index, owner, t)
+                    plan_failover(index, owner, t, "health")
                 else:
                     # Undetected-dead window: the send is lost.  The
                     # breaker learns from the failure; once open, the
@@ -587,17 +646,19 @@ class ClusterRouter(Observable):
                     breaker = self.breakers.get(owner)
                     if breaker is not None and not breaker.allow(t):
                         reg.inc("cluster.breaker_rejections")
-                        plan_failover(index, owner, t)
+                        plan_failover(index, owner, t, "breaker")
                     else:
                         if breaker is not None:
                             breaker.record(False, t)
                         reg.inc("cluster.lost_dispatches")
-                        plan_failover(index, owner, t + cfg.dispatch_timeout)
+                        plan_failover(
+                            index, owner, t + cfg.dispatch_timeout, "timeout"
+                        )
                 continue
 
             if not self.health[owner].routable_at(t):
                 # Suspect/dead from heartbeat loss alone: route away.
-                plan_failover(index, owner, t)
+                plan_failover(index, owner, t, "health")
                 continue
 
             plan(index, owner, t, DISPATCH_PRIMARY)
@@ -613,6 +674,8 @@ class ClusterRouter(Observable):
                     plan(index, target, hedge_at, DISPATCH_HEDGE)
 
         # ---------------------------------------------------- execution
+        stream_tracers: Dict[Tuple[int, int], RequestTracer] = {}
+
         def run_stream(key):
             replica_id, incarnation = key
             dispatches = sorted(
@@ -627,7 +690,22 @@ class ClusterRouter(Observable):
                 )
                 for d in dispatches
             ]
+            tracer = None
+            if self.trace_config is not None:
+                # One non-finalizing tracer per stream: it records batch
+                # timing only (no sampling, no counters); the router
+                # materializes winner traces from it at merge time.  The
+                # dispatch's stream position indexes into its records.
+                tracer = RequestTracer(
+                    self.trace_config, finalize_on_serve=False
+                )
+                for j, dispatch in enumerate(dispatches):  # lint: allow-loop (per dispatch, trace-enabled runs only)
+                    dispatch.pos = j
+                self.replicas[replica_id].attach_reqtracer(tracer)
+                stream_tracers[key] = tracer
             report = self.replicas[replica_id].serve(stream_requests)
+            if tracer is not None:
+                self.replicas[replica_id].attach_reqtracer(None)
             for dispatch, latency in zip(dispatches, report.latencies):
                 factor = self.schedule.replica_slow_factor(
                     replica_id, dispatch.at
@@ -651,7 +729,8 @@ class ClusterRouter(Observable):
                         reg.inc("cluster.lost_inflight")
                         if cfg.failover and isfinite(episode.detect_at):
                             plan_failover(
-                                dispatch.index, victim, episode.detect_at
+                                dispatch.index, victim, episode.detect_at,
+                                "inflight",
                             )
             restart_at = (
                 episode.rejoin_at if cfg.failover else episode.recover_done
@@ -683,6 +762,7 @@ class ClusterRouter(Observable):
         # reproduce Python ``min``'s first-wins behaviour).
         latencies = np.full(n, inf)
         dispositions: List[str] = [SHED] * n
+        winner_by_index: Dict[int, _Dispatch] = {}
         valid_d = [d for lst in per_index for d in lst if d.valid]
         if valid_d:
             m = len(valid_d)
@@ -711,10 +791,12 @@ class ClusterRouter(Observable):
             kind_by_rank = (
                 DISPATCH_PRIMARY, DISPATCH_FAILOVER, DISPATCH_HEDGE
             )
-            for i, rank in zip(
-                served_idx.tolist(), d_rank[winners].tolist()
+            for i, w, rank in zip(
+                served_idx.tolist(), winners.tolist(),
+                d_rank[winners].tolist(),
             ):
                 dispositions[i] = kind_by_rank[rank]
+                winner_by_index[i] = valid_d[w]
         counts = {k: 0 for k in (*_KIND_RANK, SHED)}
         for d in dispositions:
             counts[d] += 1
@@ -724,6 +806,13 @@ class ClusterRouter(Observable):
         reg.inc("cluster.shed", counts[SHED])
         if counts[DISPATCH_HEDGE]:
             reg.inc("cluster.hedge_wins", counts[DISPATCH_HEDGE])
+
+        traces = rootcause = None
+        if self.trace_config is not None:
+            traces, rootcause = self._assemble_traces(
+                requests, latencies, dispositions, per_index,
+                winner_by_index, stream_tracers,
+            )
 
         alerts = (
             self.monitor.health_alerts(self.health) if cfg.failover else []
@@ -755,7 +844,137 @@ class ClusterRouter(Observable):
                 episodes.values(), key=lambda e: (e.start, e.replica)
             ),
             metrics=delta,
+            traces=traces,
+            rootcause=rootcause,
         )
+
+    # ------------------------------------------------------------ tracing
+
+    def _assemble_traces(
+        self,
+        requests: Sequence,
+        latencies: np.ndarray,
+        dispositions: List[str],
+        per_index: List[List[_Dispatch]],
+        winner_by_index: Dict[int, _Dispatch],
+        stream_tracers: Dict[Tuple[int, int], "RequestTracer"],
+    ):
+        """Materialize the sampled trace set from the stream tracers.
+
+        Sampling happens here — at the only level where the end-to-end
+        latency (across failover/hedge copies) exists.  Head sampling is
+        the deterministic id slice; tail capture retains every SLA
+        violator (shed requests have infinite latency, so they always
+        violate a finite budget); and every request that needed more
+        than one dispatch copy — or was shed — is force-retained, so no
+        fault-touched request ever escapes the trace.  Each winner trace
+        is the replica-side record wrapped with the routing hop: the
+        unscaled ``route_wait`` (arrival -> winning dispatch) tagged
+        with its cause, and the replica slowdown ``scale`` the router
+        applied to the whole replica-side latency.
+        """
+        reg = self.obs
+        cfg = self.trace_config
+        n = len(requests)
+        ids = np.fromiter(
+            (r.request_id for r in requests), np.int64, count=n
+        )
+        arrivals = np.fromiter(
+            (r.arrival_time for r in requests), np.float64, count=n
+        )
+        if cfg.head_interval:
+            head = (ids % cfg.head_interval) == 0
+        else:
+            head = np.zeros(n, dtype=bool)
+        if cfg.sla_budget is not None:
+            violating = latencies > cfg.sla_budget
+        else:
+            violating = np.zeros(n, dtype=bool)
+        tail = violating & cfg.capture_tail
+        forced = np.fromiter(
+            (
+                len(per_index[i]) > 1 or dispositions[i] != DISPATCH_PRIMARY
+                for i in range(n)
+            ),
+            dtype=bool, count=n,
+        )
+        sampled = head | tail | forced
+        n_sampled = int(sampled.sum())
+        n_viol = int(violating.sum())
+        reg.inc("reqtrace.requests", n)
+        reg.inc("reqtrace.sampled", n_sampled)
+        reg.inc("reqtrace.dropped", n - n_sampled)
+        reg.inc("reqtrace.sampled_forced", int(forced.sum()))
+        reg.inc("reqtrace.sampled_tail", int((tail & ~forced).sum()))
+        reg.inc(
+            "reqtrace.sampled_head", int((head & ~tail & ~forced).sum())
+        )
+        reg.inc("reqtrace.sla_violations", n_viol)
+        if cfg.capture_tail:
+            reg.inc("reqtrace.tail_eligible", n_viol)
+            reg.inc(
+                "reqtrace.tail_retained", int((violating & sampled).sum())
+            )
+
+        traces: List[RequestTrace] = []
+        causes: Dict[str, int] = {}
+        conserved = 0
+        for i in np.flatnonzero(sampled).tolist():  # lint: allow-loop (per sampled request, bounded by the sampling config)
+            winner = winner_by_index.get(i)
+            if winner is None:
+                trace = RequestTrace(
+                    context=TraceContext(int(ids[i]), dispatch=SHED),
+                    arrival=float(arrivals[i]),
+                    latency=inf,
+                    batch_index=-1,
+                )
+            else:
+                tracer = stream_tracers[(winner.replica, winner.incarnation)]
+                trace = tracer.trace_for(winner.pos)
+                trace.context = TraceContext(
+                    request_id=int(ids[i]),
+                    dispatch=winner.kind,
+                    replica=winner.replica,
+                    incarnation=winner.incarnation,
+                )
+                trace.scale = self.schedule.replica_slow_factor(
+                    winner.replica, winner.at
+                )
+                trace.route_wait = winner.at - float(arrivals[i])
+                if winner.kind == DISPATCH_HEDGE:
+                    trace.route_cause = "hedge_wait"
+                elif winner.kind == DISPATCH_FAILOVER:
+                    trace.route_cause = (
+                        "breaker_fastfail" if winner.cause == "breaker"
+                        else "failover_redispatch"
+                    )
+                trace.arrival = float(arrivals[i])
+                trace.latency = float(latencies[i])
+            trace.sampled_by = (
+                "forced" if forced[i] else "tail" if tail[i] else "head"
+            )
+            _finish_trace(trace, reg)
+            if not trace.shed and trace.conserved:
+                conserved += 1
+            if violating[i]:
+                trace.rootcause = classify(trace.segments)
+                reg.inc("reqtrace.rootcause", cause=trace.rootcause)
+                causes[trace.rootcause] = causes.get(trace.rootcause, 0) + 1
+            traces.append(trace)
+        checked = sum(1 for t in traces if not t.shed)
+        tagged = sum(1 for t in traces if t.rootcause is not None)
+        rootcause = {
+            "violations": n_viol,
+            "tagged": sum(causes.values()),
+            "coverage": (
+                sum(causes.values()) / n_viol if n_viol else 1.0
+            ),
+            "causes": {k: causes[k] for k in sorted(causes)},
+            "conservation": {"checked": checked, "ok": conserved},
+            "sampled": n_sampled,
+            "sampled_traces_tagged": tagged,
+        }
+        return traces, rootcause
 
     # ------------------------------------------------------------ reports
 

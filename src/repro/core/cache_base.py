@@ -87,6 +87,12 @@ class CacheQueryResult:
     demoted_keys: int = 0
     per_table_hits: List[int] = field(default_factory=list)
     per_table_misses: List[int] = field(default_factory=list)
+    #: ``leader batch index -> coalesced key count``: which in-flight
+    #: batch's pending fetch this batch's coalesced keys joined.  Filled
+    #: only when the coalescer's source tracking is on (a request tracer
+    #: is attached); empty otherwise — the causal link the critical-path
+    #: analyzer uses to attribute ``coalesce_wait`` to the leader.
+    coalesce_sources: Dict[int, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:

@@ -131,6 +131,7 @@ class InferenceEngine:
         executor: Executor,
         now: Optional[float] = None,
         coalescer=None,
+        trace=None,
     ):
         """Staged variant of :meth:`run_batch` for pipelined serving.
 
@@ -141,6 +142,12 @@ class InferenceEngine:
         returns ``(query result, probabilities or None)``.  Driving it to
         exhaustion with no scheduling in between performs exactly the
         sequential batch.
+
+        ``trace`` (optional) is the batch's request-tracing record
+        (:class:`~repro.obs.reqtrace.BatchTraceRecord`); the engine
+        stamps the query's coalesced-miss attribution into it at the
+        same choke point that feeds the metrics registry, so the trace
+        sees exactly the numbers the counters see.
         """
         if now is not None:
             self.scheme.advance_clock(now)
@@ -158,6 +165,8 @@ class InferenceEngine:
             yield STAGE_DENSE
             probabilities = self._run_dense(batch, query, executor)
         record_query_metrics(self.obs, query, batch=batch)
+        if trace is not None:
+            trace.note_query(query)
         return query, probabilities
 
     def run_batch(

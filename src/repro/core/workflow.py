@@ -727,6 +727,13 @@ class FlecheEmbeddingLayer(EmbeddingCacheScheme):
             demoted_keys=demoted_keys,
             per_table_hits=[int(h) for h in per_table_hits],
             per_table_misses=[int(m) for m in per_table_misses],
+            # Which leader batches this batch's coalesced misses joined
+            # (accumulated inside ``coalescer.match`` across the per-group
+            # fetches above; {} unless source tracking is on).
+            coalesce_sources=(
+                coalescer.drain_match_sources()
+                if coalescer is not None else {}
+            ),
         )
 
     # ------------------------------------------------------------------ output

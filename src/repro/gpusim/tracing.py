@@ -31,13 +31,20 @@ from .transfer import CopyMethod
 
 @dataclass(frozen=True)
 class Span:
-    """One traced interval on a track."""
+    """One traced interval on a track.
+
+    ``args`` optionally carries trace-event arguments (e.g. the
+    ``request_id``/``dispatch`` stamps the request tracer uses to group
+    one request's copies across replica tracks); arg-less spans
+    serialise exactly as before, so existing traces stay byte-identical.
+    """
 
     track: str
     name: str
     start: float
     duration: float
     category: str
+    args: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.duration < 0:
@@ -69,7 +76,7 @@ def chrome_trace(spans: List[Span]) -> dict:
             "name": "thread_name", "args": {"name": name},
         })
     for span in spans:
-        events.append({
+        event = {
             "ph": "X",
             "pid": 0,
             "tid": track_ids[span.track],
@@ -80,7 +87,10 @@ def chrome_trace(spans: List[Span]) -> dict:
             # ``-0.0``) so equal values always serialise to equal bytes.
             "ts": span.start * 1e6 + 0.0,
             "dur": span.duration * 1e6 + 0.0,
-        })
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -18,6 +18,16 @@ from .exposition import (
     parse_openmetrics,
     render_openmetrics,
 )
+from .critical_path import (
+    CAUSE_PRIORITY,
+    SEGMENTS,
+    analyze_payload,
+    classify,
+    conserves,
+    decompose,
+    dominant_segments,
+    top_table_rows,
+)
 from .registry import (
     Conservation,
     HistogramStats,
@@ -25,7 +35,15 @@ from .registry import (
     MetricsSnapshot,
     Observable,
     install_conservation_laws,
+    install_reqtrace_laws,
     render_key,
+)
+from .reqtrace import (
+    BatchTraceRecord,
+    RequestTrace,
+    RequestTracer,
+    TraceConfig,
+    TraceContext,
 )
 from .spans import SpanTracer
 from .timeseries import (
@@ -38,7 +56,9 @@ from .timeseries import (
 
 __all__ = [
     "Alert",
+    "BatchTraceRecord",
     "BurnRateRule",
+    "CAUSE_PRIORITY",
     "Conservation",
     "DEFAULT_LATENCY_BUCKETS",
     "HistogramStats",
@@ -46,17 +66,29 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "Observable",
+    "RequestTrace",
+    "RequestTracer",
+    "SEGMENTS",
     "Slo",
     "SloEngine",
     "SpanTracer",
+    "TraceConfig",
+    "TraceContext",
     "WORKLOAD_SERIES",
     "WindowRecord",
     "WindowedCollector",
+    "analyze_payload",
+    "classify",
+    "conserves",
+    "decompose",
     "default_refresh_slos",
     "default_serving_slos",
+    "dominant_segments",
     "install_conservation_laws",
+    "install_reqtrace_laws",
     "jensen_shannon",
     "parse_openmetrics",
     "render_openmetrics",
     "render_key",
+    "top_table_rows",
 ]

@@ -574,6 +574,34 @@ def install_conservation_laws(registry: MetricsRegistry) -> MetricsRegistry:
          "precision.drift_dn_retired"],
         ["precision.demotions", "precision.drift_up_live",
          "precision.drift_up_retired"])
+    install_reqtrace_laws(registry)
+    return registry
+
+
+def install_reqtrace_laws(registry: MetricsRegistry) -> MetricsRegistry:
+    """Request-tracing invariants (trivially true when tracing is off).
+
+    Shared between the engine catalogue above and the cluster router's
+    own registry — the router samples at merge time, so its ``reqtrace.*``
+    counters live cluster-side, not on any one replica.
+    """
+    add = registry.add_conservation
+    # Sampling partitions the request stream: every traced request is
+    # either materialized (by exactly one of head/tail/forced) or dropped.
+    add("reqtrace.sample-split",
+        ["reqtrace.sampled", "reqtrace.dropped"], ["reqtrace.requests"])
+    add("reqtrace.sample-kinds",
+        ["reqtrace.sampled_head", "reqtrace.sampled_tail",
+         "reqtrace.sampled_forced"],
+        ["reqtrace.sampled"])
+    # Tail capture retains 100% of SLA violators (the acceptance bar for
+    # root-cause coverage); eligible == retained whenever it is enabled.
+    add("reqtrace.tail-retention",
+        ["reqtrace.tail_retained"], ["reqtrace.tail_eligible"])
+    # Every materialized trace's exclusive segments summed back to its
+    # end-to-end latency (within float tolerance) at decompose time.
+    add("reqtrace.segment-conservation",
+        ["reqtrace.conservation_ok"], ["reqtrace.conservation_checked"])
     return registry
 
 

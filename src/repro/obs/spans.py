@@ -33,12 +33,23 @@ class SpanTracer:
         self.spans: List[Span] = []
 
     def record(
-        self, track: str, name: str, start: float, end: float, category: str
+        self,
+        track: str,
+        name: str,
+        start: float,
+        end: float,
+        category: str,
+        args: dict = None,
     ) -> None:
-        """Record one closed interval ``[start, end]`` on ``track``."""
+        """Record one closed interval ``[start, end]`` on ``track``.
+
+        ``args`` (optional) lands in the Chrome trace event's ``args``
+        field — the request tracer stamps ``request_id``/``dispatch``
+        there so one request's copies group across replica tracks.
+        """
         self.spans.append(
             Span(track=track, name=name, start=start,
-                 duration=end - start, category=category)
+                 duration=end - start, category=category, args=args)
         )
 
     # ------------------------------------------------------------- querying

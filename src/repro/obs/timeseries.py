@@ -168,6 +168,10 @@ class WindowedCollector:
         #: the refresh series are emitted only then, so runs without the
         #: refresh subsystem produce byte-identical ``series.json``.
         self._refresh_seen = False
+        #: Same latch for request tracing: ``reqtrace_*`` series appear
+        #: only when a RequestTracer has folded counters into the
+        #: registry, keeping tracing-free ``series.json`` byte-identical.
+        self._reqtrace_seen = False
         self.windows: Deque[WindowRecord] = deque(maxlen=self.capacity)
         #: ``(window index, divergence)`` of every flagged working-set shift.
         self.drift_events: List[Tuple[int, float]] = []
@@ -210,6 +214,7 @@ class WindowedCollector:
         self.watermark = start
         self._last_dist = None
         self._refresh_seen = False
+        self._reqtrace_seen = False
 
     def begin_run(self, first_arrival: float) -> None:
         """Align the collector with a serving run starting at
@@ -426,6 +431,24 @@ class WindowedCollector:
                 values["refresh_stale"] = (
                     1.0 if lag > self.staleness_versions else 0.0
                 )
+
+        # Request tracing: sampling pressure + per-cause SLA-miss
+        # attribution, emitted only once a tracer has folded counters in
+        # (same byte-identity contract as the refresh series above).
+        if not self._reqtrace_seen and self._registry.has_prefix(
+            "reqtrace."
+        ):
+            self._reqtrace_seen = True
+        if self._reqtrace_seen:
+            values["reqtrace_sampled"] = self._acc_total("reqtrace.sampled")
+            values["reqtrace_dropped"] = self._acc_total("reqtrace.dropped")
+            values["reqtrace_sla_violations"] = self._acc_total(
+                "reqtrace.sla_violations"
+            )
+            for cause, count in sorted(self._acc_labelled(
+                "reqtrace.rootcause", "cause"
+            ).items()):
+                values[f"rootcause{{cause={cause}}}"] = count
 
         # Hotspot drift: per-table hit distribution when the backend
         # attributes hits to tables, else the per-table traffic itself.

@@ -127,6 +127,12 @@ class InFlightMissTable(Observable):
         self._size = 0
         self._owner = None
         self.stats = CoalescingStats()
+        #: When on (a request tracer is attached), :meth:`match` also
+        #: accumulates ``leader batch -> matched key count`` so traces
+        #: can attribute a follower's coalesce-wait to the batch whose
+        #: fetch it joined.  Off by default: zero hot-loop cost.
+        self.track_sources = False
+        self._match_owners: Dict[int, int] = {}
 
     def __len__(self) -> int:
         return self._size
@@ -167,8 +173,13 @@ class InFlightMissTable(Observable):
                     seg = self._segments[si]
                     where = seg_sel == si
                     shared_rows[where] = seg.rows[row_of[matched_idx[where]]]
+                    taken = int(where.sum())
                     if seg.degraded:
-                        degraded += int(where.sum())
+                        degraded += taken
+                    if self.track_sources:
+                        self._match_owners[seg.owner] = (
+                            self._match_owners.get(seg.owner, 0) + taken
+                        )
         else:
             shared_rows = np.empty((0, dim), dtype=np.float32)
         self.stats.coalesced_keys += matched
@@ -193,6 +204,19 @@ class InFlightMissTable(Observable):
             self._size += count
         self.stats.published_keys += count
         self.obs.inc("coalescer.published", count)
+
+    def drain_match_sources(self) -> Dict[int, int]:
+        """Take (and clear) the leader attribution since the last drain.
+
+        The workflow drains once per batch query, after its per-group
+        fetch loop, so the returned dict covers exactly that batch's
+        coalesced misses.  Always ``{}`` while ``track_sources`` is off.
+        """
+        if not self._match_owners:
+            return {}
+        out = self._match_owners
+        self._match_owners = {}
+        return out
 
     def retire(self, owner) -> int:  # hot-path: vectorized
         """Drop every entry owned by ``owner`` (its batch completed)."""
@@ -222,11 +246,11 @@ class _InFlightBatch:
 
     __slots__ = (
         "index", "formed", "stages", "executor", "next_stage",
-        "ready_at", "start", "stall", "degraded",
+        "ready_at", "start", "stall", "degraded", "trace", "last_elapsed",
     )
 
     def __init__(self, index: int, formed: FormedBatch, stages, executor,
-                 next_stage: str, ready_at: float):
+                 next_stage: str, ready_at: float, trace=None):
         self.index = index
         self.formed = formed
         self.stages = stages
@@ -241,6 +265,11 @@ class _InFlightBatch:
         #: loop's ``start + service_time`` (stall stays exactly 0.0).
         self.stall = 0.0
         self.degraded = False
+        #: Request-tracing record (None unless a tracer is attached).
+        self.trace = trace
+        #: Executor elapsed after the previous stage — the trace's
+        #: per-stage exec is the delta, telescoping exactly to elapsed.
+        self.last_elapsed = 0.0
 
 
 @dataclass
@@ -281,8 +310,10 @@ class PipelinedInferenceServer(InferenceServer):
         }
         coalescer = InFlightMissTable() if self.coalesce else None
         obs = self.obs
+        rt = self.reqtracer
         if coalescer is not None:
             coalescer.bind_observability(obs)
+            coalescer.track_sources = rt is not None
         before = self._begin_run(requests)
         collector = self.collector
         if collector is not None:
@@ -301,6 +332,14 @@ class PipelinedInferenceServer(InferenceServer):
         )
         offsets = np.zeros(n + 1, dtype=np.intp)
         np.cumsum(sizes_arr, out=offsets[1:])
+        if rt is not None:
+            rt.begin_run(
+                np.fromiter(
+                    (r.request_id for r in requests), dtype=np.int64,
+                    count=len(requests),
+                ),
+                arrival_arr,
+            )
         #: Latest occupied instant across every shared resource; the gap
         #: up to the next dispatch is a provably idle slot the refresher
         #: may fill.  Refresh work is hard-capped at the dispatch instant
@@ -326,15 +365,22 @@ class PipelinedInferenceServer(InferenceServer):
                 # i-depth has fully finished (depth=1 == sequential).
                 floor = finish_times[i - self.depth] if i >= self.depth else 0.0
                 executor = Executor(self.hw)
+                trace_rec = None
+                if rt is not None:
+                    trace_rec = rt.begin_batch(
+                        i, int(offsets[i]), int(offsets[i + 1]),
+                        formed.formed_at,
+                    )
                 stages = self.engine.run_batch_stages(
                     self._to_trace_batch(formed), executor,
-                    coalescer=coalescer,
+                    coalescer=coalescer, trace=trace_rec,
                 )
                 first_stage = next(stages)  # announce only; no work yet
                 in_flight.append(_InFlightBatch(
                     index=i, formed=formed, stages=stages, executor=executor,
                     next_stage=first_stage,
                     ready_at=max(formed.formed_at, floor),
+                    trace=trace_rec,
                 ))
                 next_index += 1
                 admitted += 1
@@ -370,10 +416,13 @@ class PipelinedInferenceServer(InferenceServer):
                 busy_until = chosen_start
 
             lane = f"lane{chosen.index % self.depth}"
+            wait = 0.0
             if chosen.start is None:
                 # First stage: the wait for a free host thread is absorbed
                 # into the dispatch instant itself, not counted as stall.
                 chosen.start = chosen_start
+                if chosen.trace is not None:
+                    chosen.trace.dispatched(chosen_start)
                 if (
                     self.tracer is not None
                     and chosen_start > chosen.formed.formed_at
@@ -383,7 +432,8 @@ class PipelinedInferenceServer(InferenceServer):
                         chosen.formed.formed_at, chosen_start,
                     )
             else:
-                chosen.stall += chosen_start - chosen.ready_at
+                wait = chosen_start - chosen.ready_at
+                chosen.stall += wait
             # Align fault windows with this batch's dispatch instant (the
             # same instant the sequential loop uses).
             self.engine.scheme.advance_clock(chosen.start)
@@ -399,6 +449,12 @@ class PipelinedInferenceServer(InferenceServer):
                 _, batch_probs = stop.value
                 finished = True
             end = chosen.start + (chosen.stall + chosen.executor.elapsed())
+            if chosen.trace is not None:
+                elapsed = chosen.executor.elapsed()
+                chosen.trace.stage(
+                    stage_name, wait, elapsed - chosen.last_elapsed
+                )
+                chosen.last_elapsed = elapsed
             for name in needs:
                 resources[name].occupy(chosen_start, end)
             busy_until = max(busy_until, end)
@@ -409,6 +465,8 @@ class PipelinedInferenceServer(InferenceServer):
 
             if finished:
                 finish_times[chosen.index] = chosen.ready_at
+                if chosen.trace is not None:
+                    rt.finish_batch(chosen.trace, chosen.ready_at)
                 probabilities[chosen.index] = batch_probs
                 obs.inc("serving.batches")
                 obs.inc("serving.batched_requests", chosen.formed.size)
@@ -462,6 +520,8 @@ class PipelinedInferenceServer(InferenceServer):
         # over its contiguous request slice and subtract arrivals.
         finish_arr = np.asarray(finish_times, dtype=np.float64)
         latencies = np.repeat(finish_arr, sizes_arr) - arrival_arr
+        if rt is not None and rt.finalize_on_serve:
+            rt.finalize(obs)
 
         report = self._finalize_report(
             requests, latencies, arrival_arr, sizes_arr.tolist(),

@@ -16,7 +16,7 @@ paper's framing of why embedding speed matters — directly answerable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,6 +78,14 @@ class ServingReport:
     fault_windows: List[Tuple[float, float]] = field(default_factory=list)
     #: Per-request arrival times, aligned with ``latencies``.
     arrival_times: Optional[np.ndarray] = None
+    #: Request-tracing summary (zero / empty unless a
+    #: :class:`~repro.obs.reqtrace.RequestTracer` is attached): requests
+    #: covered by trace recording, traces actually materialized under the
+    #: sampling policy, and the SLA-miss root-cause breakdown
+    #: (``cause -> violating request count``).
+    traced_requests: int = 0
+    sampled_traces: int = 0
+    rootcause: Dict[str, int] = field(default_factory=dict)
     #: Registry delta covering exactly this run (counters, gauges,
     #: histograms) — the source the scalar fields above are read from.
     metrics: Optional[MetricsSnapshot] = None
@@ -148,6 +156,7 @@ class InferenceServer:
         tracer: Optional[SpanTracer] = None,
         collector: Optional[WindowedCollector] = None,
         refresher=None,
+        reqtracer=None,
     ):
         self.dataset = dataset
         self.scheme = scheme
@@ -162,6 +171,11 @@ class InferenceServer:
         #: optional serving-level span tracer (one span per batch stage on
         #: the absolute simulated clock; exports Chrome trace JSON).
         self.tracer = tracer
+        #: optional :class:`~repro.obs.reqtrace.RequestTracer` — per-request
+        #: distributed tracing with bounded-overhead sampling.  ``None``
+        #: (the default) leaves every serving code path byte-identical to
+        #: an untraced run: no ``reqtrace.*`` counter is ever incremented.
+        self.reqtracer = reqtracer
         self.engine = InferenceEngine(
             scheme,
             hw,
@@ -285,8 +299,13 @@ class InferenceServer:
             retries=int(delta.total("faults.retries")),
             hedges_fired=int(delta.total("faults.hedges_fired")),
             breaker_open_time=float(delta.total("faults.breaker_open_time")),
+            traced_requests=int(delta.total("reqtrace.requests")),
+            sampled_traces=int(delta.total("reqtrace.sampled")),
             metrics=delta,
         )
+        for (name, labels), value in delta.counters.items():
+            if name == "reqtrace.rootcause" and value:
+                report.rootcause[dict(labels).get("cause", "")] = int(value)
         store = self._fault_store
         if store is not None:
             report.fault_windows = store.fault_windows()
@@ -305,15 +324,21 @@ class InferenceServer:
         executor: Executor,
         start: float,
         track: str = "serving",
+        trace=None,
     ):
         """Run one batch stage-by-stage, recording one span per stage.
 
         Timing-identical to :meth:`InferenceEngine.run_batch` — the stages
         are driven back-to-back with no scheduling in between; the tracer
         only observes executor clock values at the stage boundaries.
-        Returns ``(query, probabilities, service_time)``.
+        ``trace`` (a :class:`~repro.obs.reqtrace.BatchTraceRecord`) gets
+        the same stage boundaries as zero-wait stage entries — on the
+        sequential loop every stage starts the instant its predecessor
+        ends.  Returns ``(query, probabilities, service_time)``.
         """
-        stages = self.engine.run_batch_stages(trace_batch, executor, now=start)
+        stages = self.engine.run_batch_stages(
+            trace_batch, executor, now=start, trace=trace
+        )
         stage = next(stages)
         prev = executor.elapsed()
         while True:
@@ -323,11 +348,15 @@ class InferenceServer:
                 end = executor.elapsed()
                 self._trace_span(track, batch_index, stage, start + prev,
                                  start + end)
+                if trace is not None:
+                    trace.stage(stage, 0.0, end - prev)
                 query, probabilities = stop.value
                 return query, probabilities, end
             end = executor.elapsed()
             self._trace_span(track, batch_index, stage, start + prev,
                              start + end)
+            if trace is not None:
+                trace.stage(stage, 0.0, end - prev)
             stage, prev = next_stage, end
 
     def serve(self, requests: Sequence[Request]) -> ServingReport:
@@ -337,6 +366,7 @@ class InferenceServer:
         batches = form_batches(requests, self.policy)
         executor = Executor(self.hw)
         obs = self.obs
+        rt = self.reqtracer
         before = self._begin_run(requests)
         collector = self.collector
         if collector is not None:
@@ -355,21 +385,42 @@ class InferenceServer:
                         count=len(batches)),
             out=offsets[1:],
         )
+        if rt is not None:
+            rt.begin_run(
+                np.fromiter(
+                    (r.request_id for r in requests), dtype=np.int64,
+                    count=len(requests),
+                ),
+                arrival_arr,
+            )
         latencies: List[np.ndarray] = []
         sizes: List[int] = []
         probabilities: List[np.ndarray] = []
         for i, batch in enumerate(batches):
-            start = max(batch.formed_at, gpu_free_at)
+            dispatch_at = max(batch.formed_at, gpu_free_at)
+            start = dispatch_at
             if self.refresher is not None:
                 busy_until = self.refresher.run_idle(gpu_free_at, start)
                 start = max(start, busy_until)
+            bt = None
+            if rt is not None:
+                bt = rt.begin_batch(
+                    i, int(offsets[i]), int(offsets[i + 1]), batch.formed_at
+                )
+                bt.dispatched(dispatch_at)
+                if start > dispatch_at:
+                    # The refresher's overrunning quantum delayed this
+                    # batch — the trace's only source of refresh charge.
+                    bt.refresh_wait(start - dispatch_at)
             degraded_before = obs.total("tier.degraded_keys")
             executor.reset()
             _, batch_probs, service_time = self._run_traced_batch(
-                i, self._to_trace_batch(batch), executor, start
+                i, self._to_trace_batch(batch), executor, start, trace=bt
             )
             executor.drain()
             finish = start + service_time
+            if bt is not None:
+                rt.finish_batch(bt, finish)
             gpu_free_at = finish
             sizes.append(batch.size)
             obs.inc("serving.batches")
@@ -384,6 +435,8 @@ class InferenceServer:
                 collector.observe_batch(finish, batch_latencies.tolist())
         if collector is not None:
             collector.flush(gpu_free_at)
+        if rt is not None and rt.finalize_on_serve:
+            rt.finalize(obs)
         report = self._finalize_report(
             requests, np.concatenate(latencies), arrival_arr, sizes,
             gpu_free_at, before,

@@ -205,3 +205,60 @@ class TestCommands:
 
         with pytest.raises(ConfigError):
             main(["obs", "render", "--metrics", str(bad)])
+
+    def test_obs_critical_path_analyzes_trace(self, tmp_path, monkeypatch,
+                                              capsys):
+        from repro import FlecheConfig, FlecheEmbeddingLayer
+        from repro.bench import reporting
+        from repro.obs import RequestTracer, TraceConfig
+        from repro.serving.arrivals import PoissonArrivals
+        from repro.serving.batcher import BatchingPolicy
+        from repro.serving.pipeline import PipelinedInferenceServer
+        from repro.tables.store import EmbeddingStore
+        from repro.workloads.synthetic import uniform_tables_spec
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        hw = __import__("repro").default_platform()
+        dataset = uniform_tables_spec(
+            num_tables=4, corpus_size=4_000, alpha=-1.2, dim=16,
+        )
+        store = EmbeddingStore(dataset.table_specs(), hw)
+        layer = FlecheEmbeddingLayer(
+            store, FlecheConfig(cache_ratio=0.1), hw
+        )
+        tracer = RequestTracer(TraceConfig(
+            head_interval=16, sla_budget=1e-4,
+        ))
+        server = PipelinedInferenceServer(
+            dataset, layer, hw,
+            policy=BatchingPolicy(max_batch_size=64, max_delay=5e-4),
+            reqtracer=tracer,
+        )
+        server.serve(PoissonArrivals(
+            dataset, 80_000.0, seed=9
+        ).generate(300))
+        path = reporting.emit_json("reqtrace", tracer.to_payload())
+        capsys.readouterr()
+        rc = main([
+            "obs", "critical-path", "--trace", path, "--top", "5",
+            "--emit",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sampled of 300 requests" in out
+        assert "rootcause" in out
+        with open(tmp_path / "critical_path.json") as f:
+            analysis = json.load(f)
+        assert analysis["requests"] == 300
+        assert len(analysis["top"]) <= 5
+        assert analysis["rootcause"]["causes"]
+
+    def test_obs_critical_path_rejects_wrong_kind(self, tmp_path,
+                                                  monkeypatch):
+        from repro.bench import reporting
+        from repro.errors import ConfigError
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        path = reporting.emit_json("metrics", {"counters": {}})
+        with pytest.raises(ConfigError):
+            main(["obs", "critical-path", "--trace", path])
