@@ -25,6 +25,16 @@ under the pinned epsilon; and the pinned-fp32 run must remain exactly
 identical to plain fleche (the golden no-op guarantee, re-checked on
 every build).
 
+``BENCH_scenarios_baseline.json`` (pinned from ``bench_scenarios.py
+--smoke``) gates the adversarial-scenario suite: per scenario, the
+adaptive run's SLA attainment and hit rate stay within the absolute
+tolerance of the pinned values, as does the best static cell (the
+controller-vs-static gap cannot silently collapse); the candidate's
+scenario-win count must not drop below the pinned count; and two
+candidate-only invariants are rechecked on every build — the
+controller-off run stays byte-identical to the no-controller run, and
+zero ``autotune.*`` metric keys exist while the controller is off.
+
 Every artifact that carries a ``runtime_s`` stamp is also gated on
 wall-clock runtime: the candidate must finish within
 ``RUNTIME_TOLERANCE`` x the pinned baseline runtime, so a bench that
@@ -364,6 +374,95 @@ def compare_precision(baseline: dict, candidate: dict,
     return rows, violations
 
 
+#: (metric key, kind) pairs compared per scenario for both the adaptive
+#: run and the best static cell (all fractions -> absolute tolerance).
+SCENARIO_CHECKED_METRICS = (
+    ("sla", "abs"),
+    ("hit_rate", "abs"),
+)
+
+
+def compare_scenarios(baseline: dict, candidate: dict,
+                      abs_sla_tolerance: float = ABS_SLA_TOLERANCE):
+    """Compare two BENCH_scenarios payloads; returns (rows, violations).
+
+    Per scenario, the adaptive cell and the best static cell are gated
+    on SLA attainment and hit rate (both fractions, absolute tolerance)
+    — so neither "the controller got worse" nor "the static bar
+    quietly dropped" (which would make the adaptive win hollow) can
+    land silently.  The candidate must also keep at least the pinned
+    number of scenario wins, keep the controller-off path byte-identical
+    to the no-controller path, and emit zero ``autotune.*`` keys while
+    the controller is off — the last two are candidate-only invariants
+    rechecked on every build.
+    """
+    rows = []
+    violations = []
+
+    def check(scenario, cell_name, metric, base, cand):
+        drift = cand - base
+        ok = abs(drift) <= abs_sla_tolerance
+        rows.append([
+            scenario, cell_name, metric, f"{base:.4g}", f"{cand:.4g}",
+            f"{drift:+.3f}", "ok" if ok else "FAIL",
+        ])
+        if not ok:
+            violations.append(
+                f"{scenario}/{cell_name}/{metric}: baseline {base:.4g} -> "
+                f"candidate {cand:.4g} ({drift:+.3f} outside tolerance)"
+            )
+
+    for name, base_cell in sorted(baseline.get("scenarios", {}).items()):
+        cand_cell = candidate.get("scenarios", {}).get(name)
+        if cand_cell is None:
+            violations.append(f"scenarios/{name}: missing from candidate")
+            continue
+        for metric, _ in SCENARIO_CHECKED_METRICS:
+            check(name, "adaptive", metric,
+                  float(base_cell["adaptive"][metric]),
+                  float(cand_cell["adaptive"][metric]))
+            base_best = base_cell["static"][base_cell["best_static"]]
+            cand_best = cand_cell["static"][cand_cell["best_static"]]
+            check(name, "best-static", metric,
+                  float(base_best[metric]), float(cand_best[metric]))
+
+    base_wins = int(baseline.get("wins", 0))
+    cand_wins = int(candidate.get("wins", 0))
+    wins_ok = cand_wins >= base_wins
+    rows.append([
+        "suite", "wins", "adaptive-wins", f">= {base_wins}",
+        str(cand_wins), "-", "ok" if wins_ok else "FAIL",
+    ])
+    if not wins_ok:
+        violations.append(
+            f"suite/wins: adaptive won {cand_wins} scenarios < "
+            f"pinned {base_wins}"
+        )
+
+    identity = candidate.get("identity", {})
+    identical = bool(identity.get("identical", False))
+    rows.append([
+        "identity", "controller-off", "identical", "true",
+        str(identical).lower(), "-", "ok" if identical else "FAIL",
+    ])
+    if not identical:
+        violations.append(
+            "identity: disabled-controller run diverged from "
+            "no-controller run"
+        )
+    off_keys = int(identity.get("autotune_keys_off", -1))
+    rows.append([
+        "identity", "controller-off", "autotune-keys", "0", str(off_keys),
+        "-", "ok" if off_keys == 0 else "FAIL",
+    ])
+    if off_keys != 0:
+        violations.append(
+            f"identity: {off_keys} autotune.* metric keys exist with "
+            "the controller off"
+        )
+    return rows, violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -403,6 +502,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--precision-candidate",
         default="benchmarks/results/BENCH_precision.json",
+    )
+    parser.add_argument(
+        "--scenarios-baseline",
+        default="benchmarks/results/BENCH_scenarios_baseline.json",
+    )
+    parser.add_argument(
+        "--scenarios-candidate",
+        default="benchmarks/results/BENCH_scenarios.json",
     )
     parser.add_argument("--rel-tolerance", type=float, default=REL_TOLERANCE)
     parser.add_argument(
@@ -557,6 +664,35 @@ def main(argv=None) -> int:
     else:
         print(f"\nno precision baseline at {args.precision_baseline}; "
               "precision gate skipped")
+
+    if os.path.exists(args.scenarios_baseline):
+        scenarios_baseline = load_artifact(args.scenarios_baseline)
+        scenarios_candidate = load_artifact(args.scenarios_candidate)
+        scenario_rows, scenario_violations = compare_scenarios(
+            scenarios_baseline, scenarios_candidate,
+            abs_sla_tolerance=args.abs_sla_tolerance,
+        )
+        runtime_rows, runtime_violations = runtime_gate(
+            scenarios_baseline, scenarios_candidate, "scenarios",
+            runtime_tolerance=args.runtime_tolerance,
+        )
+        scenario_rows.extend(runtime_rows)
+        violations.extend(scenario_violations)
+        violations.extend(runtime_violations)
+        print()
+        print(format_table(
+            ["section", "cell", "metric", "baseline", "candidate", "drift",
+             "status"],
+            scenario_rows,
+            title=(
+                "Adversarial-scenario regression gate "
+                f"(SLA/hit ±{args.abs_sla_tolerance:.2f}, "
+                f"runtime {args.runtime_tolerance:.1f}x)"
+            ),
+        ))
+    else:
+        print(f"\nno scenarios baseline at {args.scenarios_baseline}; "
+              "scenarios gate skipped")
 
     if violations:
         print("\nREGRESSIONS:", file=sys.stderr)

@@ -279,6 +279,109 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    """Adversarial scenario serving (``repro scenario list|run``)."""
+    from .scenarios import SCENARIOS
+
+    if args.scenario_command == "list":
+        rows = [
+            [name, cls.__name__, (cls.__doc__ or "").strip().splitlines()[0]]
+            for name, cls in sorted(SCENARIOS.items())
+        ]
+        print(format_table(["name", "class", "summary"], rows,
+                           title="Adversarial scenario catalogue"))
+        return 0
+
+    from .autotune import AdaptiveController
+    from .core.precision import PrecisionConfig
+    from .core.workflow import FlecheEmbeddingLayer as Layer
+    from .obs import WindowedCollector, default_serving_slos
+    from .scenarios import build_scenario, validate_load
+    from .serving.batcher import BatchingPolicy
+    from .serving.pipeline import PipelinedInferenceServer
+    from .tables.store import EmbeddingStore
+    from .workloads.synthetic import uniform_tables_spec
+
+    hw = default_platform()
+    dataset = uniform_tables_spec(
+        num_tables=args.tables, corpus_size=args.corpus, alpha=-1.2,
+        dim=args.dim,
+    )
+    scenario = build_scenario(
+        args.name, dataset, seed=args.seed, base_rate=args.rate,
+    ) if args.name in ("flash_crowd", "cold_start_flood") else build_scenario(
+        args.name, dataset, seed=args.seed,
+    )
+    load = scenario.build()
+    validate_load(load, dataset)
+
+    config = FlecheConfig(cache_ratio=args.ratio)
+    if args.autotune:
+        # The controller's tier-rebalance lever needs the quantizing
+        # (multi-tier) slab layout to have anything to move.
+        config = FlecheConfig(
+            cache_ratio=args.ratio,
+            precision=PrecisionConfig(enabled=True),
+        )
+    store = EmbeddingStore(dataset.table_specs(), hw)
+    layer = Layer(store, config, hw)
+    if args.admission < 1.0:
+        layer.cache.set_admission_probability(args.admission)
+    slo_engine = default_serving_slos(args.sla)
+    collector = WindowedCollector(
+        window=args.window, sla_budget=args.sla, engine=slo_engine,
+    )
+    if load.tenant_of is not None:
+        collector.set_tenancy(load.tenant_of, load.tenant_slos)
+    autotuner = AdaptiveController() if args.autotune else None
+    server = PipelinedInferenceServer(
+        dataset, layer, hw, depth=2,
+        policy=BatchingPolicy(max_batch_size=512, max_delay=5e-4),
+        collector=collector,
+        autotuner=autotuner,
+    )
+    if load.update_log is not None:
+        from .refresh import RefreshScheduler, UpdateSubscriber
+
+        subscriber = UpdateSubscriber(
+            load.update_log, layer.cache, host_store=layer.store,
+        )
+        subscriber.bind_observability(server.obs)
+        server.refresher = RefreshScheduler(subscriber, hw)
+    report = server.serve(load.requests)
+
+    def _acc(name: str) -> int:
+        return int(server.obs.total(name))
+
+    rows = [[
+        report.served, format_rate(report.throughput),
+        format_time(report.median_latency), format_time(report.p99_latency),
+        f"{report.sla_attainment(args.sla):.1%}",
+        collector.closed_windows,
+        _acc("autotune.applied") if args.autotune else "-",
+        _acc("autotune.suppressed") if args.autotune else "-",
+        _acc("autotune.clamped") if args.autotune else "-",
+    ]]
+    print(format_table(
+        ["requests", "throughput", "P50", "P99",
+         f"SLA@{args.sla * 1e3:g}ms", "windows",
+         "applied", "suppressed", "clamped"],
+        rows,
+        title=(f"Scenario {args.name!r} (seed {args.seed}, "
+               f"controller {'on' if args.autotune else 'off'})"),
+    ))
+    for phase in load.phases:
+        note = f"  [{phase.note}]" if phase.note else ""
+        print(f"  phase {phase.name}: {phase.start * 1e3:.2f}-"
+              f"{phase.end * 1e3:.2f} ms @ {format_rate(phase.rate)}{note}")
+    if args.emit:
+        from .bench.reporting import emit_timeseries
+
+        for path in emit_timeseries(collector):
+            print(f"wrote {path}")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     """Observability artifact tooling (``repro obs render``)."""
     from .bench.reporting import load_artifact
@@ -479,12 +582,9 @@ def _cluster_victim(dataset, args) -> int:
     """The replica that consistent-hash owns the Zipf hottest key —
     killing it is the worst case for an unrouted deployment."""
     from .multigpu.partition import HashPartitioner
-    from .workloads.zipf import ZipfSampler
+    from .workloads.zipf import zipf_head_ids
 
-    field = dataset.fields[0]
-    hottest = ZipfSampler(
-        field.corpus_size, field.alpha, seed=args.seed * 31
-    ).hottest_ids(1)
+    hottest = zipf_head_ids(dataset.fields[:1], args.seed, 1)[0]
     return int(HashPartitioner(args.replicas).owner_of(hottest)[0])
 
 
@@ -677,6 +777,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit", action="store_true",
                    help="persist series.json/alerts.json under "
                         "benchmarks/results")
+    from .scenarios import SCENARIOS
+
+    p = sub.add_parser(
+        "scenario", help="adversarial scenarios + adaptive tiering"
+    )
+    scenario_sub = p.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list the scenario catalogue")
+    q = scenario_sub.add_parser(
+        "run",
+        help="serve one adversarial scenario, optionally with the "
+             "adaptive controller closed-loop",
+    )
+    q.add_argument("--name", default="flash_crowd",
+                   choices=sorted(SCENARIOS))
+    q.add_argument("--tables", type=int, default=6)
+    q.add_argument("--corpus", type=int, default=12_000)
+    q.add_argument("--dim", type=int, default=16)
+    q.add_argument("--ratio", type=float, default=0.03)
+    q.add_argument("--rate", type=float, default=150_000.0,
+                   help="base arrival rate (requests/sec)")
+    q.add_argument("--seed", type=int, default=7)
+    q.add_argument("--window", type=float, default=1e-3,
+                   help="collector window (simulated seconds)")
+    q.add_argument("--sla", type=float, default=2e-3,
+                   help="per-request latency budget (seconds)")
+    q.add_argument("--autotune", action="store_true",
+                   help="attach the closed-loop adaptive controller")
+    q.add_argument("--admission", type=float, default=1.0,
+                   help="static admission probability (the controller "
+                        "retunes it at runtime when --autotune is on)")
+    q.add_argument("--emit", action="store_true",
+                   help="persist series.json under benchmarks/results")
+
     p = sub.add_parser("obs", help="observability artifact tooling")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
     p = obs_sub.add_parser(
@@ -784,6 +917,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "scenario": _cmd_scenario,
     "obs": _cmd_obs,
     "refresh": _cmd_refresh,
     "cluster": _cmd_cluster,

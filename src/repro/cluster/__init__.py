@@ -33,6 +33,7 @@ from .health import (
     HealthTransition,
     ReplicaHealth,
 )
+from .drill import ScenarioDrillResult, hot_head_victim, run_scenario_drill
 from .replica import ClusterReplica
 from .router import (
     DISPATCH_FAILOVER,
@@ -74,6 +75,9 @@ __all__ = [
     "LeastOutstandingPolicy",
     "ReplicaHealth",
     "RoutingPolicy",
+    "ScenarioDrillResult",
     "TableShardPolicy",
+    "hot_head_victim",
     "make_policy",
+    "run_scenario_drill",
 ]

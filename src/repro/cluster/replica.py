@@ -24,8 +24,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
 from ..core.config import FlecheConfig
 from ..core.workflow import FlecheEmbeddingLayer
 from ..errors import ConfigError
@@ -35,7 +33,7 @@ from ..serving.batcher import BatchingPolicy
 from ..serving.pipeline import PipelinedInferenceServer
 from ..tables.store import EmbeddingStore
 from ..workloads.trace import TraceBatch
-from ..workloads.zipf import ZipfSampler
+from ..workloads.zipf import zipf_head_ids
 
 
 class ClusterReplica:
@@ -102,20 +100,11 @@ class ClusterReplica:
         """
         if count <= 0:
             return 0
-        fields = self.dataset.fields
-        count = min(count, min(f.corpus_size for f in fields))
-        ids_per_table = [
-            np.asarray(
-                ZipfSampler(
-                    f.corpus_size, f.alpha, seed=seed * 31 + i
-                ).hottest_ids(count),
-                dtype=np.uint64,
-            )
-            for i, f in enumerate(fields)
-        ]
+        ids_per_table = zipf_head_ids(self.dataset.fields, seed, count)
+        count = len(ids_per_table[0])
         batch = TraceBatch(ids_per_table=ids_per_table, batch_size=count)
         self.layer.query(batch, Executor(self.hw))
-        return count * len(fields)
+        return count * len(ids_per_table)
 
     def attach_refresh(self, log, now: float = 0.0) -> None:
         """Subscribe this replica to the cluster's shared update log."""

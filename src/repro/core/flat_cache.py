@@ -156,6 +156,11 @@ class FlatCache(Observable):
         self.unified_entries = 0
         self.unified_capacity = unified_slots if config.use_unified_index else 0
         self._dim_of_table = {s.table_id: s.dim for s in specs}
+        #: Runtime-retunable copy of the config watermark: the adaptive
+        #: controller (:mod:`repro.autotune`) adjusts eviction depth here
+        #: without touching the frozen :class:`FlecheConfig`.  Untouched,
+        #: eviction is byte-identical to the config-driven behaviour.
+        self.evict_low_watermark = config.evict_low_watermark
 
     # ------------------------------------------------------------------ obs
 
@@ -632,6 +637,88 @@ class FlatCache(Observable):
             self._demote_cold(capacity - self.unified_entries)
         self.unified_capacity = capacity
 
+    # ----------------------------------------------------------------- retune
+    #
+    # Validated runtime knobs for the adaptive controller
+    # (:mod:`repro.autotune`).  None of these mutate the frozen
+    # :class:`FlecheConfig` — they act on the live, mutable pieces
+    # (admission filter, eviction watermark, slab-pool capacities) so a
+    # run with the controller disabled stays byte-identical to one where
+    # these methods do not exist.
+
+    def set_admission_probability(self, probability: float) -> None:
+        """Retune the cache-admission probability (insert aggressiveness)."""
+        if not 0.0 < probability <= 1.0:
+            raise ConfigError(
+                f"admission probability must be in (0, 1], got {probability}"
+            )
+        self.admission.probability = float(probability)
+
+    def set_tier_thresholds(self, hot_min_count: int, warm_min_count: int) -> None:
+        """Retune the frequency thresholds assigning precision tiers."""
+        if self._estimator is None:
+            raise ConfigError(
+                "tier thresholds need a mixed-precision cache "
+                "(no frequency estimator configured)"
+            )
+        hot, warm = int(hot_min_count), int(warm_min_count)
+        if not 0 < warm <= hot:
+            raise ConfigError(
+                f"need 0 < warm_min_count <= hot_min_count, got "
+                f"warm={warm} hot={hot}"
+            )
+        self.admission.hot_min_count = hot
+        self.admission.warm_min_count = warm
+
+    def set_evict_low_watermark(self, low: float) -> None:
+        """Retune eviction depth: lower cuts deeper per eviction pass."""
+        if not 0.0 < low < self.config.evict_high_watermark:
+            raise ConfigError(
+                f"evict_low_watermark must be in (0, "
+                f"{self.config.evict_high_watermark}), got {low}"
+            )
+        self.evict_low_watermark = float(low)
+
+    def transfer_tier_capacity(
+        self, dim: int, from_tier: str, to_tier: str, fraction: float
+    ) -> Tuple[int, int]:
+        """Move ~``fraction`` of one tier's byte share to another tier.
+
+        Retires free slots from the donor class and grows the recipient
+        by the byte-equivalent slot count (integer floor — the pool's
+        logical byte footprint never grows).  The donor keeps a 16-slot
+        floor, and only *free* slots move, so live entries are never
+        disturbed.  Returns ``(retired_slots, grown_slots)``; ``(0, 0)``
+        when the donor has nothing spare.
+        """
+        if not self.quantizing:
+            raise ConfigError(
+                "tier capacity transfer needs a mixed-precision cache"
+            )
+        if from_tier == to_tier:
+            raise ConfigError("transfer_tier_capacity: tiers must differ")
+        for tier in (from_tier, to_tier):
+            if tier not in TIERS:
+                raise ConfigError(f"unknown precision tier {tier!r}")
+            if tier not in self.pool.tiers_of(dim):
+                raise ConfigError(
+                    f"dim {dim} has no {tier} slab class to transfer"
+                )
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(
+                f"transfer fraction must be in (0, 1], got {fraction}"
+            )
+        src_capacity = self.pool.capacity_of(dim, from_tier)
+        want = min(int(src_capacity * fraction), max(0, src_capacity - 16))
+        retired = self.pool.retire_free(dim, from_tier, want)
+        if retired == 0:
+            return (0, 0)
+        grow = (
+            retired * slot_payload_bytes(dim, from_tier)
+        ) // slot_payload_bytes(dim, to_tier)
+        grown = self.pool.grow_class(dim, to_tier, grow)
+        return (retired, grown)
+
     def _demote_cold(self, count: int) -> None:
         """Convert up to ``count`` of the coldest cache entries to pointers.
 
@@ -691,7 +778,7 @@ class FlatCache(Observable):
             return
 
         capacity = self.pool.capacity_of(dim, tier)
-        target_live = int(capacity * self.config.evict_low_watermark)
+        target_live = int(capacity * self.evict_low_watermark)
         to_evict = max(need, len(class_keys) - target_live)
         to_evict = min(to_evict, len(class_keys))
         counts = (

@@ -574,6 +574,14 @@ def install_conservation_laws(registry: MetricsRegistry) -> MetricsRegistry:
          "precision.drift_dn_retired"],
         ["precision.demotions", "precision.drift_up_live",
          "precision.drift_up_retired"])
+    # Adaptive-controller action accounting (counters emitted only when
+    # the autotune controller is attached and enabled — all zero, hence
+    # trivially true, otherwise).  Every proposed action resolves to
+    # exactly one outcome: applied as-is, suppressed (cooldown /
+    # hysteresis), or clamped to bounds and then applied.
+    add("autotune.action-conservation",
+        ["autotune.proposed"],
+        ["autotune.applied", "autotune.suppressed", "autotune.clamped"])
     install_reqtrace_laws(registry)
     return registry
 

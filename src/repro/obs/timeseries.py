@@ -172,6 +172,16 @@ class WindowedCollector:
         #: only when a RequestTracer has folded counters into the
         #: registry, keeping tracing-free ``series.json`` byte-identical.
         self._reqtrace_seen = False
+        #: Same latch for the adaptive controller: ``autotune_*`` series
+        #: appear only once any ``autotune.*`` metric exists, so
+        #: controller-off runs produce byte-identical ``series.json``.
+        self._autotune_seen = False
+        #: Multi-tenant attribution: request position -> tenant name, and
+        #: per-tenant SLA budgets.  ``None`` (the default) emits no
+        #: per-tenant series at all.
+        self._tenant_of: Optional[Sequence[str]] = None
+        self._tenant_slos: Dict[str, float] = {}
+        self._tenant_latencies: Dict[str, List[float]] = {}
         self.windows: Deque[WindowRecord] = deque(maxlen=self.capacity)
         #: ``(window index, divergence)`` of every flagged working-set shift.
         self.drift_events: List[Tuple[int, float]] = []
@@ -215,6 +225,8 @@ class WindowedCollector:
         self._last_dist = None
         self._refresh_seen = False
         self._reqtrace_seen = False
+        self._autotune_seen = False
+        self._tenant_latencies = {}
 
     def begin_run(self, first_arrival: float) -> None:
         """Align the collector with a serving run starting at
@@ -235,16 +247,55 @@ class WindowedCollector:
             # leak into the first window of this run.
             self._prev = self._registry.counter_state()
 
+    def set_tenancy(
+        self,
+        tenant_of: Optional[Sequence[str]],
+        slos: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Enable per-tenant SLA attribution for the next serving run.
+
+        Args:
+            tenant_of: tenant name per request *position* (request ids are
+                positions in the arrival stream), or ``None`` to disable
+                tenancy entirely (no per-tenant series emitted).
+            slos: per-tenant latency budgets; tenants without an entry
+                fall back to the collector-wide ``sla_budget``.
+
+        Serving loops must then pass ``first_request`` to
+        :meth:`observe_batch` so each batch's latencies can be attributed.
+        """
+        if tenant_of is None:
+            self._tenant_of = None
+            self._tenant_slos = {}
+            self._tenant_latencies = {}
+            return
+        slos = dict(slos or {})
+        for tenant, budget in slos.items():
+            if budget <= 0:
+                raise ConfigError(
+                    f"tenant {tenant!r}: SLA budget must be positive"
+                )
+        self._tenant_of = tenant_of
+        self._tenant_slos = slos
+        self._tenant_latencies = {}
+
     # ------------------------------------------------------------- recording
 
     def observe_batch(
-        self, now: float, latencies: Sequence[float] = ()
+        self,
+        now: float,
+        latencies: Sequence[float] = (),
+        first_request: Optional[int] = None,
     ) -> None:
         """Fold one completed batch: registry delta + request latencies.
 
         ``now`` is the batch's completion instant on the simulated clock;
         calls must be nondecreasing in ``now`` (the serving loops complete
         batches in clock order on the serial GPU resource).
+        ``first_request`` is the arrival-stream position of the batch's
+        first request — needed only under :meth:`set_tenancy`, where
+        ``latencies[j]`` is attributed to ``tenant_of[first_request + j]``
+        (batches partition the stream contiguously in arrival order).
         """
         if self._registry is None:
             raise ConfigError("collector is not bound to a registry")
@@ -255,6 +306,12 @@ class WindowedCollector:
         self._roll(now)
         self._fold_delta()
         self._latencies.extend(float(v) for v in latencies)
+        if self._tenant_of is not None and first_request is not None:
+            buckets = self._tenant_latencies
+            tenant_of = self._tenant_of
+            for j, value in enumerate(latencies):
+                tenant = tenant_of[first_request + j]
+                buckets.setdefault(tenant, []).append(float(value))
         self.watermark = max(self.watermark, now)
 
     def advance(self, now: float) -> None:
@@ -317,6 +374,7 @@ class WindowedCollector:
         self._win_start = end if partial else self._win_start + self.window
         self._acc = {}
         self._latencies = []
+        self._tenant_latencies = {}
         if self.engine is not None:
             self.engine.evaluate(self.windows)
 
@@ -357,6 +415,19 @@ class WindowedCollector:
             values["sla_attainment"] = (
                 good / len(latencies) if latencies else nan
             )
+
+        # Multi-tenant attribution (set_tenancy): per-tenant request
+        # counts and SLA attainment against each tenant's own budget.
+        # Emitted only for tenants active in the window, and not at all
+        # without tenancy — series stay byte-identical otherwise.
+        if self._tenant_of is not None:
+            for tenant in sorted(self._tenant_latencies):
+                lats = self._tenant_latencies[tenant]
+                values[f"requests{{tenant={tenant}}}"] = float(len(lats))
+                budget = self._tenant_slos.get(tenant, self.sla_budget)
+                if budget is not None and lats:
+                    good = sum(1 for v in lats if v <= budget)
+                    values[f"sla{{tenant={tenant}}}"] = good / len(lats)
 
         hits = self._acc_total("cache.hits")
         misses = self._acc_total("cache.misses")
@@ -449,6 +520,24 @@ class WindowedCollector:
                 "reqtrace.rootcause", "cause"
             ).items()):
                 values[f"rootcause{{cause={cause}}}"] = count
+
+        # Adaptive controller: per-window action-outcome deltas plus the
+        # live admission knob, emitted only once any ``autotune.*``
+        # metric exists (same byte-identity contract as refresh above).
+        if not self._autotune_seen and self._registry.has_prefix(
+            "autotune."
+        ):
+            self._autotune_seen = True
+        if self._autotune_seen:
+            values["autotune_proposed"] = self._acc_total("autotune.proposed")
+            values["autotune_applied"] = self._acc_total("autotune.applied")
+            values["autotune_suppressed"] = self._acc_total(
+                "autotune.suppressed"
+            )
+            values["autotune_clamped"] = self._acc_total("autotune.clamped")
+            values["autotune_admission_probability"] = self._registry.gauge(
+                "autotune.admission_probability"
+            )
 
         # Hotspot drift: per-table hit distribution when the backend
         # attributes hits to tables, else the per-table traffic itself.

@@ -481,7 +481,10 @@ class PipelinedInferenceServer(InferenceServer):
                     collector.observe_batch(
                         chosen.ready_at,
                         (chosen.ready_at - arrival_arr[lo:hi]).tolist(),
+                        first_request=int(lo),
                     )
+                if self.autotuner is not None:
+                    self.autotuner.on_batch_complete(chosen.ready_at)
                 completed[chosen.index] = True
                 while frontier < n and completed[frontier]:
                     frontier += 1

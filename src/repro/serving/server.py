@@ -157,6 +157,7 @@ class InferenceServer:
         collector: Optional[WindowedCollector] = None,
         refresher=None,
         reqtracer=None,
+        autotuner=None,
     ):
         self.dataset = dataset
         self.scheme = scheme
@@ -191,6 +192,14 @@ class InferenceServer:
         self.collector = collector
         if collector is not None:
             collector.bind(self.engine.obs)
+        #: optional :class:`~repro.autotune.AdaptiveController` — the
+        #: closed-loop retuner, fed after every batch completion.  ``None``
+        #: (or a disabled controller) leaves every serving code path
+        #: byte-identical to an untuned run: no cache knob is touched and
+        #: no ``autotune.*`` metric is ever created.
+        self.autotuner = autotuner
+        if autotuner is not None:
+            autotuner.attach(self)
 
     @property
     def obs(self) -> MetricsRegistry:
@@ -432,7 +441,12 @@ class InferenceServer:
             batch_latencies = finish - arrival_arr[offsets[i]:offsets[i + 1]]
             latencies.append(batch_latencies)
             if collector is not None:
-                collector.observe_batch(finish, batch_latencies.tolist())
+                collector.observe_batch(
+                    finish, batch_latencies.tolist(),
+                    first_request=int(offsets[i]),
+                )
+            if self.autotuner is not None:
+                self.autotuner.on_batch_complete(finish)
         if collector is not None:
             collector.flush(gpu_free_at)
         if rt is not None and rt.finalize_on_serve:

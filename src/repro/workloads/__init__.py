@@ -9,7 +9,7 @@ the published table counts, heterogeneous per-table skew, and temporal
 hotspot drift.
 """
 
-from .zipf import ZipfSampler
+from .zipf import ZipfSampler, zipf_head_ids
 from .spec import DatasetSpec, FieldSpec
 from .synthetic import synthetic_dataset, uniform_tables_spec
 from .datasets import avazu_replica, criteo_kaggle_replica, criteo_tb_replica, DATASET_REPLICAS
@@ -20,6 +20,7 @@ from .gnn import gnn_feature_dataset, gnn_neighbourhood_trace
 
 __all__ = [
     "ZipfSampler",
+    "zipf_head_ids",
     "DatasetSpec",
     "FieldSpec",
     "synthetic_dataset",

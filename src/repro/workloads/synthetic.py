@@ -31,6 +31,12 @@ class _DriftingField:
     def __init__(self, field: FieldSpec, seed: int):
         self.field = field
         self.sampler = ZipfSampler(field.corpus_size, field.alpha, seed=seed)
+        if field.drift > 0.0:
+            # Drift swaps entries of the rank->id mapping in place; the
+            # sampler's mapping comes from a memoized cache shared across
+            # equal (corpus, seed) samplers, so detach a private copy or
+            # the mutations leak into every later same-seed run.
+            self.sampler._rank_to_id = self.sampler._rank_to_id.copy()
         self._drift_rng = np.random.default_rng(seed ^ 0xD21F7)
 
     def advance_epoch(self) -> None:
@@ -38,11 +44,18 @@ class _DriftingField:
             return
         mapping = self.sampler._rank_to_id
         n = len(mapping)
+        if n < 2:
+            return  # nothing to swap with
         hot_pool = max(1, n // 10)
         move = min(max(1, int(n * self.field.drift)), hot_pool)
-        # Swap a random sample of hot ranks with random (mostly cold) ranks.
+        # Swap a random sample of hot ranks with random cold ranks.  The
+        # cold picks must be distinct and disjoint from the hot picks:
+        # duplicate indices under fancy-indexed assignment would clobber
+        # entries, silently dropping ids from (and duplicating ids in)
+        # what must remain a permutation of the corpus.
         hot = self._drift_rng.choice(hot_pool, size=move, replace=False)
-        cold = self._drift_rng.integers(0, n, size=len(hot))
+        candidates = np.setdiff1d(np.arange(n), hot)
+        cold = self._drift_rng.choice(candidates, size=move, replace=False)
         mapping[hot], mapping[cold] = mapping[cold].copy(), mapping[hot].copy()
 
     def sample(self, count: int) -> np.ndarray:

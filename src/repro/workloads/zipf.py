@@ -55,6 +55,37 @@ def _cached_permutation(corpus_size: int, seed: int) -> np.ndarray:
     return perm
 
 
+def zipf_head_ids(fields, seed: int, count: int) -> "list":
+    """Per-field Zipf-head id arrays under the serving seeding convention.
+
+    The serving arrival stream builds one sampler per field with seed
+    ``seed * 31 + i`` (see ``repro.serving.arrivals._FeatureSource``);
+    anything that wants to pre-touch or reason about the head the stream
+    will hammer — replica warm-up, the cluster drill's victim pick, the
+    flash-crowd scenario — must use the *same* seeding or it warms the
+    wrong keys.  This helper is the single home of that convention.
+
+    ``count`` is clamped to the smallest corpus so every returned array
+    has the same length.  Returns one uint64 array per field, hottest
+    first.
+    """
+    fields = list(fields)
+    if not fields:
+        raise WorkloadError("zipf_head_ids needs at least one field")
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    count = min(count, min(f.corpus_size for f in fields))
+    return [
+        np.asarray(
+            ZipfSampler(
+                f.corpus_size, f.alpha, seed=seed * 31 + i
+            ).hottest_ids(count),
+            dtype=np.uint64,
+        )
+        for i, f in enumerate(fields)
+    ]
+
+
 class ZipfSampler:
     """Draws feature IDs from a power-law popularity distribution."""
 
